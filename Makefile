@@ -1,0 +1,55 @@
+# twsearch developer targets. Everything here is plain Go tooling; the
+# Makefile only names the common invocations.
+
+GO ?= go
+
+.PHONY: all build vet test race cover bench fuzz tables examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# Quick benchmark pass (one iteration each); see bench_output.txt for a
+# captured run.
+bench:
+	$(GO) test -bench . -benchmem -benchtime 1x ./...
+
+# Short fuzz session over every fuzz target.
+fuzz:
+	$(GO) test -fuzz FuzzDistanceProperties -fuzztime 10s ./internal/dtw/
+	$(GO) test -fuzz FuzzIntervalLowerBound -fuzztime 10s ./internal/dtw/
+	$(GO) test -fuzz FuzzReadBinary -fuzztime 10s ./internal/sequence/
+	$(GO) test -fuzz FuzzReadCSV -fuzztime 10s ./internal/sequence/
+	$(GO) test -fuzz FuzzReadScheme -fuzztime 10s ./internal/categorize/
+	$(GO) test -fuzz FuzzFit -fuzztime 10s ./internal/categorize/
+	$(GO) test -fuzz FuzzValidateCorruption -fuzztime 10s ./internal/disktree/
+	$(GO) test -fuzz FuzzSearchMatchesScan -fuzztime 20s ./internal/core/
+
+# Regenerate the paper's tables and figures at full scale (minutes).
+tables:
+	$(GO) run ./cmd/benchtables -scale 1 -queries 5 -seed 1
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/stocks
+	$(GO) run ./examples/ecg
+	$(GO) run ./examples/multivariate
+	$(GO) run ./examples/tuning
+	$(GO) run ./examples/cbf
+	$(GO) run ./examples/motifs
+
+clean:
+	$(GO) clean -testcache

@@ -1,0 +1,151 @@
+// Command benchtables regenerates the paper's evaluation artifacts: Tables
+// 1-3, Figures 4-5, and the repository's ablation studies. At the default
+// -scale 1 the workloads match the paper's (545 stock-like sequences of
+// average length 232; artificial random walks up to 10000x200).
+//
+// Usage:
+//
+//	benchtables [-scale f] [-queries n] [-seed n] [-dir d] [-only list]
+//
+// -only takes a comma-separated subset of: t1,t2,t3,f4,f5,ablations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"twsearch/internal/benchrun"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "workload scale; 1.0 = paper scale")
+	queries := flag.Int("queries", 10, "queries per measurement")
+	seed := flag.Int64("seed", 1, "generator seed")
+	dir := flag.String("dir", "", "work directory for index files (default: temp dir)")
+	only := flag.String("only", "", "comma-separated subset: t1,t2,t3,f4,f5,ablations")
+	dataKind := flag.String("workload", "stocks", "table workload: stocks or artificial")
+	csvDir := flag.String("csv", "", "also write each table/figure as CSV into this directory")
+	flag.Parse()
+
+	workDir := *dir
+	if workDir == "" {
+		var err error
+		workDir, err = os.MkdirTemp("", "twsearch-bench-")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(workDir)
+	}
+
+	cfg := benchrun.Config{
+		Scale:    *scale,
+		Queries:  *queries,
+		Seed:     *seed,
+		Dir:      workDir,
+		Workload: benchrun.Workload(*dataKind),
+		Out:      os.Stdout,
+	}
+
+	want := map[string]bool{}
+	if *only == "" {
+		for _, k := range []string{"t1", "t2", "t3", "f4", "f5", "ablations"} {
+			want[k] = true
+		}
+	} else {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(k)] = true
+		}
+	}
+
+	run := func(name string, f func() error) {
+		if !want[name] {
+			return
+		}
+		start := time.Now()
+		if err := f(); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Printf("  [%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	writeCSV := func(name string, write func(w io.Writer) error) error {
+		if *csvDir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(*csvDir, name))
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+
+	fmt.Printf("twsearch benchtables: scale=%.2f queries=%d seed=%d\n\n", *scale, *queries, *seed)
+	run("t1", func() error {
+		res, err := benchrun.Table1(cfg)
+		if err != nil {
+			return err
+		}
+		return writeCSV("table1.csv", func(w io.Writer) error { return benchrun.WriteTable1CSV(w, res) })
+	})
+	run("t2", func() error {
+		res, err := benchrun.Table2(cfg)
+		if err != nil {
+			return err
+		}
+		return writeCSV("table2.csv", func(w io.Writer) error { return benchrun.WriteTable2CSV(w, res) })
+	})
+	run("t3", func() error {
+		rows, err := benchrun.Table3(cfg)
+		if err != nil {
+			return err
+		}
+		return writeCSV("table3.csv", func(w io.Writer) error { return benchrun.WriteTable3CSV(w, rows) })
+	})
+	run("f4", func() error {
+		rows, err := benchrun.Figure4(cfg)
+		if err != nil {
+			return err
+		}
+		return writeCSV("figure4.csv", func(w io.Writer) error { return benchrun.WriteFigureCSV(w, "avg_len", rows) })
+	})
+	run("f5", func() error {
+		rows, err := benchrun.Figure5(cfg)
+		if err != nil {
+			return err
+		}
+		return writeCSV("figure5.csv", func(w io.Writer) error { return benchrun.WriteFigureCSV(w, "num_seqs", rows) })
+	})
+	run("ablations", func() error {
+		if _, err := benchrun.AblationSparse(cfg); err != nil {
+			return err
+		}
+		if _, err := benchrun.AblationPruning(cfg); err != nil {
+			return err
+		}
+		if _, err := benchrun.AblationWindow(cfg); err != nil {
+			return err
+		}
+		if _, err := benchrun.AblationBufferPool(cfg); err != nil {
+			return err
+		}
+		_, err := benchrun.AblationQueryLength(cfg)
+		return err
+	})
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchtables:", err)
+	os.Exit(1)
+}

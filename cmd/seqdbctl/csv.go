@@ -1,0 +1,29 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"twsearch/internal/sequence"
+	"twsearch/seqdb"
+)
+
+// importCSV reads id,v1,v2,... lines into the database and returns how many
+// sequences were added.
+func importCSV(db *seqdb.DB, r io.Reader) (int, error) {
+	parsed, err := sequence.ReadCSV(r)
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < parsed.Len(); i++ {
+		s := parsed.Seq(i)
+		if err := db.Add(s.ID, s.Values); err != nil {
+			return i, fmt.Errorf("adding %q: %w", s.ID, err)
+		}
+	}
+	return parsed.Len(), nil
+}
+
+// newRand returns a seeded PRNG for query sampling.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,477 @@
+// Command seqdbctl manages twsearch sequence databases from the shell.
+//
+// Usage:
+//
+//	seqdbctl create  -db DIR
+//	seqdbctl gen     -db DIR [-kind stocks|artificial] [-n N] [-len L] [-seed S]
+//	seqdbctl import  -db DIR -csv FILE
+//	seqdbctl stats   -db DIR
+//	seqdbctl index   -db DIR -name NAME [-method me|el|kmeans|exact] [-cats N] [-sparse] [-window W]
+//	seqdbctl drop    -db DIR -name NAME
+//	seqdbctl query   -db DIR -name NAME -eps E (-q "v1,v2,..." | -from SEQID -start P -len L) [-limit N]
+//	seqdbctl scan    -db DIR -eps E (-q "v1,v2,..." | -from SEQID -start P -len L) [-limit N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"twsearch/internal/workload"
+	"twsearch/seqdb"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "create":
+		err = cmdCreate(args)
+	case "gen":
+		err = cmdGen(args)
+	case "import":
+		err = cmdImport(args)
+	case "stats":
+		err = cmdStats(args)
+	case "index":
+		err = cmdIndex(args)
+	case "drop":
+		err = cmdDrop(args)
+	case "query":
+		err = cmdQuery(args, true)
+	case "scan":
+		err = cmdQuery(args, false)
+	case "knn":
+		err = cmdKNN(args)
+	case "align":
+		err = cmdAlign(args)
+	case "tune":
+		err = cmdTune(args)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "seqdbctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: seqdbctl create|gen|import|stats|index|drop|query|scan|knn|align|tune [flags]")
+	os.Exit(2)
+}
+
+// cmdAlign shows the optimal warping path between a stored subsequence and
+// a query cut from another sequence.
+func cmdAlign(args []string) error {
+	fs := flag.NewFlagSet("align", flag.ExitOnError)
+	db := fs.String("db", "", "database directory")
+	seqID := fs.String("seq", "", "matched sequence id")
+	start := fs.Int("start", 0, "match start (0-based)")
+	end := fs.Int("end", 0, "match end (exclusive)")
+	from := fs.String("from", "", "take the query from this sequence id")
+	qstart := fs.Int("qstart", 0, "query start within -from")
+	qlen := fs.Int("qlen", 20, "query length within -from")
+	fs.Parse(args)
+	if *db == "" || *seqID == "" || *from == "" || *end <= *start {
+		return fmt.Errorf("align: -db, -seq, -start/-end and -from required")
+	}
+	d, err := seqdb.Open(*db)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	qvals := d.Values(*from)
+	if qvals == nil {
+		return fmt.Errorf("align: no sequence %q", *from)
+	}
+	if *qstart < 0 || *qstart+*qlen > len(qvals) {
+		return fmt.Errorf("align: query range out of bounds")
+	}
+	q := append([]float64(nil), qvals[*qstart:*qstart+*qlen]...)
+	dist, steps, err := d.Align(seqdb.Match{SeqID: *seqID, Start: *start, End: *end}, q)
+	if err != nil {
+		return err
+	}
+	vals := d.Values(*seqID)
+	fmt.Printf("D_tw(%s[%d:%d], %s[%d:%d]) = %.4f\n", *seqID, *start, *end, *from, *qstart, *qstart+*qlen, dist)
+	for _, st := range steps {
+		fmt.Printf("  q[%2d]=%8.3f  ->  s[%3d]=%8.3f  (|diff| %.3f)\n",
+			st.QueryIndex, q[st.QueryIndex], st.SeqIndex, vals[st.SeqIndex],
+			abs64(q[st.QueryIndex]-vals[st.SeqIndex]))
+	}
+	return nil
+}
+
+func abs64(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// cmdTune runs the Section 5.1 category-count selection.
+func cmdTune(args []string) error {
+	fs := flag.NewFlagSet("tune", flag.ExitOnError)
+	db := fs.String("db", "", "database directory")
+	method := fs.String("method", "me", "me, el, or kmeans")
+	sparse := fs.Bool("sparse", true, "sparse suffix tree")
+	eps := fs.Float64("eps", 10, "distance threshold for the trial queries")
+	countsStr := fs.String("counts", "5,10,20,40,80,160", "candidate category counts")
+	queries := fs.Int("queries", 5, "number of sample queries")
+	wt := fs.Float64("wt", 1, "weight of query seconds")
+	ws := fs.Float64("ws", 0.001, "weight of index KB")
+	seed := fs.Int64("seed", 1, "query sampling seed")
+	fs.Parse(args)
+	if *db == "" {
+		return fmt.Errorf("tune: -db required")
+	}
+	var m seqdb.Method
+	switch *method {
+	case "me":
+		m = seqdb.MethodMaxEntropy
+	case "el":
+		m = seqdb.MethodEqualLength
+	case "kmeans":
+		m = seqdb.MethodKMeans
+	default:
+		return fmt.Errorf("tune: unknown method %q", *method)
+	}
+	var counts []int
+	for _, fld := range strings.Split(*countsStr, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(fld))
+		if err != nil || n < 1 {
+			return fmt.Errorf("tune: bad count %q", fld)
+		}
+		counts = append(counts, n)
+	}
+	d, err := seqdb.Open(*db)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	// Sample queries from the database itself.
+	ids := d.SequenceIDs()
+	if len(ids) == 0 {
+		return fmt.Errorf("tune: empty database")
+	}
+	rng := newRand(*seed)
+	var qs [][]float64
+	for len(qs) < *queries {
+		vals := d.Values(ids[rng.Intn(len(ids))])
+		n := 20
+		if n > len(vals) {
+			n = len(vals)
+		}
+		start := rng.Intn(len(vals) - n + 1)
+		qs = append(qs, append([]float64(nil), vals[start:start+n]...))
+	}
+	best, measures, err := d.SelectCategories(
+		seqdb.IndexSpec{Method: m, Sparse: *sparse}, counts, qs, *eps,
+		seqdb.CostModel{Wt: *wt, Ws: *ws})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("candidate counts (avg query seconds / index KB):\n")
+	for _, meas := range measures {
+		marker := " "
+		if meas.Count == best {
+			marker = "*"
+		}
+		fmt.Printf(" %s %4d: %.5fs / %.0f KB\n", marker, meas.Count, meas.TimeCost, meas.SpaceCost)
+	}
+	fmt.Printf("best count for Wt=%g Ws=%g: %d\n", *wt, *ws, best)
+	return nil
+}
+
+func cmdKNN(args []string) error {
+	fs := flag.NewFlagSet("knn", flag.ExitOnError)
+	db := fs.String("db", "", "database directory")
+	name := fs.String("name", "", "index name")
+	k := fs.Int("k", 10, "number of nearest subsequences")
+	from := fs.String("from", "", "take the query from this sequence id")
+	start := fs.Int("start", 0, "query start within -from (0-based)")
+	qlen := fs.Int("len", 20, "query length within -from")
+	fs.Parse(args)
+	if *db == "" || *name == "" || *from == "" {
+		return fmt.Errorf("knn: -db, -name and -from required")
+	}
+	d, err := seqdb.Open(*db)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	vals := d.Values(*from)
+	if vals == nil {
+		return fmt.Errorf("knn: no sequence %q", *from)
+	}
+	if *start < 0 || *start+*qlen > len(vals) {
+		return fmt.Errorf("knn: query range out of bounds")
+	}
+	q := append([]float64(nil), vals[*start:*start+*qlen]...)
+	matches, stats, err := d.SearchKNN(*name, q, *k)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d nearest subsequences in %v (cells=%d)\n", len(matches), stats.Elapsed, stats.Cells())
+	sort.Slice(matches, func(i, j int) bool { return matches[i].Distance < matches[j].Distance })
+	for _, m := range matches {
+		fmt.Printf("  %-12s [%4d:%4d) dist=%.3f\n", m.SeqID, m.Start, m.End, m.Distance)
+	}
+	return nil
+}
+
+func cmdCreate(args []string) error {
+	fs := flag.NewFlagSet("create", flag.ExitOnError)
+	db := fs.String("db", "", "database directory")
+	fs.Parse(args)
+	if *db == "" {
+		return fmt.Errorf("create: -db required")
+	}
+	d, err := seqdb.Create(*db)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	fmt.Printf("created empty database in %s\n", *db)
+	return nil
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	db := fs.String("db", "", "database directory")
+	kind := fs.String("kind", "stocks", "stocks or artificial")
+	n := fs.Int("n", 0, "number of sequences (0 = paper default)")
+	length := fs.Int("len", 0, "sequence length (0 = paper default)")
+	seed := fs.Int64("seed", 1, "generator seed")
+	fs.Parse(args)
+	if *db == "" {
+		return fmt.Errorf("gen: -db required")
+	}
+	d, err := seqdb.Create(*db)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+
+	switch *kind {
+	case "stocks":
+		data := workload.Stocks(workload.StockConfig{NumSequences: *n, AvgLen: *length, Seed: *seed})
+		for i := 0; i < data.Len(); i++ {
+			if err := d.Add(data.Seq(i).ID, data.Values(i)); err != nil {
+				return err
+			}
+		}
+	case "artificial":
+		count, l := *n, *length
+		if count == 0 {
+			count = 200
+		}
+		if l == 0 {
+			l = 200
+		}
+		data := workload.Artificial(workload.ArtificialConfig{NumSequences: count, Len: l, Seed: *seed})
+		for i := 0; i < data.Len(); i++ {
+			if err := d.Add(data.Seq(i).ID, data.Values(i)); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("gen: unknown kind %q", *kind)
+	}
+	if err := d.Save(); err != nil {
+		return err
+	}
+	st := d.Stats()
+	fmt.Printf("generated %d %s sequences (%d elements) into %s\n", st.Sequences, *kind, st.TotalElements, *db)
+	return nil
+}
+
+func cmdImport(args []string) error {
+	fs := flag.NewFlagSet("import", flag.ExitOnError)
+	db := fs.String("db", "", "database directory")
+	csv := fs.String("csv", "", "CSV file: id,v1,v2,... per line")
+	fs.Parse(args)
+	if *db == "" || *csv == "" {
+		return fmt.Errorf("import: -db and -csv required")
+	}
+	f, err := os.Open(*csv)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	d, err := seqdb.Create(*db)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	imported, err := importCSV(d, f)
+	if err != nil {
+		return err
+	}
+	if err := d.Save(); err != nil {
+		return err
+	}
+	fmt.Printf("imported %d sequences into %s\n", imported, *db)
+	return nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	db := fs.String("db", "", "database directory")
+	fs.Parse(args)
+	d, err := seqdb.Open(*db)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	st := d.Stats()
+	fmt.Printf("sequences:      %d\n", st.Sequences)
+	fmt.Printf("elements:       %d\n", st.TotalElements)
+	fmt.Printf("length:         avg %.1f, min %d, max %d\n", st.AvgLen, st.MinLen, st.MaxLen)
+	fmt.Printf("values:         [%g, %g], mean %.3f, stddev %.3f\n", st.MinValue, st.MaxValue, st.MeanValue, st.StdDev)
+	names := d.Indexes()
+	sort.Strings(names)
+	for _, name := range names {
+		info, err := d.Index(name)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("index %q: method=%s cats=%d sparse=%v window=%d size=%dKB nodes=%d leaves=%d\n",
+			name, info.Spec.Method, info.Spec.Categories, info.Spec.Sparse, info.Spec.Window,
+			info.SizeBytes/1024, info.Nodes, info.Leaves)
+	}
+	return nil
+}
+
+func cmdIndex(args []string) error {
+	fs := flag.NewFlagSet("index", flag.ExitOnError)
+	db := fs.String("db", "", "database directory")
+	name := fs.String("name", "", "index name")
+	method := fs.String("method", "me", "me, el, kmeans, or exact")
+	cats := fs.Int("cats", 20, "number of categories")
+	sparse := fs.Bool("sparse", false, "sparse suffix tree (SSTc)")
+	window := fs.Int("window", 0, "warping window half-width (0 = none)")
+	fs.Parse(args)
+	if *db == "" || *name == "" {
+		return fmt.Errorf("index: -db and -name required")
+	}
+	var m seqdb.Method
+	switch *method {
+	case "me":
+		m = seqdb.MethodMaxEntropy
+	case "el":
+		m = seqdb.MethodEqualLength
+	case "kmeans":
+		m = seqdb.MethodKMeans
+	case "exact":
+		m = seqdb.MethodExact
+	default:
+		return fmt.Errorf("index: unknown method %q", *method)
+	}
+	d, err := seqdb.Open(*db)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.BuildIndex(*name, seqdb.IndexSpec{
+		Method: m, Categories: *cats, Sparse: *sparse, Window: *window,
+	}); err != nil {
+		return err
+	}
+	info, err := d.Index(*name)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("built index %q: %d KB, %d leaves\n", *name, info.SizeBytes/1024, info.Leaves)
+	return nil
+}
+
+func cmdDrop(args []string) error {
+	fs := flag.NewFlagSet("drop", flag.ExitOnError)
+	db := fs.String("db", "", "database directory")
+	name := fs.String("name", "", "index name")
+	fs.Parse(args)
+	d, err := seqdb.Open(*db)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.DropIndex(*name); err != nil {
+		return err
+	}
+	fmt.Printf("dropped index %q\n", *name)
+	return nil
+}
+
+func cmdQuery(args []string, useIndex bool) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	db := fs.String("db", "", "database directory")
+	name := fs.String("name", "", "index name (query only)")
+	eps := fs.Float64("eps", 0, "distance threshold")
+	qstr := fs.String("q", "", "query values: v1,v2,...")
+	from := fs.String("from", "", "take the query from this sequence id")
+	start := fs.Int("start", 0, "query start within -from (0-based)")
+	qlen := fs.Int("len", 20, "query length within -from")
+	limit := fs.Int("limit", 20, "max matches to print")
+	fs.Parse(args)
+	d, err := seqdb.Open(*db)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+
+	var q []float64
+	switch {
+	case *qstr != "":
+		for _, fld := range strings.Split(*qstr, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(fld), 64)
+			if err != nil {
+				return fmt.Errorf("query: bad value %q", fld)
+			}
+			q = append(q, v)
+		}
+	case *from != "":
+		vals := d.Values(*from)
+		if vals == nil {
+			return fmt.Errorf("query: no sequence %q", *from)
+		}
+		if *start < 0 || *start+*qlen > len(vals) {
+			return fmt.Errorf("query: [%d, %d) out of range of %q (len %d)", *start, *start+*qlen, *from, len(vals))
+		}
+		q = append(q, vals[*start:*start+*qlen]...)
+	default:
+		return fmt.Errorf("query: need -q or -from")
+	}
+
+	var matches []seqdb.Match
+	var stats seqdb.SearchStats
+	if useIndex {
+		if *name == "" {
+			return fmt.Errorf("query: -name required (or use the scan subcommand)")
+		}
+		matches, stats, err = d.Search(*name, q, *eps)
+	} else {
+		matches, stats, err = d.SeqScan(q, *eps)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d matches in %v (cells=%d, candidates=%d, nodes=%d, pages=%d)\n",
+		len(matches), stats.Elapsed, stats.Cells(), stats.Candidates, stats.NodesVisited, stats.PagesRead)
+	sort.Slice(matches, func(i, j int) bool { return matches[i].Distance < matches[j].Distance })
+	for i, m := range matches {
+		if i >= *limit {
+			fmt.Printf("... and %d more\n", len(matches)-*limit)
+			break
+		}
+		fmt.Printf("  %-12s [%4d:%4d) dist=%.3f\n", m.SeqID, m.Start, m.End, m.Distance)
+	}
+	return nil
+}

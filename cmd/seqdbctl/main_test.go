@@ -1,0 +1,160 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// captureStdout runs fn with os.Stdout redirected and returns what it
+// printed.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := r.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String(), runErr
+}
+
+func TestCLILifecycle(t *testing.T) {
+	db := filepath.Join(t.TempDir(), "db")
+
+	out, err := captureStdout(t, func() error {
+		return cmdGen([]string{"-db", db, "-kind", "stocks", "-n", "15", "-seed", "7"})
+	})
+	if err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	if !strings.Contains(out, "generated 15 stocks sequences") {
+		t.Fatalf("gen output: %q", out)
+	}
+
+	if _, err := captureStdout(t, func() error {
+		return cmdIndex([]string{"-db", db, "-name", "fast", "-method", "me", "-cats", "10", "-sparse"})
+	}); err != nil {
+		t.Fatalf("index: %v", err)
+	}
+
+	out, err = captureStdout(t, func() error {
+		return cmdStats([]string{"-db", db})
+	})
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if !strings.Contains(out, "sequences:      15") || !strings.Contains(out, `index "fast"`) {
+		t.Fatalf("stats output: %q", out)
+	}
+
+	out, err = captureStdout(t, func() error {
+		return cmdQuery([]string{"-db", db, "-name", "fast", "-eps", "8",
+			"-from", "stock-0002", "-start", "10", "-len", "12", "-limit", "3"}, true)
+	})
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if !strings.Contains(out, "matches in") || !strings.Contains(out, "stock-0002") {
+		t.Fatalf("query output: %q", out)
+	}
+
+	scanOut, err := captureStdout(t, func() error {
+		return cmdQuery([]string{"-db", db, "-eps", "8",
+			"-from", "stock-0002", "-start", "10", "-len", "12", "-limit", "3"}, false)
+	})
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	// Index and scan agree on the match count (first output token).
+	if strings.Fields(out)[0] != strings.Fields(scanOut)[0] {
+		t.Fatalf("query found %s matches, scan %s", strings.Fields(out)[0], strings.Fields(scanOut)[0])
+	}
+
+	out, err = captureStdout(t, func() error {
+		return cmdKNN([]string{"-db", db, "-name", "fast", "-k", "4",
+			"-from", "stock-0002", "-start", "10", "-len", "12"})
+	})
+	if err != nil {
+		t.Fatalf("knn: %v", err)
+	}
+	if !strings.Contains(out, "4 nearest subsequences") {
+		t.Fatalf("knn output: %q", out)
+	}
+
+	out, err = captureStdout(t, func() error {
+		return cmdAlign([]string{"-db", db, "-seq", "stock-0002", "-start", "10", "-end", "20",
+			"-from", "stock-0002", "-qstart", "10", "-qlen", "10"})
+	})
+	if err != nil {
+		t.Fatalf("align: %v", err)
+	}
+	if !strings.Contains(out, "= 0.0000") {
+		t.Fatalf("self-alignment distance not zero: %q", out)
+	}
+
+	out, err = captureStdout(t, func() error {
+		return cmdTune([]string{"-db", db, "-counts", "4,16", "-queries", "2", "-eps", "5"})
+	})
+	if err != nil {
+		t.Fatalf("tune: %v", err)
+	}
+	if !strings.Contains(out, "best count") {
+		t.Fatalf("tune output: %q", out)
+	}
+
+	if _, err := captureStdout(t, func() error {
+		return cmdDrop([]string{"-db", db, "-name", "fast"})
+	}); err != nil {
+		t.Fatalf("drop: %v", err)
+	}
+}
+
+func TestCLIImport(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "in.csv")
+	if err := os.WriteFile(csvPath, []byte("a,1,2,3\nb,4,5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db := filepath.Join(dir, "db")
+	out, err := captureStdout(t, func() error {
+		return cmdImport([]string{"-db", db, "-csv", csvPath})
+	})
+	if err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	if !strings.Contains(out, "imported 2 sequences") {
+		t.Fatalf("import output: %q", out)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	if err := cmdCreate([]string{}); err == nil {
+		t.Error("create without -db accepted")
+	}
+	if err := cmdGen([]string{"-db", filepath.Join(t.TempDir(), "x"), "-kind", "bogus"}); err == nil {
+		t.Error("bogus kind accepted")
+	}
+	if err := cmdIndex([]string{"-db", "nowhere", "-name", "x", "-method", "bogus"}); err == nil {
+		t.Error("bogus method accepted")
+	}
+	if err := cmdQuery([]string{"-db", "nowhere", "-eps", "1"}, false); err == nil {
+		t.Error("missing database accepted")
+	}
+	if err := cmdTune([]string{"-db", "nowhere", "-counts", "zero"}); err == nil {
+		t.Error("bad counts accepted")
+	}
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"twsearch/seqdb"
+)
+
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := r.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String(), runErr
+}
+
+func TestTwtreeValidateAndDump(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	db, err := seqdb.Create(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Add("a", []float64{1, 2, 3, 2, 1, 2, 3})
+	db.Add("b", []float64{3, 2, 1, 1, 1})
+	db.Save()
+	if err := db.BuildIndex("x", seqdb.IndexSpec{Method: seqdb.MethodMaxEntropy, Categories: 3, Sparse: true}); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	out, err := captureStdout(t, func() error { return run(dir, "x", 0, 16) })
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "validation: OK") {
+		t.Fatalf("output: %q", out)
+	}
+	if !strings.Contains(out, "sparse:     true") {
+		t.Fatalf("sparse flag missing: %q", out)
+	}
+
+	out, err = captureStdout(t, func() error { return run(dir, "x", 2, 16) })
+	if err != nil {
+		t.Fatalf("run with dump: %v", err)
+	}
+	if !strings.Contains(out, "root") || !strings.Contains(out, "leaf") {
+		t.Fatalf("dump output: %q", out)
+	}
+
+	if err := run(dir, "missing", 0, 16); err == nil {
+		t.Error("missing index accepted")
+	}
+	if err := run(t.TempDir(), "x", 0, 16); err == nil {
+		t.Error("missing database accepted")
+	}
+}

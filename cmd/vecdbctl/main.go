@@ -1,0 +1,247 @@
+// Command vecdbctl manages multivariate (vector) twsearch databases — the
+// paper's conclusion-section extension — from the shell.
+//
+// Usage:
+//
+//	vecdbctl create -db DIR -dim D
+//	vecdbctl gen    -db DIR -dim D [-n N] [-len L] [-seed S]
+//	vecdbctl stats  -db DIR
+//	vecdbctl index  -db DIR -name NAME [-cats N] [-sparse] [-window W]
+//	vecdbctl drop   -db DIR -name NAME
+//	vecdbctl query  -db DIR -name NAME -eps E -from SEQID [-start P] [-len L]
+//	vecdbctl scan   -db DIR -eps E -from SEQID [-start P] [-len L]
+//	vecdbctl knn    -db DIR -name NAME -k K -from SEQID [-start P] [-len L]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+
+	"twsearch/seqdb"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "create":
+		err = cmdCreate(args)
+	case "gen":
+		err = cmdGen(args)
+	case "stats":
+		err = cmdStats(args)
+	case "index":
+		err = cmdIndex(args)
+	case "drop":
+		err = cmdDrop(args)
+	case "query":
+		err = cmdQuery(args, modeRange)
+	case "scan":
+		err = cmdQuery(args, modeScan)
+	case "knn":
+		err = cmdQuery(args, modeKNN)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vecdbctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: vecdbctl create|gen|stats|index|drop|query|scan|knn [flags]")
+	os.Exit(2)
+}
+
+func cmdCreate(args []string) error {
+	fs := flag.NewFlagSet("create", flag.ExitOnError)
+	db := fs.String("db", "", "database directory")
+	dim := fs.Int("dim", 2, "vector dimension")
+	fs.Parse(args)
+	if *db == "" {
+		return fmt.Errorf("create: -db required")
+	}
+	d, err := seqdb.CreateVector(*db, *dim)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	fmt.Printf("created empty %d-dimensional vector database in %s\n", *dim, *db)
+	return nil
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	db := fs.String("db", "", "database directory")
+	dim := fs.Int("dim", 2, "vector dimension")
+	n := fs.Int("n", 50, "number of sequences")
+	length := fs.Int("len", 100, "points per sequence")
+	seed := fs.Int64("seed", 1, "generator seed")
+	fs.Parse(args)
+	if *db == "" {
+		return fmt.Errorf("gen: -db required")
+	}
+	d, err := seqdb.CreateVector(*db, *dim)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	rng := rand.New(rand.NewSource(*seed))
+	for i := 0; i < *n; i++ {
+		points := make([][]float64, *length)
+		v := make([]float64, *dim)
+		for k := range v {
+			v[k] = rng.Float64() * 20
+		}
+		for j := range points {
+			p := make([]float64, *dim)
+			for k := range p {
+				v[k] += rng.NormFloat64()
+				p[k] = v[k]
+			}
+			points[j] = p
+		}
+		if err := d.Add(fmt.Sprintf("traj-%04d", i), points); err != nil {
+			return err
+		}
+	}
+	if err := d.Save(); err != nil {
+		return err
+	}
+	fmt.Printf("generated %d trajectories of %d %d-D points into %s\n", *n, *length, *dim, *db)
+	return nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	db := fs.String("db", "", "database directory")
+	fs.Parse(args)
+	d, err := seqdb.OpenVector(*db)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	fmt.Printf("dimension: %d\n", d.Dim())
+	fmt.Printf("sequences: %d\n", d.Len())
+	names := d.Indexes()
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("index %q\n", name)
+	}
+	return nil
+}
+
+func cmdIndex(args []string) error {
+	fs := flag.NewFlagSet("index", flag.ExitOnError)
+	db := fs.String("db", "", "database directory")
+	name := fs.String("name", "", "index name")
+	cats := fs.Int("cats", 8, "categories per dimension")
+	sparse := fs.Bool("sparse", false, "sparse suffix tree")
+	window := fs.Int("window", 0, "warping window half-width (0 = none)")
+	fs.Parse(args)
+	if *db == "" || *name == "" {
+		return fmt.Errorf("index: -db and -name required")
+	}
+	d, err := seqdb.OpenVector(*db)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.BuildIndex(*name, seqdb.VectorIndexSpec{
+		CatsPerDim: *cats, Sparse: *sparse, Window: *window,
+	}); err != nil {
+		return err
+	}
+	fmt.Printf("built vector index %q\n", *name)
+	return nil
+}
+
+func cmdDrop(args []string) error {
+	fs := flag.NewFlagSet("drop", flag.ExitOnError)
+	db := fs.String("db", "", "database directory")
+	name := fs.String("name", "", "index name")
+	fs.Parse(args)
+	d, err := seqdb.OpenVector(*db)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.DropIndex(*name); err != nil {
+		return err
+	}
+	fmt.Printf("dropped vector index %q\n", *name)
+	return nil
+}
+
+type queryMode int
+
+const (
+	modeRange queryMode = iota
+	modeScan
+	modeKNN
+)
+
+func cmdQuery(args []string, mode queryMode) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	db := fs.String("db", "", "database directory")
+	name := fs.String("name", "", "index name (query/knn)")
+	eps := fs.Float64("eps", 0, "distance threshold (query/scan)")
+	k := fs.Int("k", 10, "neighbors (knn)")
+	from := fs.String("from", "", "take the query from this sequence id")
+	start := fs.Int("start", 0, "query start within -from")
+	qlen := fs.Int("len", 10, "query length within -from")
+	limit := fs.Int("limit", 20, "max matches to print")
+	fs.Parse(args)
+	if *db == "" || *from == "" {
+		return fmt.Errorf("-db and -from required")
+	}
+	d, err := seqdb.OpenVector(*db)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	points := d.Points(*from)
+	if points == nil {
+		return fmt.Errorf("no sequence %q", *from)
+	}
+	if *start < 0 || *start+*qlen > len(points) {
+		return fmt.Errorf("query range [%d,%d) out of bounds (len %d)", *start, *start+*qlen, len(points))
+	}
+	q := points[*start : *start+*qlen]
+
+	var matches []seqdb.VectorMatch
+	switch mode {
+	case modeRange:
+		if *name == "" {
+			return fmt.Errorf("query: -name required")
+		}
+		matches, err = d.Search(*name, q, *eps)
+	case modeScan:
+		matches, err = d.SeqScan(q, *eps)
+	case modeKNN:
+		if *name == "" {
+			return fmt.Errorf("knn: -name required")
+		}
+		matches, err = d.SearchKNN(*name, q, *k)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d matches\n", len(matches))
+	sort.Slice(matches, func(i, j int) bool { return matches[i].Distance < matches[j].Distance })
+	for i, m := range matches {
+		if i >= *limit {
+			fmt.Printf("... and %d more\n", len(matches)-*limit)
+			break
+		}
+		fmt.Printf("  %-12s [%4d:%4d) dist=%.3f\n", m.SeqID, m.Start, m.End, m.Distance)
+	}
+	return nil
+}

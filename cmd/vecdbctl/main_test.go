@@ -1,0 +1,105 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := r.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String(), runErr
+}
+
+func TestVectorCLILifecycle(t *testing.T) {
+	db := filepath.Join(t.TempDir(), "vdb")
+	out, err := captureStdout(t, func() error {
+		return cmdGen([]string{"-db", db, "-dim", "2", "-n", "10", "-len", "40", "-seed", "5"})
+	})
+	if err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	if !strings.Contains(out, "generated 10 trajectories") {
+		t.Fatalf("gen output: %q", out)
+	}
+
+	if _, err := captureStdout(t, func() error {
+		return cmdIndex([]string{"-db", db, "-name", "g", "-cats", "5", "-sparse"})
+	}); err != nil {
+		t.Fatalf("index: %v", err)
+	}
+
+	out, err = captureStdout(t, func() error { return cmdStats([]string{"-db", db}) })
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if !strings.Contains(out, "dimension: 2") || !strings.Contains(out, `index "g"`) {
+		t.Fatalf("stats output: %q", out)
+	}
+
+	qOut, err := captureStdout(t, func() error {
+		return cmdQuery([]string{"-db", db, "-name", "g", "-eps", "4",
+			"-from", "traj-0003", "-start", "5", "-len", "6", "-limit", "2"}, modeRange)
+	})
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	sOut, err := captureStdout(t, func() error {
+		return cmdQuery([]string{"-db", db, "-eps", "4",
+			"-from", "traj-0003", "-start", "5", "-len", "6", "-limit", "2"}, modeScan)
+	})
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if strings.Fields(qOut)[0] != strings.Fields(sOut)[0] {
+		t.Fatalf("index %s matches vs scan %s", strings.Fields(qOut)[0], strings.Fields(sOut)[0])
+	}
+
+	kOut, err := captureStdout(t, func() error {
+		return cmdQuery([]string{"-db", db, "-name", "g", "-k", "3",
+			"-from", "traj-0003", "-start", "5", "-len", "6"}, modeKNN)
+	})
+	if err != nil {
+		t.Fatalf("knn: %v", err)
+	}
+	if !strings.HasPrefix(kOut, "3 matches") {
+		t.Fatalf("knn output: %q", kOut)
+	}
+
+	if _, err := captureStdout(t, func() error {
+		return cmdDrop([]string{"-db", db, "-name", "g"})
+	}); err != nil {
+		t.Fatalf("drop: %v", err)
+	}
+}
+
+func TestVectorCLIErrors(t *testing.T) {
+	if err := cmdCreate([]string{}); err == nil {
+		t.Error("create without -db accepted")
+	}
+	if err := cmdQuery([]string{"-db", "nowhere", "-from", "x"}, modeRange); err == nil {
+		t.Error("missing database accepted")
+	}
+	if err := cmdIndex([]string{"-db", "nowhere"}); err == nil {
+		t.Error("missing name accepted")
+	}
+}

@@ -1,0 +1,10 @@
+// Package twsearch reproduces "Efficient Searches for Similar Subsequences
+// of Different Lengths in Sequence Databases" (Park, Chu, Yoon, Hsu — ICDE
+// 2000): similarity search under the time warping distance over disk-based
+// (sparse) suffix trees, with categorization-based lower bounds and no
+// false dismissals.
+//
+// The public API is package seqdb; cmd/seqdbctl is the command-line tool
+// and cmd/benchtables regenerates the paper's tables and figures. See
+// README.md, DESIGN.md and EXPERIMENTS.md.
+package twsearch

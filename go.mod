@@ -1,0 +1,3 @@
+module twsearch
+
+go 1.22

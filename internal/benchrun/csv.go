@@ -1,0 +1,116 @@
+package benchrun
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"time"
+)
+
+// CSV writers for every artifact, so results can be plotted or diffed
+// without parsing the human-readable tables. Times are emitted in
+// milliseconds, counters as plain numbers.
+
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.3f", float64(d.Microseconds())/1000)
+}
+
+func writeAll(w io.Writer, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.WriteAll(rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable1CSV emits Table 1's size grid.
+func WriteTable1CSV(w io.Writer, res Table1Result) error {
+	rows := [][]string{{
+		"categories",
+		"stc_el_inline_kb", "stc_el_ref_kb",
+		"stc_me_inline_kb", "stc_me_ref_kb",
+		"sstc_el_inline_kb", "sstc_el_ref_kb",
+		"sstc_me_inline_kb", "sstc_me_ref_kb",
+	}}
+	rows = append(rows, []string{
+		"ST",
+		fmt.Sprint(res.ST.InlineKB), fmt.Sprint(res.ST.FileKB),
+		"", "", "", "", "", "",
+	})
+	for _, r := range res.Rows {
+		rows = append(rows, []string{
+			fmt.Sprint(r.Categories),
+			fmt.Sprint(r.STcEL.InlineKB), fmt.Sprint(r.STcEL.FileKB),
+			fmt.Sprint(r.STcME.InlineKB), fmt.Sprint(r.STcME.FileKB),
+			fmt.Sprint(r.SSTcEL.InlineKB), fmt.Sprint(r.SSTcEL.FileKB),
+			fmt.Sprint(r.SSTcME.InlineKB), fmt.Sprint(r.SSTcME.FileKB),
+		})
+	}
+	return writeAll(w, rows)
+}
+
+// WriteTable2CSV emits Table 2's query effort grid.
+func WriteTable2CSV(w io.Writer, res Table2Result) error {
+	rows := [][]string{{
+		"categories",
+		"stc_el_ms", "stc_el_cells",
+		"stc_me_ms", "stc_me_cells",
+		"sstc_el_ms", "sstc_el_cells",
+		"sstc_me_ms", "sstc_me_cells",
+	}}
+	rows = append(rows, []string{
+		"ST", ms(res.ST.AvgTime), fmt.Sprintf("%.0f", res.ST.FilterCells),
+		"", "", "", "", "", "",
+	})
+	for _, r := range res.Rows {
+		rows = append(rows, []string{
+			fmt.Sprint(r.Categories),
+			ms(r.STcEL.AvgTime), fmt.Sprintf("%.0f", r.STcEL.FilterCells),
+			ms(r.STcME.AvgTime), fmt.Sprintf("%.0f", r.STcME.FilterCells),
+			ms(r.SSTcEL.AvgTime), fmt.Sprintf("%.0f", r.SSTcEL.FilterCells),
+			ms(r.SSTcME.AvgTime), fmt.Sprintf("%.0f", r.SSTcME.FilterCells),
+		})
+	}
+	return writeAll(w, rows)
+}
+
+// WriteTable3CSV emits Table 3's threshold sweep.
+func WriteTable3CSV(w io.Writer, rows3 []Table3Row) error {
+	rows := [][]string{{
+		"eps",
+		"scan_full_ms", "scan_t1_ms",
+		"sstc10_ms", "sstc20_ms", "sstc80_ms",
+		"scan_full_cells", "sstc80_cells", "answers_per_query",
+	}}
+	for _, r := range rows3 {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f", r.Eps),
+			ms(r.ScanFull.AvgTime), ms(r.Scan.AvgTime),
+			ms(r.SST10.AvgTime), ms(r.SST20.AvgTime), ms(r.SST80.AvgTime),
+			fmt.Sprintf("%.0f", r.ScanFull.Cells()),
+			fmt.Sprintf("%.0f", r.SST80.Cells()),
+			fmt.Sprintf("%.0f", r.SST20.Answers),
+		})
+	}
+	return writeAll(w, rows)
+}
+
+// WriteFigureCSV emits a Figure 4/5 sweep; xName labels the swept column.
+func WriteFigureCSV(w io.Writer, xName string, frows []FigureRow) error {
+	rows := [][]string{{
+		xName, "categories", "index_kb",
+		"scan_full_ms", "scan_t1_ms", "sstc_ms",
+		"scan_full_cells", "sstc_cells", "answers_per_query",
+	}}
+	for _, r := range frows {
+		rows = append(rows, []string{
+			fmt.Sprint(r.X), fmt.Sprint(r.Categories), fmt.Sprint(r.IndexKB),
+			ms(r.ScanFull.AvgTime), ms(r.Scan.AvgTime), ms(r.SST.AvgTime),
+			fmt.Sprintf("%.0f", r.ScanFull.Cells()),
+			fmt.Sprintf("%.0f", r.SST.Cells()),
+			fmt.Sprintf("%.0f", r.SST.Answers),
+		})
+	}
+	return writeAll(w, rows)
+}

@@ -1,0 +1,79 @@
+package categorize
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadScheme must never panic; accepted schemes must encode values into
+// categories that contain them within their boundary range.
+func FuzzReadScheme(f *testing.F) {
+	s, err := MaxEntropy([]float64{1, 2, 3, 4, 5}, 3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("TWCATSC1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadScheme(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if got.NumCategories() == 0 {
+			return
+		}
+		// Symbol must be total and in range for any probe value.
+		for _, v := range []float64{-1e18, -1, 0, 1, 1e18} {
+			sym := got.Symbol(v)
+			if int(sym) < 0 || int(sym) >= got.NumCategories() {
+				t.Fatalf("Symbol(%v) = %d out of range", v, sym)
+			}
+		}
+	})
+}
+
+// FuzzFit derives a value set and category count from fuzz input and checks
+// the fitting invariants for every method.
+func FuzzFit(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 200, 200}, uint8(4))
+	f.Fuzz(func(t *testing.T, data []byte, c uint8) {
+		if len(data) == 0 {
+			return
+		}
+		if len(data) > 64 {
+			data = data[:64]
+		}
+		vals := make([]float64, len(data))
+		for i, b := range data {
+			vals[i] = float64(int(b)-128) / 3
+		}
+		count := int(c)%16 + 1
+		for _, kind := range []Kind{KindEqualLength, KindMaxEntropy, KindKMeans, KindIdentity} {
+			s, err := Fit(kind, vals, count, 8)
+			if err != nil {
+				t.Fatalf("%s: %v", kind, err)
+			}
+			total := 0
+			for i := 0; i < s.NumCategories(); i++ {
+				cat := s.Category(i)
+				total += cat.Count
+				if cat.ObsLo > cat.ObsHi {
+					t.Fatalf("%s: inverted observed interval %+v", kind, cat)
+				}
+			}
+			if total != len(vals) {
+				t.Fatalf("%s: counts %d != %d values", kind, total, len(vals))
+			}
+			for _, v := range vals {
+				iv := s.Interval(s.Symbol(v))
+				if v < iv.Lo || v > iv.Hi {
+					t.Fatalf("%s: value %v outside its interval %+v", kind, v, iv)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,454 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"twsearch/internal/categorize"
+	"twsearch/internal/dtw"
+	"twsearch/internal/sequence"
+)
+
+// randomWalkDataset builds integer-valued random walks; integer values keep
+// distance arithmetic exact so index results can be compared to the
+// baseline with ==.
+func randomWalkDataset(rng *rand.Rand, nSeq, maxLen int) *sequence.Dataset {
+	d := sequence.NewDataset()
+	for i := 0; i < nSeq; i++ {
+		n := 2 + rng.Intn(maxLen-1)
+		vals := make([]float64, n)
+		v := float64(rng.Intn(20))
+		for j := range vals {
+			v += float64(rng.Intn(5) - 2)
+			vals[j] = v
+		}
+		d.MustAdd(sequence.Sequence{ID: fmt.Sprintf("s%d", i), Values: vals})
+	}
+	return d
+}
+
+func randomQuery(rng *rand.Rand, maxLen int) []float64 {
+	n := 1 + rng.Intn(maxLen)
+	q := make([]float64, n)
+	v := float64(rng.Intn(20))
+	for i := range q {
+		v += float64(rng.Intn(5) - 2)
+		q[i] = v
+	}
+	return q
+}
+
+// bruteForce enumerates every subsequence and computes its exact distance —
+// the independent ground truth for SeqScan itself.
+func bruteForce(data *sequence.Dataset, q []float64, eps float64, window int) []Match {
+	var out []Match
+	for seq := 0; seq < data.Len(); seq++ {
+		vals := data.Values(seq)
+		for a := 0; a < len(vals); a++ {
+			for b := a + 1; b <= len(vals); b++ {
+				var dist float64
+				if window < 0 {
+					dist = dtw.Distance(vals[a:b], q)
+				} else {
+					dist = dtw.DistanceWindow(vals[a:b], q, window)
+				}
+				if dist <= eps {
+					out = append(out, Match{Ref: sequence.Ref{Seq: seq, Start: a, End: b}, Distance: dist})
+				}
+			}
+		}
+	}
+	sortMatches(out)
+	return out
+}
+
+func matchesEqual(a, b []Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Ref != b[i].Ref {
+			return false
+		}
+		if math.Abs(a[i].Distance-b[i].Distance) > 1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSeqScanPaperExample(t *testing.T) {
+	data := sequence.NewDataset()
+	data.MustAdd(sequence.Sequence{ID: "s4", Values: []float64{4, 5, 6, 7, 6, 6}})
+	q := []float64{3, 4, 3}
+	matches, stats, err := SeqScan(data, q, 8, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// D_tw(S3, S4[1:4]) = 8 (Figure 1): subsequence [0:4) must be reported
+	// with distance exactly 8.
+	found := false
+	for _, m := range matches {
+		if m.Ref == (sequence.Ref{Seq: 0, Start: 0, End: 4}) {
+			found = true
+			if m.Distance != 8 {
+				t.Errorf("distance = %v, want 8", m.Distance)
+			}
+		}
+		sub := data.Values(0)[m.Ref.Start:m.Ref.End]
+		if want := dtw.Distance(sub, q); m.Distance != want {
+			t.Errorf("%v distance = %v, want %v", m.Ref, m.Distance, want)
+		}
+	}
+	if !found {
+		t.Error("S4[1:4] missing from answers")
+	}
+	if stats.Answers != uint64(len(matches)) {
+		t.Error("Answers counter wrong")
+	}
+	if stats.FilterCells == 0 {
+		t.Error("no cells counted")
+	}
+}
+
+func TestSeqScanMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(301))
+	for trial := 0; trial < 40; trial++ {
+		data := randomWalkDataset(rng, 1+rng.Intn(4), 20)
+		q := randomQuery(rng, 8)
+		eps := float64(rng.Intn(12)) + 0.5
+		window := -1
+		if rng.Intn(3) == 0 {
+			window = rng.Intn(8)
+		}
+		got, _, err := SeqScan(data, q, eps, window)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForce(data, q, eps, window)
+		if !matchesEqual(got, want) {
+			t.Fatalf("trial %d: SeqScan %d matches, brute force %d (eps=%v, w=%d)",
+				trial, len(got), len(want), eps, window)
+		}
+	}
+}
+
+func TestSearchInputErrors(t *testing.T) {
+	data := randomWalkDataset(rand.New(rand.NewSource(1)), 2, 10)
+	ix, err := Build(data, filepath.Join(t.TempDir(), "ix.twt"), Options{Kind: categorize.KindMaxEntropy, Categories: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	if _, _, err := ix.Search(nil, 5); err == nil {
+		t.Error("empty query accepted")
+	}
+	if _, _, err := ix.Search([]float64{1}, -1); err == nil {
+		t.Error("negative eps accepted")
+	}
+	if _, _, err := SeqScan(data, nil, 5, -1); err == nil {
+		t.Error("SeqScan empty query accepted")
+	}
+	if _, _, err := SeqScan(data, []float64{1}, -2, -1); err == nil {
+		t.Error("SeqScan negative eps accepted")
+	}
+	if _, err := Build(sequence.NewDataset(), filepath.Join(t.TempDir(), "e.twt"), Options{}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}
+
+// variant describes one of the paper's three index configurations.
+type variant struct {
+	name string
+	opts Options
+}
+
+func variants() []variant {
+	return []variant{
+		{"ST(identity,dense)", Options{Kind: categorize.KindIdentity}},
+		{"STc(EL,8)", Options{Kind: categorize.KindEqualLength, Categories: 8}},
+		{"STc(ME,8)", Options{Kind: categorize.KindMaxEntropy, Categories: 8}},
+		{"STc(ME,3)", Options{Kind: categorize.KindMaxEntropy, Categories: 3}},
+		{"SSTc(EL,8)", Options{Kind: categorize.KindEqualLength, Categories: 8, Sparse: true}},
+		{"SSTc(ME,3)", Options{Kind: categorize.KindMaxEntropy, Categories: 3, Sparse: true}},
+		{"SSTc(KM,5)", Options{Kind: categorize.KindKMeans, Categories: 5, Sparse: true}},
+		{"ST(identity,sparse)", Options{Kind: categorize.KindIdentity, Sparse: true}},
+	}
+}
+
+// TestNoFalseDismissals is the paper's headline guarantee, end to end:
+// every index variant returns exactly the SeqScan answer set.
+func TestNoFalseDismissals(t *testing.T) {
+	rng := rand.New(rand.NewSource(307))
+	dir := t.TempDir()
+	for trial := 0; trial < 12; trial++ {
+		data := randomWalkDataset(rng, 2+rng.Intn(4), 25)
+		queries := [][]float64{randomQuery(rng, 8), randomQuery(rng, 4)}
+		epses := []float64{0.5, float64(rng.Intn(10)) + 0.5, 25.5}
+		for vi, v := range variants() {
+			path := filepath.Join(dir, fmt.Sprintf("ix-%d-%d.twt", trial, vi))
+			opts := v.opts
+			opts.Build.BatchSize = 1 + rng.Intn(4)
+			ix, err := Build(data, path, opts)
+			if err != nil {
+				t.Fatalf("trial %d %s: Build: %v", trial, v.name, err)
+			}
+			for _, q := range queries {
+				for _, eps := range epses {
+					want, _, err := SeqScan(data, q, eps, -1)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, stats, err := ix.Search(q, eps)
+					if err != nil {
+						t.Fatalf("trial %d %s: Search: %v", trial, v.name, err)
+					}
+					if !matchesEqual(got, want) {
+						t.Fatalf("trial %d %s eps=%v |q|=%d: index %d matches, seqscan %d",
+							trial, v.name, eps, len(q), len(got), len(want))
+					}
+					if stats.Answers != uint64(len(got)) {
+						t.Errorf("%s: Answers counter %d != %d", v.name, stats.Answers, len(got))
+					}
+					if stats.Candidates == 0 && stats.Answers > 0 {
+						t.Errorf("%s: answers without candidates", v.name)
+					}
+				}
+			}
+			if err := ix.RemoveFile(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// Window-constrained search must also agree with the window-constrained scan.
+func TestNoFalseDismissalsWindowed(t *testing.T) {
+	rng := rand.New(rand.NewSource(311))
+	dir := t.TempDir()
+	for trial := 0; trial < 10; trial++ {
+		data := randomWalkDataset(rng, 2+rng.Intn(3), 20)
+		q := randomQuery(rng, 6)
+		eps := float64(rng.Intn(8)) + 0.5
+		window := 1 + rng.Intn(5) // window 0 means "unset" in Options; lockstep is covered in dtw tests
+		for vi, v := range variants()[:6] {
+			opts := v.opts
+			opts.Window = window
+			path := filepath.Join(dir, fmt.Sprintf("wix-%d-%d.twt", trial, vi))
+			ix, err := Build(data, path, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w := opts.Window
+			want, _, err := SeqScan(data, q, eps, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := ix.Search(q, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !matchesEqual(got, want) {
+				t.Fatalf("trial %d %s w=%d eps=%v: index %d matches, seqscan %d",
+					trial, v.name, w, eps, len(got), len(want))
+			}
+			ix.RemoveFile()
+		}
+	}
+}
+
+// The identity index computes exact distances while filtering: stored
+// candidates bypass post-processing entirely on dense trees.
+func TestIdentityIndexSkipsPostProcessing(t *testing.T) {
+	rng := rand.New(rand.NewSource(313))
+	data := randomWalkDataset(rng, 3, 20)
+	ix, err := Build(data, filepath.Join(t.TempDir(), "id.twt"), Options{Kind: categorize.KindIdentity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	_, stats, err := ix.Search(randomQuery(rng, 5), 6.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PostCells != 0 {
+		t.Errorf("identity dense index did post-processing: %d cells", stats.PostCells)
+	}
+	if stats.FalseAlarms != 0 {
+		t.Errorf("identity dense index had %d false alarms", stats.FalseAlarms)
+	}
+}
+
+// Lossy categorization must never report a distance below the true one —
+// every returned Distance is the exact D_tw.
+func TestReportedDistancesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(317))
+	data := randomWalkDataset(rng, 3, 25)
+	ix, err := Build(data, filepath.Join(t.TempDir(), "m.twt"),
+		Options{Kind: categorize.KindMaxEntropy, Categories: 4, Sparse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	q := randomQuery(rng, 6)
+	matches, _, err := ix.Search(q, 12.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range matches {
+		sub := data.Values(m.Ref.Seq)[m.Ref.Start:m.Ref.End]
+		if want := dtw.Distance(sub, q); math.Abs(m.Distance-want) > 1e-9 {
+			t.Fatalf("%v: reported %v, exact %v", m.Ref, m.Distance, want)
+		}
+	}
+}
+
+// Branch pruning must not change results, only work: a tiny eps visits few
+// nodes, a huge eps visits everything (R_p -> 1, Section 4.3).
+func TestPruningReducesWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(331))
+	data := randomWalkDataset(rng, 10, 60)
+	ix, err := Build(data, filepath.Join(t.TempDir(), "p.twt"),
+		Options{Kind: categorize.KindMaxEntropy, Categories: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	q := randomQuery(rng, 10)
+	_, small, err := ix.Search(q, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, large, err := ix.Search(q, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.NodesVisited >= large.NodesVisited {
+		t.Errorf("small eps visited %d nodes, large eps %d", small.NodesVisited, large.NodesVisited)
+	}
+	if small.FilterCells >= large.FilterCells {
+		t.Errorf("small eps computed %d cells, large eps %d", small.FilterCells, large.FilterCells)
+	}
+}
+
+// With eps large enough to accept everything, the answer count must equal
+// the total number of subsequences (the paper's "all subsequences are
+// answers" extreme).
+func TestHugeEpsReturnsAllSubsequences(t *testing.T) {
+	rng := rand.New(rand.NewSource(337))
+	data := randomWalkDataset(rng, 3, 12)
+	total := 0
+	for i := 0; i < data.Len(); i++ {
+		n := len(data.Values(i))
+		total += n * (n + 1) / 2
+	}
+	for _, v := range variants()[:4] {
+		ix, err := Build(data, filepath.Join(t.TempDir(), "all.twt"), v.opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		matches, _, err := ix.Search(randomQuery(rng, 4), 1e12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix.RemoveFile()
+		if len(matches) != total {
+			t.Fatalf("%s: %d matches, want %d", v.name, len(matches), total)
+		}
+	}
+}
+
+func TestOpenExistingIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(347))
+	data := randomWalkDataset(rng, 4, 20)
+	path := filepath.Join(t.TempDir(), "keep.twt")
+	opts := Options{Kind: categorize.KindMaxEntropy, Categories: 5, Sparse: true}
+	ix, err := Build(data, path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := randomQuery(rng, 5)
+	want, _, err := ix.Search(q, 7.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme := ix.Scheme
+	ix.Close()
+
+	re, err := Open(data, scheme, path, 16, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got, _, err := re.Search(q, 7.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matchesEqual(got, want) {
+		t.Fatal("reopened index returns different answers")
+	}
+}
+
+func TestStatsPagesCounted(t *testing.T) {
+	rng := rand.New(rand.NewSource(349))
+	data := randomWalkDataset(rng, 8, 50)
+	path := filepath.Join(t.TempDir(), "pg.twt")
+	ix, err := Build(data, path, Options{Kind: categorize.KindMaxEntropy, Categories: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme := ix.Scheme
+	ix.Close()
+	// Reopen through a tiny pool to force misses.
+	re, err := Open(data, scheme, path, 1, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	_, stats, err := re.Search(randomQuery(rng, 8), 20.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PoolMisses == 0 || stats.PagesRead == 0 {
+		t.Errorf("no I/O recorded: %+v", stats)
+	}
+	if stats.Elapsed <= 0 {
+		t.Error("Elapsed not recorded")
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := SearchStats{NodesVisited: 1, FilterCells: 2, PostCells: 3, Candidates: 4,
+		FalseAlarms: 5, Answers: 6, PagesRead: 7, PoolHits: 8, PoolMisses: 9, Elapsed: 10}
+	b := a
+	a.Add(b)
+	if a.NodesVisited != 2 || a.Cells() != 10 || a.Elapsed != 20 || a.PoolMisses != 18 {
+		t.Fatalf("Add wrong: %+v", a)
+	}
+}
+
+// SeqScanFull must return the same answers as the abandoning SeqScan, at
+// strictly more work.
+func TestSeqScanFullAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(353))
+	data := randomWalkDataset(rng, 4, 30)
+	q := randomQuery(rng, 6)
+	got, fullStats, err := SeqScanFull(data, q, 4.5, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, prunedStats, err := SeqScan(data, q, 4.5, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matchesEqual(got, want) {
+		t.Fatal("SeqScanFull differs from SeqScan")
+	}
+	if fullStats.FilterCells < prunedStats.FilterCells {
+		t.Errorf("full scan did less work (%d) than pruned scan (%d)",
+			fullStats.FilterCells, prunedStats.FilterCells)
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"twsearch/internal/categorize"
+	"twsearch/internal/sequence"
+)
+
+// FuzzSearchMatchesScan derives a tiny database and query from fuzz bytes
+// and asserts the end-to-end no-false-dismissal equality on a sparse ME
+// index — the whole stack under fuzz.
+func FuzzSearchMatchesScan(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, []byte{2, 3, 4}, uint8(10), uint8(3))
+	f.Add([]byte{9, 9, 9, 9, 9, 1}, []byte{9, 9}, uint8(2), uint8(1))
+	f.Fuzz(func(t *testing.T, seqBytes, qBytes []byte, epsRaw, catsRaw uint8) {
+		if len(seqBytes) < 4 || len(qBytes) == 0 {
+			return
+		}
+		if len(seqBytes) > 48 {
+			seqBytes = seqBytes[:48]
+		}
+		if len(qBytes) > 8 {
+			qBytes = qBytes[:8]
+		}
+		// Two sequences cut from the byte stream.
+		data := sequence.NewDataset()
+		half := len(seqBytes) / 2
+		for i, chunk := range [][]byte{seqBytes[:half], seqBytes[half:]} {
+			vals := make([]float64, len(chunk))
+			for j, b := range chunk {
+				vals[j] = float64(int(b) % 32)
+			}
+			data.MustAdd(sequence.Sequence{ID: string(rune('a' + i)), Values: vals})
+		}
+		q := make([]float64, len(qBytes))
+		for j, b := range qBytes {
+			q[j] = float64(int(b) % 32)
+		}
+		eps := float64(epsRaw%40) + 0.5
+		cats := int(catsRaw)%8 + 1
+
+		ix, err := Build(data, filepath.Join(t.TempDir(), "fz.twt"), Options{
+			Kind: categorize.KindMaxEntropy, Categories: cats, Sparse: true,
+		})
+		if err != nil {
+			t.Fatalf("build: %v", err)
+		}
+		defer ix.Close()
+		got, _, err := ix.Search(q, eps)
+		if err != nil {
+			t.Fatalf("search: %v", err)
+		}
+		want, _, err := SeqScan(data, q, eps, -1)
+		if err != nil {
+			t.Fatalf("scan: %v", err)
+		}
+		if !matchesEqual(got, want) {
+			t.Fatalf("index %d matches, scan %d (eps=%v cats=%d)", len(got), len(want), eps, cats)
+		}
+	})
+}

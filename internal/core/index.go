@@ -1,0 +1,270 @@
+// Package core implements the paper's contribution: similarity search for
+// subsequences under the time warping distance, with no false dismissals,
+// over a disk-based suffix tree.
+//
+// The three index/search variants of the paper are all driven by one engine:
+//
+//   - SimSearch-ST (Section 4): the identity categorization gives every
+//     distinct value a point category, so the lower-bound base distance
+//     degenerates to the exact city-block distance and filtering distances
+//     are exact — no post-processing is needed.
+//   - SimSearch-ST_C (Section 5): a lossy categorization (EL/ME/k-means)
+//     makes the tree compact; traversal computes D_tw-lb (Definition 3) and
+//     candidates are verified against the raw values (PostProcess).
+//   - SimSearch-SST_C (Section 6): the sparse tree stores only run-head
+//     suffixes; subsequences starting inside a run are recovered through
+//     D_tw-lb2 (Definition 4) and verified in the same post-processing step.
+//
+// The sequential-scanning baseline of Section 7 lives in seqscan.go.
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"twsearch/internal/categorize"
+	"twsearch/internal/disktree"
+	"twsearch/internal/sequence"
+	"twsearch/internal/storage"
+	"twsearch/internal/suffixtree"
+)
+
+// Options configures an index build.
+type Options struct {
+	// Kind selects the categorization method. categorize.KindIdentity
+	// yields the exact suffix tree ST of Section 4.
+	Kind categorize.Kind
+	// Categories is the number of categories c (ignored by identity).
+	Categories int
+	// Sparse selects the sparse suffix tree SST_C of Section 6.
+	Sparse bool
+	// Window is the optional Sakoe–Chiba warping-window half-width from the
+	// paper's conclusion; < 0 disables the constraint.
+	Window int
+	// MinAnswerLen, when > 1, applies the conclusion's other space
+	// optimization: suffixes shorter than this are not indexed, and Search
+	// returns only answers of at least this length. With a window w and
+	// minimum query length qmin, dtw.MinMaxAnswerLength gives the right
+	// value (qmin - w).
+	MinAnswerLen int
+	// KMeansIters bounds k-means refinement (k-means only). Defaults to 20.
+	KMeansIters int
+	// Layout selects the disk node format: reference (default, compact) or
+	// inline (the paper's storage model; Table 1's sizes).
+	Layout disktree.Layout
+	// InMemory builds the index into an in-memory page file instead of the
+	// given path — no filesystem footprint, no persistence. The tree is
+	// built wholly in memory (no spill-and-merge pipeline), so this is for
+	// datasets whose tree fits in RAM.
+	InMemory bool
+	// Build tunes the disk construction pipeline.
+	Build disktree.BuildOptions
+}
+
+func (o Options) withDefaults() Options {
+	if o.Kind == "" {
+		o.Kind = categorize.KindMaxEntropy
+	}
+	if o.Categories == 0 {
+		o.Categories = 20
+	}
+	if o.KMeansIters == 0 {
+		o.KMeansIters = 20
+	}
+	if o.Window == 0 {
+		o.Window = -1
+	}
+	o.Build.Sparse = o.Sparse
+	o.Build.MinSuffixLen = o.MinAnswerLen
+	o.Build.Layout = o.Layout
+	return o
+}
+
+// Index bundles everything a search needs: the raw data (for
+// post-processing), the categorization scheme (for symbol intervals), the
+// categorized texts, and the disk-resident tree.
+type Index struct {
+	Data   *sequence.Dataset
+	Scheme *categorize.Scheme
+	Store  *suffixtree.TextStore
+	Tree   *disktree.File
+	// Exact records that filtering distances are exact (identity scheme):
+	// stored-suffix candidates skip post-processing.
+	Exact bool
+	// Window is the warping-window half-width, or -1.
+	Window int
+	// DisablePruning turns off the Theorem-1 branch pruning (R_p -> 1).
+	// It exists only for the ablation benchmarks; results are unchanged,
+	// only the work done.
+	DisablePruning bool
+	// BuildStats records how the disk tree was constructed (zero for
+	// indexes attached with Open).
+	BuildStats disktree.BuildStats
+	// minAnswerLen mirrors the tree's suffix length filter: Search emits
+	// only answers of at least this length.
+	minAnswerLen int
+	// maxRun is the longest equal-symbol run in any categorized sequence;
+	// it bounds the D_tw-lb2 shift during sparse branch pruning.
+	maxRun int
+	// seqOffsets[i] is the global element offset of sequence i; searches
+	// use it to index their flat pending array. totalElements is the sum of
+	// all sequence lengths.
+	seqOffsets    []int
+	totalElements int
+}
+
+// computeOffsets fills seqOffsets and totalElements from the dataset.
+func (ix *Index) computeOffsets() {
+	ix.seqOffsets = make([]int, ix.Data.Len())
+	off := 0
+	for i := 0; i < ix.Data.Len(); i++ {
+		ix.seqOffsets[i] = off
+		off += len(ix.Data.Values(i))
+	}
+	ix.totalElements = off
+}
+
+// Build fits the categorizer on the dataset, encodes every sequence, and
+// constructs the disk-based suffix tree at path.
+func Build(data *sequence.Dataset, path string, opts Options) (*Index, error) {
+	opts = opts.withDefaults()
+	if data.Len() == 0 {
+		return nil, fmt.Errorf("core: empty dataset")
+	}
+	scheme, err := categorize.Fit(opts.Kind, data.AllValues(), opts.Categories, opts.KMeansIters)
+	if err != nil {
+		return nil, fmt.Errorf("core: fitting categorizer: %w", err)
+	}
+	return BuildWithScheme(data, scheme, path, opts)
+}
+
+// BuildWithScheme is Build with a pre-fitted categorization scheme (used
+// when several indexes must share one scheme, or when reopening).
+func BuildWithScheme(data *sequence.Dataset, scheme *categorize.Scheme, path string, opts Options) (*Index, error) {
+	opts = opts.withDefaults()
+	store, maxRun := encodeAll(data, scheme)
+	seqs := make([]int, data.Len())
+	for i := range seqs {
+		seqs[i] = i
+	}
+	var buildStats disktree.BuildStats
+	opts.Build.Stats = &buildStats
+	var tree *disktree.File
+	var err error
+	if opts.InMemory {
+		mem := suffixtree.BuildMergedFiltered(store, seqs, opts.Sparse, opts.MinAnswerLen)
+		poolPages := opts.Build.PoolPages
+		if poolPages <= 0 {
+			poolPages = 256
+		}
+		tree, err = disktree.CreateMem(mem, poolPages, opts.Layout)
+	} else {
+		tree, err = disktree.Build(store, seqs, path, opts.Build)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: building tree: %w", err)
+	}
+	ix := &Index{
+		Data:         data,
+		Scheme:       scheme,
+		Store:        store,
+		Tree:         tree,
+		Exact:        scheme.Kind() == categorize.KindIdentity,
+		Window:       opts.Window,
+		BuildStats:   buildStats,
+		maxRun:       maxRun,
+		minAnswerLen: tree.MinSuffixLen(),
+	}
+	ix.computeOffsets()
+	return ix, nil
+}
+
+// Open attaches an existing tree file to its dataset and scheme. window < 0
+// disables the warping-window constraint.
+func Open(data *sequence.Dataset, scheme *categorize.Scheme, treePath string, poolPages, window int) (*Index, error) {
+	if poolPages <= 0 {
+		poolPages = 256
+	}
+	tree, err := disktree.Open(treePath, poolPages, true)
+	if err != nil {
+		return nil, err
+	}
+	store, maxRun := encodeAll(data, scheme)
+	ix := &Index{
+		Data:         data,
+		Scheme:       scheme,
+		Store:        store,
+		Tree:         tree,
+		Exact:        scheme.Kind() == categorize.KindIdentity,
+		Window:       window,
+		maxRun:       maxRun,
+		minAnswerLen: tree.MinSuffixLen(),
+	}
+	ix.computeOffsets()
+	return ix, nil
+}
+
+// MinAnswerLen returns the answer length floor the index was built with
+// (0 = unrestricted).
+func (ix *Index) MinAnswerLen() int { return ix.minAnswerLen }
+
+// Dup returns an independent handle on the same index file with its own
+// buffer pool, so searches can run on separate goroutines (an Index itself
+// is not safe for concurrent use — the pool and traversal scratch are
+// shared). The duplicate shares the immutable dataset, scheme and
+// categorized texts; Close it independently.
+func (ix *Index) Dup(poolPages int) (*Index, error) {
+	if poolPages <= 0 {
+		poolPages = 256
+	}
+	tree, err := disktree.Open(ix.Tree.Path(), poolPages, true)
+	if err != nil {
+		return nil, err
+	}
+	dup := *ix
+	dup.Tree = tree
+	return &dup, nil
+}
+
+// Close releases the underlying tree file.
+func (ix *Index) Close() error { return ix.Tree.Close() }
+
+// SizeBytes returns the on-disk index size (Table 1's metric).
+func (ix *Index) SizeBytes() int64 { return ix.Tree.SizeBytes() }
+
+// RemoveFile closes the index and deletes its tree file (a no-op delete for
+// in-memory indexes); benchmarks use it to clean up throwaway indexes.
+func (ix *Index) RemoveFile() error {
+	path := ix.Tree.Path()
+	if err := ix.Tree.Close(); err != nil {
+		return err
+	}
+	if path == storage.MemoryPath {
+		return nil
+	}
+	return os.Remove(filepath.Clean(path))
+}
+
+// encodeAll categorizes every sequence and returns the text store and the
+// longest equal-symbol run.
+func encodeAll(data *sequence.Dataset, scheme *categorize.Scheme) (*suffixtree.TextStore, int) {
+	store := suffixtree.NewTextStore()
+	maxRun := 1
+	for i := 0; i < data.Len(); i++ {
+		syms := scheme.Encode(data.Values(i))
+		store.Add(syms)
+		run := 1
+		for j := 1; j < len(syms); j++ {
+			if syms[j] == syms[j-1] {
+				run++
+				if run > maxRun {
+					maxRun = run
+				}
+			} else {
+				run = 1
+			}
+		}
+	}
+	return store, maxRun
+}

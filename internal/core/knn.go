@@ -1,0 +1,62 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// SearchKNN returns the k subsequences with the smallest time warping
+// distance to q (ties broken by position), found by iterative threshold
+// expansion: the range search at a threshold ε is complete, so as soon as
+// it yields at least k answers the k smallest of them are exactly the k
+// nearest neighbors. The threshold starts at the scale of one query step
+// and quadruples until enough answers appear.
+//
+// On a window-constrained or length-filtered index, "nearest" is relative
+// to that index's semantics: band-constrained distances, answers no shorter
+// than the index's floor. If fewer than k subsequences are reachable at all
+// (a narrow band can make every distance infinite), the reachable ones are
+// returned.
+func (ix *Index) SearchKNN(q []float64, k int) ([]Match, SearchStats, error) {
+	if k <= 0 {
+		return nil, SearchStats{}, errors.New("core: k must be positive")
+	}
+	if len(q) == 0 {
+		return nil, SearchStats{}, errors.New("core: empty query")
+	}
+
+	// Initial threshold: one typical step of the query, so exact occurrences
+	// surface in the first round or two.
+	eps := 0.0
+	for i := 1; i < len(q); i++ {
+		eps += math.Abs(q[i] - q[i-1])
+	}
+	eps = eps/float64(len(q)) + 1e-9
+
+	var total SearchStats
+	for {
+		matches, stats, err := ix.Search(q, eps)
+		total.Add(stats)
+		if err != nil {
+			return nil, total, err
+		}
+		if len(matches) >= k {
+			sort.SliceStable(matches, func(i, j int) bool {
+				return matches[i].Distance < matches[j].Distance
+			})
+			matches = matches[:k]
+			sortMatches(matches)
+			total.Answers = uint64(len(matches))
+			return matches, total, nil
+		}
+		// Termination: past any plausible distance, everything reachable
+		// has been found (window/length constraints can exclude the rest).
+		if eps > 1e18 {
+			sortMatches(matches)
+			total.Answers = uint64(len(matches))
+			return matches, total, nil
+		}
+		eps *= 4
+	}
+}

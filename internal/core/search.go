@@ -1,0 +1,415 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"twsearch/internal/categorize"
+	"twsearch/internal/disktree"
+	"twsearch/internal/dtw"
+	"twsearch/internal/sequence"
+	"twsearch/internal/suffixtree"
+)
+
+// Search finds every subsequence whose time warping distance from q is at
+// most eps — the paper's SimSearch-ST / SimSearch-ST_C / SimSearch-SST_C,
+// selected by how the index was built. Results are sorted by (sequence,
+// start, end). The guarantee is no false dismissals: the returned set is
+// exactly what SeqScan returns.
+func (ix *Index) Search(q []float64, eps float64) ([]Match, SearchStats, error) {
+	return ix.search(q, eps, nil)
+}
+
+// SearchVisit streams answers to fn instead of materializing them: fn is
+// called once per answer, in no particular order; returning false stops the
+// search early. Use it when a permissive threshold would produce answer
+// sets too large to hold in memory.
+func (ix *Index) SearchVisit(q []float64, eps float64, fn func(Match) bool) (SearchStats, error) {
+	if fn == nil {
+		return SearchStats{}, errors.New("core: nil visitor")
+	}
+	_, stats, err := ix.search(q, eps, fn)
+	return stats, err
+}
+
+func (ix *Index) search(q []float64, eps float64, visit func(Match) bool) ([]Match, SearchStats, error) {
+	if len(q) == 0 {
+		return nil, SearchStats{}, errors.New("core: empty query")
+	}
+	if eps < 0 {
+		return nil, SearchStats{}, errors.New("core: negative distance threshold")
+	}
+	started := time.Now()
+	poolBefore := ix.Tree.PoolStats()
+	pagesBefore := ix.Tree.PagesRead()
+
+	// On sparse trees the D_tw-lb2 shift moves a candidate's rows relative
+	// to the query columns, so a Sakoe–Chiba band on the shared filter
+	// table would be misaligned for shifted candidates and could dismiss
+	// true answers. The unconstrained D_tw-lb is still a lower bound of the
+	// band-constrained distance (constraints only increase D_tw), so for
+	// sparse+window we filter unconstrained and let the banded
+	// post-processing enforce the exact semantics; an explicit
+	// answer-length cutoff (conclusion section) replaces the band's depth
+	// pruning.
+	filterWindow := ix.Window
+	sparse := ix.Tree.Sparse()
+	if sparse && ix.Window >= 0 {
+		filterWindow = -1
+	}
+	s := &searcher{
+		ix:          ix,
+		q:           q,
+		eps:         eps,
+		table:       dtw.NewTableWindow(q, filterWindow),
+		post:        dtw.NewTableWindow(q, ix.Window),
+		sparse:      sparse,
+		exactStored: ix.Exact && filterWindow == ix.Window,
+		pending:     make([]int32, ix.totalElements),
+		seqOffsets:  ix.seqOffsets,
+		visit:       visit,
+	}
+	s.intervals = make([]dtw.Interval, ix.Scheme.NumCategories())
+	for i := range s.intervals {
+		s.intervals[i] = ix.Scheme.Interval(categorize.Symbol(i))
+	}
+
+	root := s.node(0)
+	if err := ix.Tree.ReadNodeInto(ix.Tree.Root(), root); err != nil {
+		return nil, SearchStats{}, err
+	}
+	s.stats.NodesVisited++
+	for i := range root.Children {
+		if s.stopped {
+			break
+		}
+		if err := s.processEdge(root.Children[i].Ptr, 1, false, 0); err != nil {
+			return nil, SearchStats{}, err
+		}
+	}
+
+	s.postProcess()
+
+	s.stats.FilterCells = s.table.Cells()
+	s.stats.PostCells = s.post.Cells()
+	poolAfter := ix.Tree.PoolStats()
+	s.stats.PoolHits = poolAfter.Hits - poolBefore.Hits
+	s.stats.PoolMisses = poolAfter.Misses - poolBefore.Misses
+	s.stats.PagesRead = ix.Tree.PagesRead() - pagesBefore
+	s.stats.Elapsed = time.Since(started)
+	sortMatches(s.matches)
+	return s.matches, s.stats, nil
+}
+
+// searcher carries the state of one depth-first filter pass. One cumulative
+// distance table is shared by the whole traversal: descend = AddRow,
+// backtrack = Pop — the paper's R_d table-sharing.
+type searcher struct {
+	ix     *Index
+	q      []float64
+	eps    float64
+	table  *dtw.Table
+	post   *dtw.Table
+	sparse bool
+	// exactStored marks stored-suffix filter distances as exact answers
+	// (identity categorization with a band-consistent filter table).
+	exactStored bool
+
+	intervals []dtw.Interval
+	stats     SearchStats
+	matches   []Match
+
+	// pending groups unverified candidates by (seq, start), keeping only
+	// the furthest end: pending[seqOffsets[seq]+start] is that start's max
+	// candidate end (0 = none). PostProcess then scans each start once:
+	// every end whose exact distance is within eps is an answer, and by
+	// the no-false-dismissal property those are exactly the true answers
+	// at that start — so one table per start verifies all its candidates
+	// at once, bounding post-processing by the baseline's total work.
+	pending    []int32
+	seqOffsets []int
+
+	// nodes[level] is the scratch node for DFS level; collectNodes[level]
+	// serves the leaf-collection recursion. Reuse keeps the traversal
+	// allocation-free after warmup.
+	nodes        []*disktree.Node
+	collectNodes []*disktree.Node
+
+	// firstSym and base0 describe the current root-to-here path's first
+	// symbol: base0 = D_base-lb(q[0], interval(firstSym)) is the per-shift
+	// discount of D_tw-lb2 (Definition 4).
+	firstSym suffixtree.Symbol
+	base0    float64
+
+	// visit, when set, receives answers as they are found instead of
+	// accumulating them in matches; stopped records an early stop request.
+	visit   func(Match) bool
+	stopped bool
+}
+
+// emit delivers one verified answer, either into the result slice or to the
+// streaming visitor. After an early stop nothing further is delivered.
+func (s *searcher) emit(m Match) {
+	if s.stopped {
+		return
+	}
+	s.stats.Answers++
+	if s.visit != nil {
+		if !s.visit(m) {
+			s.stopped = true
+		}
+		return
+	}
+	s.matches = append(s.matches, m)
+}
+
+func (s *searcher) node(level int) *disktree.Node {
+	for len(s.nodes) <= level {
+		s.nodes = append(s.nodes, &disktree.Node{})
+	}
+	return s.nodes[level]
+}
+
+func (s *searcher) collectNode(level int) *disktree.Node {
+	for len(s.collectNodes) <= level {
+		s.collectNodes = append(s.collectNodes, &disktree.Node{})
+	}
+	return s.collectNodes[level]
+}
+
+// processEdge walks the edge label into the node at ptr, adding one table
+// row per symbol, emitting candidates whenever a row qualifies, pruning by
+// Theorem 1 (adjusted for the sparse shift discount), and recursing into
+// children. runBroken/firstRun describe the path's leading equal-symbol
+// run on entry; the table is restored to its entry depth before returning.
+func (s *searcher) processEdge(ptr disktree.Ptr, level int, runBroken bool, firstRun int) error {
+	n := s.node(level)
+	if err := s.ix.Tree.ReadNodeInto(ptr, n); err != nil {
+		return err
+	}
+	s.stats.NodesVisited++
+
+	entryDepth := s.table.Depth()
+	descend := true
+	// Deferred emission: on non-exact indexes a candidate only contributes
+	// its start and a max end to the pending table, so one collect per edge
+	// at the deepest qualifying depth (with the smallest qualifying filter
+	// distance, which only loosens bounds) subsumes per-depth collects.
+	// Exact indexes emit answers with per-depth distances, so they collect
+	// at every qualifying depth.
+	pendD := 0
+	pendDist := dtw.Inf
+	for i := 0; i < int(n.LabelLen); i++ {
+		var sym suffixtree.Symbol
+		if len(n.Label) > 0 {
+			sym = n.Label[i] // inline layout: label travels with the record
+		} else {
+			sym = s.ix.Store.Sym(int(n.LabelSeq), int(n.LabelStart)+i)
+		}
+		if suffixtree.IsTerminator(sym) {
+			// The suffix ends here; all its prefixes were handled at
+			// shallower depths. Nothing lies below a terminator.
+			descend = false
+			break
+		}
+		iv := s.intervals[sym]
+		if s.table.Depth() == 0 {
+			s.firstSym = sym
+			s.base0 = dtw.BaseInterval(s.q[0], iv.Lo, iv.Hi)
+			firstRun = 1
+		} else if !runBroken {
+			if sym == s.firstSym {
+				firstRun++
+			} else {
+				runBroken = true
+			}
+		}
+		dist, minDist := s.table.AddRowInterval(iv.Lo, iv.Hi)
+		d := s.table.Depth()
+
+		// Candidate emission. For dense trees only dist counts; for sparse
+		// trees a shifted start can lower the bound by up to
+		// (firstRun-1)·base0, so collection may be warranted even when
+		// dist > eps.
+		emitBound := dist
+		if s.sparse && firstRun > 1 {
+			emitBound = dist - float64(firstRun-1)*s.base0
+		}
+		if emitBound <= s.eps {
+			if s.exactStored {
+				if err := s.collect(n, d, dist); err != nil {
+					return err
+				}
+			} else {
+				pendD = d
+				if dist < pendDist {
+					pendDist = dist
+				}
+			}
+		}
+
+		// Branch pruning (Theorem 1). For sparse trees the row minimum must
+		// be discounted by the largest shift any deeper candidate could
+		// claim: (firstRun-1) once the run is broken (every leaf below has
+		// exactly that run), or (maxRun-1) while the path is still one run
+		// (deeper leaves may extend it).
+		pruneBound := minDist
+		if s.sparse {
+			j := firstRun - 1
+			if !runBroken {
+				j = s.ix.maxRun - 1
+			}
+			if j > 0 {
+				pruneBound = minDist - float64(j)*s.base0
+			}
+		}
+		if pruneBound > s.eps && !s.ix.DisablePruning {
+			descend = false
+			break
+		}
+
+		// Answer-length cutoff for sparse+window: the shortest candidate a
+		// depth-d row can produce has length d minus the largest shift; once
+		// that exceeds |Q|+w every deeper candidate is infeasible under the
+		// band. (Dense trees get this pruning from the banded table itself.)
+		if s.sparse && s.ix.Window >= 0 {
+			j := firstRun - 1
+			if !runBroken {
+				j = s.ix.maxRun - 1
+			}
+			if d-j > len(s.q)+s.ix.Window {
+				descend = false
+				break
+			}
+		}
+	}
+
+	if pendD > 0 {
+		if err := s.collect(n, pendD, pendDist); err != nil {
+			return err
+		}
+	}
+
+	if descend && !n.Leaf && !s.stopped {
+		// n's Children may be overwritten by deeper levels reusing scratch;
+		// deeper levels use level+1 though, and collect uses its own pool,
+		// so iterating the slice here is safe.
+		for i := range n.Children {
+			if s.stopped {
+				break
+			}
+			if err := s.processEdge(n.Children[i].Ptr, level+1, runBroken, firstRun); err != nil {
+				return err
+			}
+		}
+	}
+
+	s.table.Truncate(entryDepth)
+	return nil
+}
+
+// collect emits candidates for every leaf in the subtree rooted at the node
+// n (already read), for the current depth d and filter distance dist.
+func (s *searcher) collect(n *disktree.Node, d int, dist float64) error {
+	if n.Leaf {
+		s.emitLeaf(n, d, dist)
+		return nil
+	}
+	return s.collectChildren(n, 0, d, dist)
+}
+
+func (s *searcher) collectChildren(n *disktree.Node, level, d int, dist float64) error {
+	for i := range n.Children {
+		c := s.collectNode(level)
+		if err := s.ix.Tree.ReadNodeInto(n.Children[i].Ptr, c); err != nil {
+			return err
+		}
+		if c.Leaf {
+			s.emitLeaf(c, d, dist)
+			continue
+		}
+		if err := s.collectChildren(c, level+1, d, dist); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emitLeaf produces the candidate for the stored suffix (pos, pos+d) and,
+// on sparse trees, the D_tw-lb2 candidates for the non-stored suffixes
+// inside the leaf's leading run (Definition 4: shift j up to
+// min(runLen, d) - 1).
+func (s *searcher) emitLeaf(leaf *disktree.Node, d int, dist float64) {
+	seq := int(leaf.LabelSeq)
+	pos := int(leaf.Pos)
+	if dist <= s.eps {
+		s.candidate(seq, pos, pos+d, dist, s.exactStored)
+	}
+	if !s.sparse {
+		return
+	}
+	jMax := int(leaf.RunLen)
+	if d < jMax {
+		jMax = d
+	}
+	for j := 1; j < jMax; j++ {
+		lb2 := dist - float64(j)*s.base0
+		if lb2 <= s.eps {
+			s.candidate(seq, pos+j, pos+d, lb2, false)
+		}
+	}
+}
+
+// candidate records a filtered subsequence. When the filter distance is
+// exact (identity categorization, unshifted suffix) the candidate is an
+// answer outright; otherwise it joins its start's pending group for the
+// post-processing scan.
+func (s *searcher) candidate(seq, start, end int, lb float64, exact bool) {
+	if end-start < s.ix.minAnswerLen {
+		return
+	}
+	s.stats.Candidates++
+	if exact {
+		s.emit(Match{
+			Ref:      sequence.Ref{Seq: seq, Start: start, End: end},
+			Distance: lb,
+		})
+		return
+	}
+	off := s.seqOffsets[seq] + start
+	if int32(end) > s.pending[off] {
+		s.pending[off] = int32(end)
+	}
+}
+
+// postProcess verifies the pending groups: one cumulative table per start,
+// scanned to the group's furthest end with Theorem-1 early abandon. Every
+// end with exact distance within eps is emitted.
+func (s *searcher) postProcess() {
+	for seq := 0; seq < s.ix.Data.Len() && !s.stopped; seq++ {
+		vals := s.ix.Data.Values(seq)
+		base := s.seqOffsets[seq]
+		for start := 0; start < len(vals) && !s.stopped; start++ {
+			maxEnd := int(s.pending[base+start])
+			if maxEnd == 0 {
+				continue
+			}
+			s.post.Truncate(0)
+			for e := start; e < maxEnd && !s.stopped; e++ {
+				dist, minDist := s.post.AddRowValue(vals[e])
+				if dist <= s.eps && e+1-start >= s.ix.minAnswerLen {
+					s.emit(Match{
+						Ref:      sequence.Ref{Seq: seq, Start: start, End: e + 1},
+						Distance: dist,
+					})
+				}
+				if minDist > s.eps {
+					break
+				}
+			}
+		}
+	}
+	if s.stats.Candidates >= s.stats.Answers {
+		s.stats.FalseAlarms = s.stats.Candidates - s.stats.Answers
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"twsearch/internal/sequence"
+)
+
+// Match is one answer subsequence: its location and its exact time warping
+// distance from the query.
+type Match struct {
+	Ref      sequence.Ref
+	Distance float64
+}
+
+// SearchStats records machine-independent work counters for one search —
+// the numbers the benchmark harness reports next to wall-clock time, so the
+// paper's shape comparisons survive hardware differences.
+type SearchStats struct {
+	// NodesVisited counts tree nodes read during filtering.
+	NodesVisited uint64
+	// FilterCells counts cumulative-distance-table cells computed while
+	// filtering (the R_d·R_p-reduced work of Section 4.3).
+	FilterCells uint64
+	// PostCells counts table cells computed during post-processing (the
+	// n·L̄·|Q| term of Sections 5.5/6.5).
+	PostCells uint64
+	// Candidates counts filter emissions: candidate subsequences whose
+	// lower bound passed the filter, after per-edge grouping (so one
+	// emission may stand for several prefixes verified by one scan).
+	Candidates uint64
+	// FalseAlarms counts emissions not confirmed by exact verification
+	// (0 when answers outnumber grouped emissions).
+	FalseAlarms uint64
+	// Answers counts returned matches.
+	Answers uint64
+	// PagesRead counts physical page reads; PoolHits/PoolMisses count
+	// buffer pool activity during this search.
+	PagesRead  uint64
+	PoolHits   uint64
+	PoolMisses uint64
+	// Elapsed is the wall-clock duration.
+	Elapsed time.Duration
+}
+
+// Cells returns total table cells computed (filter + post-process).
+func (s SearchStats) Cells() uint64 { return s.FilterCells + s.PostCells }
+
+// Add accumulates other into s (for averaging over query workloads).
+func (s *SearchStats) Add(other SearchStats) {
+	s.NodesVisited += other.NodesVisited
+	s.FilterCells += other.FilterCells
+	s.PostCells += other.PostCells
+	s.Candidates += other.Candidates
+	s.FalseAlarms += other.FalseAlarms
+	s.Answers += other.Answers
+	s.PagesRead += other.PagesRead
+	s.PoolHits += other.PoolHits
+	s.PoolMisses += other.PoolMisses
+	s.Elapsed += other.Elapsed
+}
+
+// sortMatches puts matches in deterministic (seq, start, end) order.
+func sortMatches(ms []Match) {
+	sort.Slice(ms, func(i, j int) bool {
+		a, b := ms[i].Ref, ms[j].Ref
+		if a.Seq != b.Seq {
+			return a.Seq < b.Seq
+		}
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		return a.End < b.End
+	})
+}

@@ -1,0 +1,84 @@
+package disktree
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"twsearch/internal/suffixtree"
+)
+
+func benchStore(b *testing.B, nSeq, seqLen, alphabet int) *suffixtree.TextStore {
+	b.Helper()
+	rng := rand.New(rand.NewSource(88))
+	ts := suffixtree.NewTextStore()
+	for i := 0; i < nSeq; i++ {
+		text := make([]Symbol, seqLen)
+		for j := range text {
+			text[j] = Symbol(rng.Intn(alphabet))
+		}
+		ts.Add(text)
+	}
+	return ts
+}
+
+func BenchmarkBuildPipeline(b *testing.B) {
+	ts := benchStore(b, 64, 232, 12)
+	seqs := allSeqs(ts)
+	dir := b.TempDir()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := Build(ts, seqs, filepath.Join(dir, "bench.twt"), BuildOptions{BatchSize: 16, PoolPages: 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.Close()
+	}
+}
+
+func BenchmarkMergeFiles(b *testing.B) {
+	ts := benchStore(b, 32, 232, 12)
+	all := allSeqs(ts)
+	dir := b.TempDir()
+	aPath := filepath.Join(dir, "a.twt")
+	bPath := filepath.Join(dir, "b.twt")
+	af, err := Create(aPath, suffixtree.BuildMerged(ts, all[:16], false), 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	af.Close()
+	bf, err := Create(bPath, suffixtree.BuildMerged(ts, all[16:], false), 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bf.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := MergeFiles(ts, aPath, bPath, filepath.Join(dir, "out.twt"), 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.Close()
+	}
+}
+
+func BenchmarkReadNode(b *testing.B) {
+	ts := benchStore(b, 16, 232, 12)
+	f, err := Create(filepath.Join(b.TempDir(), "rn.twt"), suffixtree.BuildMerged(ts, allSeqs(ts), false), 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	root, err := f.ReadNode(f.Root())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var n Node
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := f.ReadNodeInto(root.Children[i%len(root.Children)].Ptr, &n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,476 @@
+package disktree
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"twsearch/internal/suffixtree"
+)
+
+func randomTexts(rng *rand.Rand, nSeq, maxLen, alphabet int) *suffixtree.TextStore {
+	ts := suffixtree.NewTextStore()
+	for i := 0; i < nSeq; i++ {
+		n := 1 + rng.Intn(maxLen)
+		text := make([]Symbol, n)
+		for j := range text {
+			text[j] = Symbol(rng.Intn(alphabet))
+		}
+		ts.Add(text)
+	}
+	return ts
+}
+
+func allSeqs(ts *suffixtree.TextStore) []int {
+	out := make([]int, ts.Len())
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestCreateOpenRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	ts := randomTexts(rng, 5, 40, 3)
+	tree := suffixtree.BuildMerged(ts, allSeqs(ts), false)
+	path := filepath.Join(t.TempDir(), "tree.twt")
+
+	f, err := Create(path, tree, 64)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	wantStats := tree.ComputeStats()
+	if int(f.NumNodes()) != wantStats.Nodes {
+		t.Errorf("NumNodes = %d, want %d", f.NumNodes(), wantStats.Nodes)
+	}
+	if int(f.NumLeaves()) != wantStats.Leaves {
+		t.Errorf("NumLeaves = %d, want %d", f.NumLeaves(), wantStats.Leaves)
+	}
+	got, err := f.Load(ts)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if !suffixtree.Equal(tree, got) {
+		t.Fatal("loaded tree differs from original")
+	}
+	f.Close()
+
+	// Reopen read-only with a tiny pool and verify again.
+	f2, err := Open(path, 2, true)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer f2.Close()
+	if f2.Sparse() {
+		t.Error("dense tree reported sparse")
+	}
+	got2, err := f2.Load(ts)
+	if err != nil {
+		t.Fatalf("Load after reopen: %v", err)
+	}
+	if !suffixtree.Equal(tree, got2) {
+		t.Fatal("tree differs after reopen through a 2-page pool")
+	}
+	if f2.SizeBytes() <= 0 {
+		t.Error("SizeBytes not positive")
+	}
+}
+
+func TestOpenGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk")
+	if err := os.WriteFile(path, []byte(strings.Repeat("x", 8192)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, 4, true); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+// Property: Create→Load is the identity for random dense and sparse trees.
+func TestQuickDiskRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(207))
+	dir := t.TempDir()
+	count := 0
+	f := func() bool {
+		count++
+		ts := randomTexts(rng, 1+rng.Intn(5), 30, 1+rng.Intn(4))
+		sparse := rng.Intn(2) == 0
+		tree := suffixtree.BuildNaive(ts, allSeqs(ts), sparse)
+		path := filepath.Join(dir, "t"+string(rune('a'+count%26))+".twt")
+		df, err := Create(path, tree, 1+rng.Intn(16))
+		if err != nil {
+			return false
+		}
+		defer df.Close()
+		if df.Sparse() != sparse {
+			return false
+		}
+		got, err := df.Load(ts)
+		if err != nil {
+			return false
+		}
+		return suffixtree.Equal(tree, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a disk merge of two disk trees equals the in-memory merged tree.
+func TestQuickMergeFilesEqualsMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	dir := t.TempDir()
+	iter := 0
+	f := func() bool {
+		iter++
+		ts := randomTexts(rng, 2+rng.Intn(6), 25, 1+rng.Intn(4))
+		sparse := rng.Intn(2) == 0
+		// Split sequences into two disjoint halves.
+		all := allSeqs(ts)
+		cut := 1 + rng.Intn(len(all)-1)
+		aSeqs, bSeqs := all[:cut], all[cut:]
+
+		aPath := filepath.Join(dir, "a.twt")
+		bPath := filepath.Join(dir, "b.twt")
+		outPath := filepath.Join(dir, "out.twt")
+		at := suffixtree.BuildNaive(ts, aSeqs, sparse)
+		bt := suffixtree.BuildNaive(ts, bSeqs, sparse)
+		af, err := Create(aPath, at, 8)
+		if err != nil {
+			return false
+		}
+		af.Close()
+		bf, err := Create(bPath, bt, 8)
+		if err != nil {
+			return false
+		}
+		bf.Close()
+
+		mf, err := MergeFiles(ts, aPath, bPath, outPath, 1+rng.Intn(8))
+		if err != nil {
+			return false
+		}
+		defer mf.Close()
+		got, err := mf.Load(ts)
+		if err != nil {
+			return false
+		}
+		want := suffixtree.BuildNaive(ts, all, sparse)
+		if !suffixtree.Equal(want, got) {
+			return false
+		}
+		return got.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeFilesRejectsMixedSparsity(t *testing.T) {
+	dir := t.TempDir()
+	ts := suffixtree.NewTextStore()
+	ts.Add([]Symbol{1, 2})
+	ts.Add([]Symbol{2, 1})
+	a := suffixtree.BuildNaive(ts, []int{0}, false)
+	b := suffixtree.BuildNaive(ts, []int{1}, true)
+	af, err := Create(filepath.Join(dir, "a"), a, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	af.Close()
+	bf, err := Create(filepath.Join(dir, "b"), b, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf.Close()
+	if _, err := MergeFiles(ts, filepath.Join(dir, "a"), filepath.Join(dir, "b"), filepath.Join(dir, "out"), 8); err == nil {
+		t.Fatal("mixed sparsity merge accepted")
+	}
+}
+
+// Build must equal the naive in-memory tree regardless of batch size, and
+// must clean up its temp files.
+func TestBuildPipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(217))
+	ts := randomTexts(rng, 13, 30, 3)
+	want := suffixtree.BuildNaive(ts, allSeqs(ts), false)
+
+	for _, batch := range []int{1, 2, 5, 100} {
+		dir := t.TempDir()
+		out := filepath.Join(dir, "final.twt")
+		f, err := Build(ts, allSeqs(ts), out, BuildOptions{BatchSize: batch, PoolPages: 16})
+		if err != nil {
+			t.Fatalf("Build(batch=%d): %v", batch, err)
+		}
+		got, err := f.Load(ts)
+		if err != nil {
+			t.Fatalf("Load: %v", err)
+		}
+		f.Close()
+		if !suffixtree.Equal(want, got) {
+			t.Fatalf("Build(batch=%d) tree differs from naive", batch)
+		}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if strings.HasPrefix(e.Name(), ".twtree-") {
+				t.Errorf("temp file %s not cleaned up", e.Name())
+			}
+		}
+	}
+}
+
+func TestBuildSparsePipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(219))
+	// Run-heavy data so sparsity matters.
+	ts := suffixtree.NewTextStore()
+	for i := 0; i < 9; i++ {
+		text := make([]Symbol, 40)
+		v := Symbol(0)
+		for j := range text {
+			if rng.Float64() < 0.4 {
+				v = Symbol(rng.Intn(3))
+			}
+			text[j] = v
+		}
+		ts.Add(text)
+	}
+	want := suffixtree.BuildNaive(ts, allSeqs(ts), true)
+	out := filepath.Join(t.TempDir(), "sparse.twt")
+	f, err := Build(ts, allSeqs(ts), out, BuildOptions{Sparse: true, BatchSize: 2, PoolPages: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if !f.Sparse() {
+		t.Error("built tree not marked sparse")
+	}
+	got, err := f.Load(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !suffixtree.Equal(want, got) {
+		t.Fatal("sparse Build differs from naive sparse tree")
+	}
+}
+
+func TestBuildEmpty(t *testing.T) {
+	ts := suffixtree.NewTextStore()
+	out := filepath.Join(t.TempDir(), "empty.twt")
+	f, err := Build(ts, nil, out, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	root, err := f.ReadNode(f.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Leaf || len(root.Children) != 0 {
+		t.Fatal("empty build root malformed")
+	}
+}
+
+// A node with very many children (wide root) must round-trip: records cross
+// page boundaries.
+func TestWideRootCrossesPages(t *testing.T) {
+	ts := suffixtree.NewTextStore()
+	// 2000 distinct symbols, one two-symbol sequence each... instead: one
+	// sequence cycling 700 distinct symbols gives a root with 700 children;
+	// its record (~8.4 KB) spans three pages.
+	text := make([]Symbol, 1400)
+	for i := range text {
+		text[i] = Symbol(i % 700)
+	}
+	ts.Add(text)
+	tree := suffixtree.BuildNaive(ts, []int{0}, false)
+	path := filepath.Join(t.TempDir(), "wide.twt")
+	f, err := Create(path, tree, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	root, err := f.ReadNode(f.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(root.Children) != 700 {
+		t.Fatalf("root children = %d, want 700", len(root.Children))
+	}
+	got, err := f.Load(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !suffixtree.Equal(tree, got) {
+		t.Fatal("wide tree round trip failed")
+	}
+}
+
+func TestPoolStatsAccumulate(t *testing.T) {
+	rng := rand.New(rand.NewSource(223))
+	ts := randomTexts(rng, 6, 50, 2)
+	tree := suffixtree.BuildMerged(ts, allSeqs(ts), false)
+	path := filepath.Join(t.TempDir(), "t.twt")
+	f, err := Create(path, tree, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	// Tiny pool: a full load must evict and miss.
+	f2, err := Open(path, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	if _, err := f2.Load(ts); err != nil {
+		t.Fatal(err)
+	}
+	st := f2.PoolStats()
+	if st.Misses == 0 {
+		t.Error("no pool misses through a 1-page pool")
+	}
+	if f2.PagesRead() == 0 {
+		t.Error("no physical page reads counted")
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	rng := rand.New(rand.NewSource(229))
+	for trial := 0; trial < 10; trial++ {
+		ts := randomTexts(rng, 2+rng.Intn(5), 30, 1+rng.Intn(4))
+		sparse := rng.Intn(2) == 0
+		out := filepath.Join(t.TempDir(), "v.twt")
+		f, err := Build(ts, allSeqs(ts), out, BuildOptions{BatchSize: 2, PoolPages: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sparse {
+			f.Close()
+			f, err = Build(ts, allSeqs(ts), filepath.Join(t.TempDir(), "vs.twt"), BuildOptions{Sparse: true, BatchSize: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		st, err := f.Validate(ts)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if st.Nodes != f.NumNodes() || st.Leaves != f.NumLeaves() {
+			t.Fatalf("trial %d: walk counters disagree with meta", trial)
+		}
+		f.Close()
+	}
+}
+
+func TestValidateDetectsBadLeaf(t *testing.T) {
+	ts := suffixtree.NewTextStore()
+	ts.Add([]Symbol{1, 1, 2})
+	tree := suffixtree.BuildNaive(ts, []int{0}, false)
+	// Corrupt one leaf's run length before serializing.
+	var corrupt func(n *suffixtree.Node) bool
+	corrupt = func(n *suffixtree.Node) bool {
+		if n.Leaf != nil {
+			n.Leaf.RunLen += 5
+			return true
+		}
+		for _, c := range n.Children {
+			if corrupt(c) {
+				return true
+			}
+		}
+		return false
+	}
+	if !corrupt(tree.Root) {
+		t.Fatal("no leaf found")
+	}
+	f, err := Create(filepath.Join(t.TempDir(), "bad.twt"), tree, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Validate(ts); err == nil {
+		t.Fatal("corrupted run length not detected")
+	}
+}
+
+func TestValidateDetectsBadPath(t *testing.T) {
+	ts := suffixtree.NewTextStore()
+	ts.Add([]Symbol{1, 2, 3})
+	tree := suffixtree.BuildNaive(ts, []int{0}, false)
+	// Point one leaf at the wrong suffix position.
+	var corrupt func(n *suffixtree.Node) bool
+	corrupt = func(n *suffixtree.Node) bool {
+		if n.Leaf != nil {
+			n.Leaf.Pos = (n.Leaf.Pos + 1) % 3
+			return true
+		}
+		for _, c := range n.Children {
+			if corrupt(c) {
+				return true
+			}
+		}
+		return false
+	}
+	corrupt(tree.Root)
+	f, err := Create(filepath.Join(t.TempDir(), "bad2.twt"), tree, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Validate(ts); err == nil {
+		t.Fatal("corrupted leaf position not detected")
+	}
+}
+
+// The paper's construction claim: merging supports disk-based
+// representations in limited main memory. Build a non-trivial tree through
+// 4-page (16 KiB) buffer pools and verify it is still exactly the naive
+// in-memory tree.
+func TestBuildBoundedMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(233))
+	ts := randomTexts(rng, 50, 60, 4)
+	want := suffixtree.BuildNaive(ts, allSeqs(ts), false)
+	out := filepath.Join(t.TempDir(), "tiny-pool.twt")
+	f, err := Build(ts, allSeqs(ts), out, BuildOptions{BatchSize: 4, PoolPages: 4})
+	if err != nil {
+		t.Fatalf("Build through 4-page pools: %v", err)
+	}
+	defer f.Close()
+	got, err := f.Load(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !suffixtree.Equal(want, got) {
+		t.Fatal("bounded-memory build differs from in-memory tree")
+	}
+	if _, err := f.Validate(ts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(239))
+	ts := randomTexts(rng, 10, 20, 3)
+	var stats BuildStats
+	out := filepath.Join(t.TempDir(), "st.twt")
+	f, err := Build(ts, allSeqs(ts), out, BuildOptions{BatchSize: 2, PoolPages: 8, Stats: &stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if stats.Batches != 5 {
+		t.Errorf("batches = %d, want 5", stats.Batches)
+	}
+	// 5 batches merge in 3 rounds (5 -> 3 -> 2 -> 1) with 4 merges total.
+	if stats.MergeRounds != 3 || stats.Merges != 4 {
+		t.Errorf("rounds = %d merges = %d, want 3/4", stats.MergeRounds, stats.Merges)
+	}
+	if stats.Elapsed <= 0 {
+		t.Error("Elapsed not recorded")
+	}
+}

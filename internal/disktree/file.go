@@ -1,0 +1,344 @@
+package disktree
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"twsearch/internal/storage"
+	"twsearch/internal/suffixtree"
+)
+
+// File is a disk-resident suffix tree, read through an LRU buffer pool.
+// A File is not safe for concurrent use; concurrent readers open their own.
+type File struct {
+	pf   *storage.File
+	pool *storage.Pool
+	meta meta
+}
+
+// Create serializes an in-memory tree to path in the reference layout and
+// returns the open file. poolPages bounds the buffer pool during the write
+// (and afterwards).
+func Create(path string, tree *suffixtree.Tree, poolPages int) (*File, error) {
+	return CreateLayout(path, tree, poolPages, LayoutReference)
+}
+
+// CreateLayout is Create with an explicit node record layout.
+func CreateLayout(path string, tree *suffixtree.Tree, poolPages int, layout Layout) (*File, error) {
+	pf, err := storage.CreateFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return createOn(pf, tree, poolPages, layout)
+}
+
+// CreateMem serializes a tree into an in-memory page file — an index with
+// no filesystem footprint, for ephemeral use and tests. Everything else
+// (search, Validate, Load) works identically.
+func CreateMem(tree *suffixtree.Tree, poolPages int, layout Layout) (*File, error) {
+	pf, err := storage.CreateMemFile()
+	if err != nil {
+		return nil, err
+	}
+	return createOn(pf, tree, poolPages, layout)
+}
+
+func createOn(pf *storage.File, tree *suffixtree.Tree, poolPages int, layout Layout) (*File, error) {
+	pool, err := storage.NewPool(pf, poolPages)
+	if err != nil {
+		pf.Close()
+		return nil, err
+	}
+	minLen := uint32(0)
+	if tree.MinSuffixLen > 1 {
+		minLen = uint32(tree.MinSuffixLen)
+	}
+	f := &File{pf: pf, pool: pool, meta: meta{sparse: tree.Sparse, minSuffixLen: minLen, layout: layout}}
+	app, err := newAppender(pool)
+	if err != nil {
+		pf.Close()
+		return nil, err
+	}
+
+	var scratch []byte
+	var writeNode func(n *suffixtree.Node) (Ptr, error)
+	writeNode = func(n *suffixtree.Node) (Ptr, error) {
+		out := Node{
+			LabelSeq:   n.LabelSeq,
+			LabelStart: n.LabelStart,
+			LabelLen:   n.LabelLen,
+		}
+		if layout == LayoutInline {
+			out.Label = tree.LabelSymbols(n)
+		}
+		if n.Leaf != nil {
+			out.Leaf = true
+			out.LabelSeq = n.Leaf.Seq
+			out.Pos = n.Leaf.Pos
+			out.RunLen = n.Leaf.RunLen
+			f.meta.leaves++
+		} else {
+			out.Children = make([]ChildRef, len(n.Children))
+			for i, c := range n.Children {
+				ptr, err := writeNode(c)
+				if err != nil {
+					return NilPtr, err
+				}
+				out.Children[i] = ChildRef{
+					Sym: tree.Store.Sym(int(c.LabelSeq), int(c.LabelStart)),
+					Ptr: ptr,
+				}
+			}
+		}
+		f.meta.nodes++
+		f.meta.labelSyms += uint64(n.LabelLen)
+		ptr := app.offset()
+		scratch = encodeNode(scratch[:0], &out, layout)
+		if err := app.write(scratch); err != nil {
+			return NilPtr, err
+		}
+		return ptr, nil
+	}
+
+	root, err := writeNode(tree.Root)
+	app.close()
+	if err != nil {
+		pf.Close()
+		return nil, err
+	}
+	f.meta.root = root
+	if err := f.finish(); err != nil {
+		pf.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// finish flushes dirty pages and persists the meta blob.
+func (f *File) finish() error {
+	if err := f.pool.FlushAll(); err != nil {
+		return err
+	}
+	if err := f.pf.SetMeta(encodeMeta(f.meta)); err != nil {
+		return err
+	}
+	return f.pf.Sync()
+}
+
+// Open opens an existing tree file.
+func Open(path string, poolPages int, readOnly bool) (*File, error) {
+	pf, err := storage.OpenFile(path, readOnly)
+	if err != nil {
+		return nil, err
+	}
+	blob, err := pf.Meta()
+	if err != nil {
+		pf.Close()
+		return nil, err
+	}
+	m, err := decodeMeta(blob)
+	if err != nil {
+		pf.Close()
+		return nil, err
+	}
+	pool, err := storage.NewPool(pf, poolPages)
+	if err != nil {
+		pf.Close()
+		return nil, err
+	}
+	return &File{pf: pf, pool: pool, meta: m}, nil
+}
+
+// Close closes the underlying page file.
+func (f *File) Close() error { return f.pf.Close() }
+
+// Root returns the root node's offset.
+func (f *File) Root() Ptr { return f.meta.root }
+
+// Sparse reports whether the tree stores only run-head suffixes.
+func (f *File) Sparse() bool { return f.meta.sparse }
+
+// NumNodes returns the total node count.
+func (f *File) NumNodes() uint64 { return f.meta.nodes }
+
+// NumLeaves returns the leaf count.
+func (f *File) NumLeaves() uint64 { return f.meta.leaves }
+
+// TotalLabelSymbols returns the summed expanded edge-label length — what an
+// inline-label representation (the paper's) would store.
+func (f *File) TotalLabelSymbols() uint64 { return f.meta.labelSyms }
+
+// MinSuffixLen returns the suffix length filter the tree was built with
+// (0 = every suffix stored).
+func (f *File) MinSuffixLen() int { return int(f.meta.minSuffixLen) }
+
+// Layout returns the node record layout of the file.
+func (f *File) Layout() Layout { return f.meta.layout }
+
+// SizeBytes returns the index file size — the paper's Table 1 metric.
+func (f *File) SizeBytes() int64 { return f.pf.SizeBytes() }
+
+// Path returns the file path.
+func (f *File) Path() string { return f.pf.Path() }
+
+// PoolStats returns buffer pool counters.
+func (f *File) PoolStats() storage.PoolStats { return f.pool.Stats() }
+
+// PagesRead returns physical page reads since open.
+func (f *File) PagesRead() uint64 { return f.pf.PagesRead }
+
+// readAt fills buf from absolute byte offset p, crossing pages as needed.
+func (f *File) readAt(p Ptr, buf []byte) error {
+	for len(buf) > 0 {
+		pageID := storage.PageID(uint64(p) / storage.PageSize)
+		off := int(uint64(p) % storage.PageSize)
+		fr, err := f.pool.Get(pageID)
+		if err != nil {
+			return err
+		}
+		n := copy(buf, fr.Data()[off:])
+		f.pool.Release(fr)
+		p += Ptr(n)
+		buf = buf[n:]
+	}
+	return nil
+}
+
+// ReadNodeInto decodes the node at p into n, reusing n's Children and
+// Label slices.
+func (f *File) ReadNodeInto(p Ptr, n *Node) error {
+	n.Children = n.Children[:0]
+	n.Label = n.Label[:0]
+	var off Ptr
+	var flags byte
+	if f.meta.layout == LayoutInline {
+		var l [4]byte
+		if err := f.readAt(p, l[:]); err != nil {
+			return err
+		}
+		labelLen := binary.LittleEndian.Uint32(l[:])
+		if labelLen > 1<<24 {
+			return fmt.Errorf("disktree: implausible label length %d at %d", labelLen, p)
+		}
+		body := make([]byte, int(labelLen)*4+1)
+		if err := f.readAt(p+4, body); err != nil {
+			return err
+		}
+		for i := 0; i < int(labelLen); i++ {
+			n.Label = append(n.Label, Symbol(int32(binary.LittleEndian.Uint32(body[i*4:]))))
+		}
+		n.LabelLen = int32(labelLen)
+		n.LabelSeq = -1
+		n.LabelStart = -1
+		flags = body[len(body)-1]
+		off = p + 4 + Ptr(labelLen)*4 + 1
+	} else {
+		var hdr [nodeHeaderSize]byte
+		if err := f.readAt(p, hdr[:]); err != nil {
+			return err
+		}
+		n.LabelSeq = int32(binary.LittleEndian.Uint32(hdr[0:]))
+		n.LabelStart = int32(binary.LittleEndian.Uint32(hdr[4:]))
+		n.LabelLen = int32(binary.LittleEndian.Uint32(hdr[8:]))
+		flags = hdr[12]
+		off = p + nodeHeaderSize
+	}
+	n.Leaf = flags&flagLeaf != 0
+	if n.Leaf {
+		if f.meta.layout == LayoutInline {
+			var body [4 + leafBodySize]byte
+			if err := f.readAt(off, body[:]); err != nil {
+				return err
+			}
+			n.LabelSeq = int32(binary.LittleEndian.Uint32(body[0:]))
+			n.Pos = int32(binary.LittleEndian.Uint32(body[4:]))
+			n.RunLen = int32(binary.LittleEndian.Uint32(body[8:]))
+			return nil
+		}
+		var body [leafBodySize]byte
+		if err := f.readAt(off, body[:]); err != nil {
+			return err
+		}
+		n.Pos = int32(binary.LittleEndian.Uint32(body[0:]))
+		n.RunLen = int32(binary.LittleEndian.Uint32(body[4:]))
+		return nil
+	}
+	var cnt [4]byte
+	if err := f.readAt(off, cnt[:]); err != nil {
+		return err
+	}
+	count := binary.LittleEndian.Uint32(cnt[:])
+	if count > 1<<24 {
+		return fmt.Errorf("disktree: implausible child count %d at %d", count, p)
+	}
+	body := make([]byte, int(count)*childEntrySize)
+	if err := f.readAt(off+4, body); err != nil {
+		return err
+	}
+	for i := 0; i < int(count); i++ {
+		ent := body[i*childEntrySize:]
+		n.Children = append(n.Children, ChildRef{
+			Sym: Symbol(int32(binary.LittleEndian.Uint32(ent[0:]))),
+			Ptr: Ptr(binary.LittleEndian.Uint64(ent[4:])),
+		})
+	}
+	return nil
+}
+
+// ReadNode decodes the node at p into a fresh Node.
+func (f *File) ReadNode(p Ptr) (Node, error) {
+	var n Node
+	err := f.ReadNodeInto(p, &n)
+	return n, err
+}
+
+// Load reconstructs the whole tree in memory — the inverse of Create, used
+// by tests and by tools that inspect small indexes. For inline-layout files
+// the reference labels are recovered from each subtree's leftmost leaf (the
+// path to any leaf below a node spells a prefix of that leaf's suffix).
+func (f *File) Load(store *suffixtree.TextStore) (*suffixtree.Tree, error) {
+	// build returns the reconstructed node plus the (seq, pos) of the
+	// leftmost leaf below it; depth is the path length above the node.
+	var build func(p Ptr, depth int32) (*suffixtree.Node, int32, int32, error)
+	build = func(p Ptr, depth int32) (*suffixtree.Node, int32, int32, error) {
+		dn, err := f.ReadNode(p)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		n := &suffixtree.Node{
+			LabelSeq:   dn.LabelSeq,
+			LabelStart: dn.LabelStart,
+			LabelLen:   dn.LabelLen,
+		}
+		if dn.Leaf {
+			n.Leaf = &suffixtree.LeafInfo{Seq: dn.LabelSeq, Pos: dn.Pos, RunLen: dn.RunLen}
+			if f.meta.layout == LayoutInline {
+				n.LabelSeq = dn.LabelSeq
+				n.LabelStart = dn.Pos + depth
+			}
+			return n, dn.LabelSeq, dn.Pos, nil
+		}
+		n.Children = make([]*suffixtree.Node, len(dn.Children))
+		var seq, pos int32
+		for i, c := range dn.Children {
+			child, cseq, cpos, err := build(c.Ptr, depth+dn.LabelLen)
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			n.Children[i] = child
+			if i == 0 {
+				seq, pos = cseq, cpos
+			}
+		}
+		if f.meta.layout == LayoutInline {
+			n.LabelSeq = seq
+			n.LabelStart = pos + depth
+		}
+		return n, seq, pos, nil
+	}
+	root, _, _, err := build(f.meta.root, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &suffixtree.Tree{Store: store, Root: root, Sparse: f.meta.sparse, MinSuffixLen: f.MinSuffixLen()}, nil
+}

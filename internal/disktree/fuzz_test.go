@@ -1,0 +1,66 @@
+package disktree
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"twsearch/internal/storage"
+	"twsearch/internal/suffixtree"
+)
+
+// FuzzValidateCorruption writes a valid small tree, applies an arbitrary
+// byte mutation from the fuzzer, and requires Validate to terminate without
+// panicking: it must either still pass (mutation hit slack space) or return
+// an error — never crash, never loop.
+func FuzzValidateCorruption(f *testing.F) {
+	f.Add(uint32(4100), byte(0xFF))
+	f.Add(uint32(4096), byte(0x01))
+	f.Add(uint32(5000), byte(0x80))
+	f.Fuzz(func(t *testing.T, offset uint32, xor byte) {
+		if xor == 0 {
+			return // identity mutation
+		}
+		ts := suffixtree.NewTextStore()
+		ts.Add([]Symbol{1, 2, 1, 1, 3, 2, 2, 1})
+		ts.Add([]Symbol{2, 1, 3, 3, 1})
+		tree := suffixtree.BuildNaive(ts, []int{0, 1}, false)
+		dir := t.TempDir()
+		path := filepath.Join(dir, "fz.twt")
+		df, err := Create(path, tree, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		df.Close()
+
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Mutate one byte past the meta page (meta corruption is covered by
+		// decodeMeta's own checks at Open).
+		pos := storage.PageSize + int(offset)%(len(raw)-storage.PageSize)
+		raw[pos] ^= xor
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		re, err := Open(path, 16, true)
+		if err != nil {
+			return // rejected at open: fine
+		}
+		defer re.Close()
+		// Must terminate; the result may be an error or, if the mutation
+		// hit padding, a clean pass whose Load round-trips.
+		if _, err := re.Validate(ts); err != nil {
+			return
+		}
+		got, err := re.Load(ts)
+		if err != nil {
+			return
+		}
+		if !suffixtree.Equal(tree, got) {
+			t.Fatal("mutation passed Validate but changed the tree")
+		}
+	})
+}

@@ -1,0 +1,168 @@
+package disktree
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"twsearch/internal/suffixtree"
+)
+
+// Property: the inline layout round-trips exactly like the reference one —
+// Create→Load is the identity, and Validate passes.
+func TestQuickInlineRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(601))
+	dir := t.TempDir()
+	count := 0
+	f := func() bool {
+		count++
+		ts := randomTexts(rng, 1+rng.Intn(5), 25, 1+rng.Intn(4))
+		sparse := rng.Intn(2) == 0
+		tree := suffixtree.BuildNaive(ts, allSeqs(ts), sparse)
+		path := filepath.Join(dir, "il.twt")
+		df, err := CreateLayout(path, tree, 1+rng.Intn(16), LayoutInline)
+		if err != nil {
+			return false
+		}
+		defer df.Close()
+		if df.Layout() != LayoutInline {
+			return false
+		}
+		if _, err := df.Validate(ts); err != nil {
+			return false
+		}
+		got, err := df.Load(ts)
+		if err != nil {
+			return false
+		}
+		return suffixtree.Equal(tree, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: inline disk merges produce the same tree as the in-memory
+// merge, and reopened inline files keep their layout.
+func TestQuickInlineMergeEqualsMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(607))
+	dir := t.TempDir()
+	f := func() bool {
+		ts := randomTexts(rng, 2+rng.Intn(5), 20, 1+rng.Intn(3))
+		all := allSeqs(ts)
+		cut := 1 + rng.Intn(len(all)-1)
+		sparse := rng.Intn(2) == 0
+
+		aPath := filepath.Join(dir, "a.twt")
+		bPath := filepath.Join(dir, "b.twt")
+		outPath := filepath.Join(dir, "out.twt")
+		af, err := CreateLayout(aPath, suffixtree.BuildNaive(ts, all[:cut], sparse), 8, LayoutInline)
+		if err != nil {
+			return false
+		}
+		af.Close()
+		bf, err := CreateLayout(bPath, suffixtree.BuildNaive(ts, all[cut:], sparse), 8, LayoutInline)
+		if err != nil {
+			return false
+		}
+		bf.Close()
+		mf, err := MergeFiles(ts, aPath, bPath, outPath, 1+rng.Intn(8))
+		if err != nil {
+			return false
+		}
+		defer mf.Close()
+		if mf.Layout() != LayoutInline {
+			return false
+		}
+		if _, err := mf.Validate(ts); err != nil {
+			return false
+		}
+		got, err := mf.Load(ts)
+		if err != nil {
+			return false
+		}
+		return suffixtree.Equal(suffixtree.BuildNaive(ts, all, sparse), got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeRejectsMixedLayouts(t *testing.T) {
+	ts := suffixtree.NewTextStore()
+	ts.Add([]Symbol{1, 2})
+	ts.Add([]Symbol{2, 1})
+	dir := t.TempDir()
+	a, err := CreateLayout(filepath.Join(dir, "a"), suffixtree.BuildNaive(ts, []int{0}, false), 8, LayoutReference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	b, err := CreateLayout(filepath.Join(dir, "b"), suffixtree.BuildNaive(ts, []int{1}, false), 8, LayoutInline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	if _, err := MergeFiles(ts, filepath.Join(dir, "a"), filepath.Join(dir, "b"), filepath.Join(dir, "out"), 8); err == nil {
+		t.Fatal("mixed layout merge accepted")
+	}
+}
+
+// Inline files are larger exactly when labels outweigh the reference
+// overhead — which is the paper's Table 1 effect on real data shapes.
+func TestInlineLargerOnDeepTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(613))
+	ts := suffixtree.NewTextStore()
+	for i := 0; i < 10; i++ {
+		text := make([]Symbol, 120)
+		for j := range text {
+			text[j] = Symbol(rng.Intn(50)) // fine alphabet: long unshared labels
+		}
+		ts.Add(text)
+	}
+	tree := suffixtree.BuildNaive(ts, allSeqs(ts), false)
+	dir := t.TempDir()
+	ref, err := CreateLayout(filepath.Join(dir, "r.twt"), tree, 64, LayoutReference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	inl, err := CreateLayout(filepath.Join(dir, "i.twt"), tree, 64, LayoutInline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inl.Close()
+	if inl.SizeBytes() <= ref.SizeBytes() {
+		t.Fatalf("inline %d <= reference %d on long-label tree", inl.SizeBytes(), ref.SizeBytes())
+	}
+	// Counters must agree across layouts.
+	if inl.NumNodes() != ref.NumNodes() || inl.NumLeaves() != ref.NumLeaves() ||
+		inl.TotalLabelSymbols() != ref.TotalLabelSymbols() {
+		t.Fatal("meta counters differ between layouts")
+	}
+}
+
+func TestInlineBuildPipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(617))
+	ts := randomTexts(rng, 11, 25, 3)
+	want := suffixtree.BuildNaive(ts, allSeqs(ts), true)
+	out := filepath.Join(t.TempDir(), "inline.twt")
+	f, err := Build(ts, allSeqs(ts), out, BuildOptions{
+		Sparse: true, BatchSize: 3, PoolPages: 8, Layout: LayoutInline,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.Layout() != LayoutInline {
+		t.Fatal("pipeline lost the layout")
+	}
+	got, err := f.Load(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !suffixtree.Equal(want, got) {
+		t.Fatal("inline pipeline differs from naive tree")
+	}
+}

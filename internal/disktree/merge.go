@@ -1,0 +1,533 @@
+package disktree
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"twsearch/internal/storage"
+	"twsearch/internal/suffixtree"
+)
+
+// edge is a (possibly trimmed) edge into a source tree during a merge: the
+// node at ptr in file f, with the label overridden by (seq, start, length)
+// for reference-layout trees or by syms for inline-layout trees.
+type edge struct {
+	f                  *File
+	ptr                Ptr
+	seq, start, length int32
+	syms               []Symbol // inline layout only; len(syms) == length
+}
+
+// sym reads label symbol i of the (trimmed) edge.
+func (e edge) sym(store *suffixtree.TextStore, i int32) Symbol {
+	if e.syms != nil {
+		return e.syms[i]
+	}
+	return store.Sym(int(e.seq), int(e.start+i))
+}
+
+// trim drops the first l label symbols.
+func (e *edge) trim(l int32) {
+	e.start += l
+	e.length -= l
+	if e.syms != nil {
+		e.syms = e.syms[l:]
+	}
+}
+
+func (e edge) firstSym(store *suffixtree.TextStore) Symbol {
+	return e.sym(store, 0)
+}
+
+// merger merges two disk trees into a third with memory bounded by the
+// three buffer pools plus a recursion stack proportional to tree depth.
+type merger struct {
+	store     *suffixtree.TextStore
+	out       *File
+	app       *appender
+	layout    Layout
+	scratch   []byte
+	nodes     uint64
+	leaves    uint64
+	labelSyms uint64
+}
+
+// MergeFiles merges the trees in aPath and bPath (over the same text store,
+// disjoint sequence sets) into a new tree file at outPath — the paper's
+// disk-based binary merge. poolPages bounds each file's buffer pool.
+func MergeFiles(store *suffixtree.TextStore, aPath, bPath, outPath string, poolPages int) (*File, error) {
+	a, err := Open(aPath, poolPages, true)
+	if err != nil {
+		return nil, fmt.Errorf("disktree: opening %s: %w", aPath, err)
+	}
+	defer a.Close()
+	b, err := Open(bPath, poolPages, true)
+	if err != nil {
+		return nil, fmt.Errorf("disktree: opening %s: %w", bPath, err)
+	}
+	defer b.Close()
+	if a.Sparse() != b.Sparse() {
+		return nil, fmt.Errorf("disktree: merging sparse with dense tree")
+	}
+	if a.MinSuffixLen() != b.MinSuffixLen() {
+		return nil, fmt.Errorf("disktree: merging trees with different length filters (%d vs %d)",
+			a.MinSuffixLen(), b.MinSuffixLen())
+	}
+	if a.Layout() != b.Layout() {
+		return nil, fmt.Errorf("disktree: merging %s with %s layout", a.Layout(), b.Layout())
+	}
+
+	pf, err := storage.CreateFile(outPath)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := storage.NewPool(pf, poolPages)
+	if err != nil {
+		pf.Close()
+		return nil, err
+	}
+	out := &File{pf: pf, pool: pool, meta: meta{
+		sparse: a.Sparse(), minSuffixLen: a.meta.minSuffixLen, layout: a.Layout(),
+	}}
+	app, err := newAppender(pool)
+	if err != nil {
+		pf.Close()
+		return nil, err
+	}
+	m := &merger{store: store, out: out, app: app, layout: a.Layout()}
+
+	rootPtr, err := m.mergeRoots(a, b)
+	app.close()
+	if err != nil {
+		pf.Close()
+		os.Remove(outPath)
+		return nil, err
+	}
+	out.meta.root = rootPtr
+	out.meta.nodes = m.nodes
+	out.meta.leaves = m.leaves
+	out.meta.labelSyms = m.labelSyms
+	if err := out.finish(); err != nil {
+		pf.Close()
+		os.Remove(outPath)
+		return nil, err
+	}
+	return out, nil
+}
+
+// emit writes a node record and returns its offset.
+func (m *merger) emit(n *Node) (Ptr, error) {
+	m.nodes++
+	m.labelSyms += uint64(n.LabelLen)
+	if n.Leaf {
+		m.leaves++
+	}
+	ptr := m.app.offset()
+	m.scratch = encodeNode(m.scratch[:0], n, m.layout)
+	if err := m.app.write(m.scratch); err != nil {
+		return NilPtr, err
+	}
+	return ptr, nil
+}
+
+// copySubtree copies the subtree at e.ptr into the output, with e's
+// (possibly trimmed) label on the top edge. Children are copied with their
+// stored labels.
+func (m *merger) copySubtree(e edge) (Ptr, error) {
+	var n Node
+	if err := e.f.ReadNodeInto(e.ptr, &n); err != nil {
+		return NilPtr, err
+	}
+	out := Node{
+		LabelSeq:   e.seq,
+		LabelStart: e.start,
+		LabelLen:   e.length,
+		Label:      e.syms,
+		Leaf:       n.Leaf,
+		Pos:        n.Pos,
+		RunLen:     n.RunLen,
+	}
+	if n.Leaf && m.layout == LayoutInline {
+		out.LabelSeq = n.LabelSeq // the suffix's owning sequence
+	}
+	if !n.Leaf {
+		out.Children = make([]ChildRef, len(n.Children))
+		for i, c := range n.Children {
+			childEdge, err := m.childEdge(e.f, c)
+			if err != nil {
+				return NilPtr, err
+			}
+			ptr, err := m.copySubtree(childEdge)
+			if err != nil {
+				return NilPtr, err
+			}
+			out.Children[i] = ChildRef{Sym: c.Sym, Ptr: ptr}
+		}
+	}
+	return m.emit(&out)
+}
+
+// childEdge builds the untrimmed edge of a child reference.
+func (m *merger) childEdge(f *File, c ChildRef) (edge, error) {
+	var n Node
+	if err := f.ReadNodeInto(c.Ptr, &n); err != nil {
+		return edge{}, err
+	}
+	e := edge{f: f, ptr: c.Ptr, seq: n.LabelSeq, start: n.LabelStart, length: n.LabelLen}
+	if f.Layout() == LayoutInline {
+		// n is a fresh local Node, so its Label slice is not shared.
+		e.syms = n.Label
+	}
+	return e, nil
+}
+
+// mergeRoots zips the two root child tables and emits the new root.
+func (m *merger) mergeRoots(a, b *File) (Ptr, error) {
+	var an, bn Node
+	if err := a.ReadNodeInto(a.Root(), &an); err != nil {
+		return NilPtr, err
+	}
+	if err := b.ReadNodeInto(b.Root(), &bn); err != nil {
+		return NilPtr, err
+	}
+	children, err := m.zipChildren(a, an.Children, b, bn.Children)
+	if err != nil {
+		return NilPtr, err
+	}
+	return m.emit(&Node{Children: children})
+}
+
+// zipChildren merges two sorted child tables, recursing on equal symbols.
+func (m *merger) zipChildren(aF *File, as []ChildRef, bF *File, bs []ChildRef) ([]ChildRef, error) {
+	out := make([]ChildRef, 0, len(as)+len(bs))
+	i, j := 0, 0
+	for i < len(as) && j < len(bs) {
+		switch {
+		case as[i].Sym < bs[j].Sym:
+			e, err := m.childEdge(aF, as[i])
+			if err != nil {
+				return nil, err
+			}
+			ptr, err := m.copySubtree(e)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ChildRef{Sym: as[i].Sym, Ptr: ptr})
+			i++
+		case as[i].Sym > bs[j].Sym:
+			e, err := m.childEdge(bF, bs[j])
+			if err != nil {
+				return nil, err
+			}
+			ptr, err := m.copySubtree(e)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ChildRef{Sym: bs[j].Sym, Ptr: ptr})
+			j++
+		default:
+			ae, err := m.childEdge(aF, as[i])
+			if err != nil {
+				return nil, err
+			}
+			be, err := m.childEdge(bF, bs[j])
+			if err != nil {
+				return nil, err
+			}
+			ptr, err := m.mergeEdge(ae, be)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ChildRef{Sym: as[i].Sym, Ptr: ptr})
+			i++
+			j++
+		}
+	}
+	for ; i < len(as); i++ {
+		e, err := m.childEdge(aF, as[i])
+		if err != nil {
+			return nil, err
+		}
+		ptr, err := m.copySubtree(e)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ChildRef{Sym: as[i].Sym, Ptr: ptr})
+	}
+	for ; j < len(bs); j++ {
+		e, err := m.childEdge(bF, bs[j])
+		if err != nil {
+			return nil, err
+		}
+		ptr, err := m.copySubtree(e)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ChildRef{Sym: bs[j].Sym, Ptr: ptr})
+	}
+	return out, nil
+}
+
+// mergeEdge merges two edges that start with the same symbol.
+func (m *merger) mergeEdge(a, b edge) (Ptr, error) {
+	// Common label prefix length.
+	maxL := a.length
+	if b.length < maxL {
+		maxL = b.length
+	}
+	l := int32(1)
+	for l < maxL && a.sym(m.store, l) == b.sym(m.store, l) {
+		l++
+	}
+
+	switch {
+	case l == a.length && l == b.length:
+		// Same full label: merge the two nodes' child tables.
+		var an, bn Node
+		if err := a.f.ReadNodeInto(a.ptr, &an); err != nil {
+			return NilPtr, err
+		}
+		if err := b.f.ReadNodeInto(b.ptr, &bn); err != nil {
+			return NilPtr, err
+		}
+		if an.Leaf || bn.Leaf {
+			return NilPtr, fmt.Errorf("disktree: leaf collision during merge (overlapping sequence sets?)")
+		}
+		children, err := m.zipChildren(a.f, an.Children, b.f, bn.Children)
+		if err != nil {
+			return NilPtr, err
+		}
+		return m.emit(&Node{
+			LabelSeq: a.seq, LabelStart: a.start, LabelLen: a.length,
+			Label: a.syms, Children: children,
+		})
+
+	case l == a.length:
+		// b's label extends past a's: push the trimmed b edge into a's node.
+		b.trim(l)
+		return m.mergeInto(a, b)
+
+	case l == b.length:
+		a.trim(l)
+		return m.mergeInto(b, a)
+
+	default:
+		// Labels diverge inside both: new internal node with the common
+		// prefix and the two trimmed subtrees as children.
+		prefixSeq, prefixStart := a.seq, a.start
+		var prefixSyms []Symbol
+		if a.syms != nil {
+			prefixSyms = a.syms[:l]
+		}
+		a.trim(l)
+		b.trim(l)
+		aPtr, err := m.copySubtree(a)
+		if err != nil {
+			return NilPtr, err
+		}
+		bPtr, err := m.copySubtree(b)
+		if err != nil {
+			return NilPtr, err
+		}
+		ca := ChildRef{Sym: a.firstSym(m.store), Ptr: aPtr}
+		cb := ChildRef{Sym: b.firstSym(m.store), Ptr: bPtr}
+		if cb.Sym < ca.Sym {
+			ca, cb = cb, ca
+		}
+		return m.emit(&Node{
+			LabelSeq:   prefixSeq,
+			LabelStart: prefixStart,
+			LabelLen:   l,
+			Label:      prefixSyms,
+			Children:   []ChildRef{ca, cb},
+		})
+	}
+}
+
+// mergeInto merges the trimmed edge extra into the node at base (whose
+// label is fully consumed) and emits the combined node.
+func (m *merger) mergeInto(base, extra edge) (Ptr, error) {
+	var bn Node
+	if err := base.f.ReadNodeInto(base.ptr, &bn); err != nil {
+		return NilPtr, err
+	}
+	if bn.Leaf {
+		// extra extends strictly below a leaf: impossible with per-sequence
+		// terminators unless the sequence sets overlap.
+		return NilPtr, fmt.Errorf("disktree: edge extends below a leaf (overlapping sequence sets?)")
+	}
+	sym := extra.firstSym(m.store)
+	out := make([]ChildRef, 0, len(bn.Children)+1)
+	merged := false
+	for _, c := range bn.Children {
+		switch {
+		case c.Sym == sym:
+			ce, err := m.childEdge(base.f, c)
+			if err != nil {
+				return NilPtr, err
+			}
+			ptr, err := m.mergeEdge(ce, extra)
+			if err != nil {
+				return NilPtr, err
+			}
+			out = append(out, ChildRef{Sym: sym, Ptr: ptr})
+			merged = true
+		case !merged && c.Sym > sym:
+			ptr, err := m.copySubtree(extra)
+			if err != nil {
+				return NilPtr, err
+			}
+			out = append(out, ChildRef{Sym: sym, Ptr: ptr})
+			merged = true
+			fallthrough
+		default:
+			ce, err := m.childEdge(base.f, c)
+			if err != nil {
+				return NilPtr, err
+			}
+			ptr, err := m.copySubtree(ce)
+			if err != nil {
+				return NilPtr, err
+			}
+			out = append(out, ChildRef{Sym: c.Sym, Ptr: ptr})
+		}
+	}
+	if !merged {
+		ptr, err := m.copySubtree(extra)
+		if err != nil {
+			return NilPtr, err
+		}
+		out = append(out, ChildRef{Sym: sym, Ptr: ptr})
+	}
+	return m.emit(&Node{
+		LabelSeq: base.seq, LabelStart: base.start, LabelLen: base.length,
+		Label: base.syms, Children: out,
+	})
+}
+
+// BuildOptions controls the disk-based construction pipeline.
+type BuildOptions struct {
+	// Sparse selects the sparse suffix tree (run-head suffixes only).
+	Sparse bool
+	// MinSuffixLen, when > 1, omits suffixes shorter than this — the
+	// conclusion-section length filter for queries with a known minimum
+	// answer length.
+	MinSuffixLen int
+	// BatchSize is how many sequences are built into each initial in-memory
+	// tree before it is spilled to disk. Defaults to 64.
+	BatchSize int
+	// PoolPages bounds each buffer pool during merging. Defaults to 256
+	// (1 MiB per pool).
+	PoolPages int
+	// Layout selects the node record format (reference by default; inline
+	// is the paper's storage model).
+	Layout Layout
+	// Stats, when non-nil, receives construction statistics.
+	Stats *BuildStats
+}
+
+// BuildStats describes one disk-construction run.
+type BuildStats struct {
+	// Batches is the number of initial in-memory trees spilled to disk.
+	Batches int
+	// MergeRounds is the number of pairwise merge rounds.
+	MergeRounds int
+	// Merges is the total number of binary disk merges performed.
+	Merges int
+	// Elapsed is the wall-clock construction time.
+	Elapsed time.Duration
+}
+
+func (o BuildOptions) withDefaults() BuildOptions {
+	if o.BatchSize <= 0 {
+		o.BatchSize = 64
+	}
+	if o.PoolPages <= 0 {
+		o.PoolPages = 256
+	}
+	return o
+}
+
+// Build constructs the disk-based suffix tree of the given sequences at
+// outPath: in-memory trees for small batches are spilled to disk, then
+// merged pairwise in rounds of increasing size — the paper's "series of
+// binary merges of suffix trees of increasing size". Temp files live next
+// to outPath and are removed as they are consumed.
+func Build(store *suffixtree.TextStore, seqs []int, outPath string, opts BuildOptions) (*File, error) {
+	opts = opts.withDefaults()
+	started := time.Now()
+	var stats BuildStats
+	defer func() {
+		if opts.Stats != nil {
+			stats.Elapsed = time.Since(started)
+			*opts.Stats = stats
+		}
+	}()
+	dir := filepath.Dir(outPath)
+
+	// Phase 1: spill batch trees.
+	var paths []string
+	cleanup := func() {
+		for _, p := range paths {
+			os.Remove(p)
+		}
+	}
+	for start := 0; start < len(seqs); start += opts.BatchSize {
+		end := start + opts.BatchSize
+		if end > len(seqs) {
+			end = len(seqs)
+		}
+		t := suffixtree.BuildMergedFiltered(store, seqs[start:end], opts.Sparse, opts.MinSuffixLen)
+		path := filepath.Join(dir, fmt.Sprintf(".twtree-batch-%d.tmp", len(paths)))
+		f, err := CreateLayout(path, t, opts.PoolPages, opts.Layout)
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+		f.Close()
+		paths = append(paths, path)
+	}
+	stats.Batches = len(paths)
+	if len(paths) == 0 {
+		// Empty database: a root-only tree.
+		t := &suffixtree.Tree{
+			Store: store, Root: &suffixtree.Node{},
+			Sparse: opts.Sparse, MinSuffixLen: opts.MinSuffixLen,
+		}
+		return CreateLayout(outPath, t, opts.PoolPages, opts.Layout)
+	}
+
+	// Phase 2: rounds of pairwise disk merges.
+	gen := 0
+	for len(paths) > 1 {
+		var next []string
+		for i := 0; i+1 < len(paths); i += 2 {
+			out := filepath.Join(dir, fmt.Sprintf(".twtree-merge-%d-%d.tmp", gen, i/2))
+			f, err := MergeFiles(store, paths[i], paths[i+1], out, opts.PoolPages)
+			if err != nil {
+				paths = append(paths, next...) // clean finished outputs too
+				cleanup()
+				return nil, err
+			}
+			f.Close()
+			os.Remove(paths[i])
+			os.Remove(paths[i+1])
+			next = append(next, out)
+			stats.Merges++
+		}
+		if len(paths)%2 == 1 {
+			next = append(next, paths[len(paths)-1])
+		}
+		paths = next
+		gen++
+	}
+	stats.MergeRounds = gen
+
+	if err := os.Rename(paths[0], outPath); err != nil {
+		cleanup()
+		return nil, err
+	}
+	return Open(outPath, opts.PoolPages, false)
+}

@@ -1,0 +1,84 @@
+package dtw
+
+import "testing"
+
+func benchSeqs(n, m int) ([]float64, []float64) {
+	a := make([]float64, n)
+	b := make([]float64, m)
+	for i := range a {
+		a[i] = float64(i%23) * 0.5
+	}
+	for i := range b {
+		b[i] = float64(i%17) * 0.7
+	}
+	return a, b
+}
+
+func BenchmarkDistance232x20(b *testing.B) {
+	x, q := benchSeqs(232, 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Distance(x, q)
+	}
+}
+
+func BenchmarkDistanceWindow232x20w10(b *testing.B) {
+	x, q := benchSeqs(232, 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		DistanceWindow(x, q, 10)
+	}
+}
+
+func BenchmarkDistanceEarlyAbandonTight(b *testing.B) {
+	x, q := benchSeqs(232, 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		DistanceEarlyAbandon(x, q, 1)
+	}
+}
+
+func BenchmarkDistanceIntervals(b *testing.B) {
+	x, q := benchSeqs(232, 20)
+	ivs := make([]Interval, len(x))
+	for i, v := range x {
+		ivs[i] = Interval{Lo: v - 0.5, Hi: v + 0.5}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		DistanceIntervals(q, ivs)
+	}
+}
+
+func BenchmarkTableAddRowValue(b *testing.B) {
+	_, q := benchSeqs(1, 20)
+	tab := NewTable(q)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tab.AddRowValue(float64(i % 13))
+		if tab.Depth() >= 512 {
+			tab.Truncate(0)
+		}
+	}
+}
+
+func BenchmarkTableAddRowInterval(b *testing.B) {
+	_, q := benchSeqs(1, 20)
+	tab := NewTable(q)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v := float64(i % 13)
+		tab.AddRowInterval(v-0.5, v+0.5)
+		if tab.Depth() >= 512 {
+			tab.Truncate(0)
+		}
+	}
+}
+
+func BenchmarkAlign64x64(b *testing.B) {
+	x, q := benchSeqs(64, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Align(x, q)
+	}
+}

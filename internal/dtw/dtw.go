@@ -1,0 +1,191 @@
+// Package dtw implements the time warping distance of the paper
+// (Definition 1/2): dynamic-time-warping with a city-block base distance,
+// the cumulative distance table that can grow one row at a time, the
+// Theorem-1 early-abandon test, lower-bound base distances against category
+// intervals (Definition 3), and the optional Sakoe–Chiba warping-window
+// constraint from the paper's conclusion.
+package dtw
+
+import "math"
+
+// Inf is the positive infinity used for unreachable table cells.
+var Inf = math.Inf(1)
+
+// Base is the paper's D_base: the city-block distance between two elements.
+func Base(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// BaseInterval is the paper's D_base-lb (Definition 3): the smallest possible
+// city-block distance between the value a and any value inside [lo, hi].
+// It is zero when a lies inside the interval.
+func BaseInterval(a, lo, hi float64) float64 {
+	switch {
+	case a > hi:
+		return a - hi
+	case a < lo:
+		return lo - a
+	default:
+		return 0
+	}
+}
+
+// Distance returns the time warping distance D_tw(a, b) of Definition 1,
+// computed with the O(|a|·|b|) dynamic program of Definition 2.
+// It panics if either sequence is empty: D_tw is defined on non-null
+// sequences only.
+func Distance(a, b []float64) float64 {
+	return distance(a, b, -1)
+}
+
+// DistanceWindow returns D_tw(a, b) restricted to a Sakoe–Chiba band of
+// half-width w: element a[x] may only be matched to b[y] when |x-y| <= w.
+// A window of 0 degenerates to the city-block distance of aligned prefixes;
+// w >= max(|a|,|b|) is equivalent to the unconstrained distance. The result
+// is Inf when the band is too narrow to connect the two corners, which can
+// happen only when |len(a)-len(b)| > w.
+func DistanceWindow(a, b []float64, w int) float64 {
+	if w < 0 {
+		panic("dtw: negative warping window")
+	}
+	return distance(a, b, w)
+}
+
+// distance computes DTW with two rolling rows. w < 0 means unconstrained.
+func distance(a, b []float64, w int) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		panic("dtw: distance of empty sequence")
+	}
+	// Rows indexed by a, columns by b.
+	prev := make([]float64, len(b))
+	curr := make([]float64, len(b))
+	for x := 0; x < len(a); x++ {
+		for y := 0; y < len(b); y++ {
+			if w >= 0 && abs(x-y) > w {
+				curr[y] = Inf
+				continue
+			}
+			base := Base(a[x], b[y])
+			switch {
+			case x == 0 && y == 0:
+				curr[y] = base
+			case x == 0:
+				curr[y] = base + curr[y-1]
+			case y == 0:
+				curr[y] = base + prev[y]
+			default:
+				curr[y] = base + min3(curr[y-1], prev[y], prev[y-1])
+			}
+		}
+		prev, curr = curr, prev
+	}
+	return prev[len(b)-1]
+}
+
+// DistanceEarlyAbandon computes D_tw(a, b) but abandons as soon as Theorem 1
+// applies: if every column of some row exceeds eps, no extension of the table
+// can reach a distance <= eps, so the function returns (Inf, true).
+// Otherwise it returns the exact distance and false.
+func DistanceEarlyAbandon(a, b []float64, eps float64) (float64, bool) {
+	if len(a) == 0 || len(b) == 0 {
+		panic("dtw: distance of empty sequence")
+	}
+	prev := make([]float64, len(b))
+	curr := make([]float64, len(b))
+	for x := 0; x < len(a); x++ {
+		rowMin := Inf
+		for y := 0; y < len(b); y++ {
+			base := Base(a[x], b[y])
+			switch {
+			case x == 0 && y == 0:
+				curr[y] = base
+			case x == 0:
+				curr[y] = base + curr[y-1]
+			case y == 0:
+				curr[y] = base + prev[y]
+			default:
+				curr[y] = base + min3(curr[y-1], prev[y], prev[y-1])
+			}
+			if curr[y] < rowMin {
+				rowMin = curr[y]
+			}
+		}
+		if rowMin > eps {
+			return Inf, true
+		}
+		prev, curr = curr, prev
+	}
+	return prev[len(b)-1], false
+}
+
+// Interval is a closed range of element values. Category symbols map to
+// intervals; a sequence of intervals stands for every numeric sequence whose
+// elements fall inside them element-wise.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// DistanceIntervals returns the lower-bound time warping distance
+// D_tw-lb(a, ivs) of Definition 3: the same recurrence as D_tw but with the
+// interval base distance. By Theorem 2 the result never exceeds D_tw(a, b)
+// for any b whose elements lie inside ivs.
+func DistanceIntervals(a []float64, ivs []Interval) float64 {
+	if len(a) == 0 || len(ivs) == 0 {
+		panic("dtw: distance of empty sequence")
+	}
+	// Rows indexed by ivs, columns by a — matches the orientation the tree
+	// search uses (query along columns).
+	prev := make([]float64, len(a))
+	curr := make([]float64, len(a))
+	for x := 0; x < len(ivs); x++ {
+		iv := ivs[x]
+		for y := 0; y < len(a); y++ {
+			base := BaseInterval(a[y], iv.Lo, iv.Hi)
+			switch {
+			case x == 0 && y == 0:
+				curr[y] = base
+			case x == 0:
+				curr[y] = base + curr[y-1]
+			case y == 0:
+				curr[y] = base + prev[y]
+			default:
+				curr[y] = base + min3(curr[y-1], prev[y], prev[y-1])
+			}
+		}
+		prev, curr = curr, prev
+	}
+	return prev[len(a)-1]
+}
+
+// MinMaxAnswerLength applies the conclusion-section observation: with a
+// warping window of half-width w, any subsequence within the window-
+// constrained distance of a query of length qLen has a length in
+// [qLen-w, qLen+w]. It returns that closed range, clamping the minimum at 1.
+func MinMaxAnswerLength(qLen, w int) (minLen, maxLen int) {
+	minLen = qLen - w
+	if minLen < 1 {
+		minLen = 1
+	}
+	return minLen, qLen + w
+}
+
+func min3(a, b, c float64) float64 {
+	m := a
+	if b < m {
+		m = b
+	}
+	if c < m {
+		m = c
+	}
+	return m
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

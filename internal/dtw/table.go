@@ -1,0 +1,137 @@
+package dtw
+
+// Table is the cumulative time warping distance table of Definition 2,
+// grown one row at a time. The query sequence runs along the columns; each
+// AddRow* call appends the row for one more element of the subsequence being
+// matched (one symbol of a suffix-tree edge label), exactly like the paper's
+// AddRow(T, Q, label, D) step in Filter-ST.
+//
+// Rows can also be popped, which is what lets one Table be shared by an
+// entire depth-first traversal of a suffix tree: descend → AddRow,
+// backtrack → Pop. Sharing the table across all suffixes with a common
+// prefix is the paper's R_d reduction factor.
+//
+// A Table is not safe for concurrent use; searches that run in parallel use
+// one Table each.
+type Table struct {
+	q      []float64
+	window int       // Sakoe–Chiba half-width; <0 means unconstrained
+	rows   []float64 // depth*len(q) cells, row-major
+	depth  int
+	cells  uint64 // number of DP cells computed since Reset
+}
+
+// NewTable returns a table for the given query with no warping-window
+// constraint. It panics on an empty query.
+func NewTable(q []float64) *Table {
+	return NewTableWindow(q, -1)
+}
+
+// NewTableWindow returns a table whose rows apply a Sakoe–Chiba band of
+// half-width w; pass w < 0 for no constraint.
+func NewTableWindow(q []float64, w int) *Table {
+	if len(q) == 0 {
+		panic("dtw: empty query")
+	}
+	return &Table{q: q, window: w}
+}
+
+// Query returns the query sequence the table was built for.
+func (t *Table) Query() []float64 { return t.q }
+
+// Depth returns the number of rows currently in the table.
+func (t *Table) Depth() int { return t.depth }
+
+// Cells returns the number of DP cells computed since the last Reset — the
+// machine-independent work counter used by the benchmark harness.
+func (t *Table) Cells() uint64 { return t.cells }
+
+// Reset drops all rows and zeroes the cell counter.
+func (t *Table) Reset() {
+	t.rows = t.rows[:0]
+	t.depth = 0
+	t.cells = 0
+}
+
+// Pop removes the most recently added row. It panics on an empty table.
+func (t *Table) Pop() {
+	if t.depth == 0 {
+		panic("dtw: Pop on empty table")
+	}
+	t.depth--
+	t.rows = t.rows[:t.depth*len(t.q)]
+}
+
+// Truncate pops rows until exactly depth rows remain.
+func (t *Table) Truncate(depth int) {
+	if depth < 0 || depth > t.depth {
+		panic("dtw: bad Truncate depth")
+	}
+	t.depth = depth
+	t.rows = t.rows[:depth*len(t.q)]
+}
+
+// AddRowValue appends the row for a numeric element v using the exact base
+// distance and returns the row's last column (the distance between the query
+// and the subsequence accumulated so far, per Definition 2) and its minimum
+// column (the Theorem-1 pruning value).
+func (t *Table) AddRowValue(v float64) (dist, minDist float64) {
+	return t.addRow(func(q float64) float64 { return Base(v, q) })
+}
+
+// AddRowInterval appends the row for a category symbol whose observed value
+// range is [lo, hi], using the lower-bound base distance D_base-lb of
+// Definition 3.
+func (t *Table) AddRowInterval(lo, hi float64) (dist, minDist float64) {
+	return t.addRow(func(q float64) float64 { return BaseInterval(q, lo, hi) })
+}
+
+func (t *Table) addRow(base func(q float64) float64) (dist, minDist float64) {
+	n := len(t.q)
+	x := t.depth // row index of the new row
+	t.rows = append(t.rows, make([]float64, n)...)
+	curr := t.rows[x*n : (x+1)*n]
+	var prev []float64
+	if x > 0 {
+		prev = t.rows[(x-1)*n : x*n]
+	}
+	minDist = Inf
+	for y := 0; y < n; y++ {
+		if t.window >= 0 && abs(x-y) > t.window {
+			curr[y] = Inf
+			continue
+		}
+		b := base(t.q[y])
+		switch {
+		case x == 0 && y == 0:
+			curr[y] = b
+		case x == 0:
+			curr[y] = b + curr[y-1]
+		case y == 0:
+			curr[y] = b + prev[y]
+		default:
+			curr[y] = b + min3(curr[y-1], prev[y], prev[y-1])
+		}
+		if curr[y] < minDist {
+			minDist = curr[y]
+		}
+	}
+	t.cells += uint64(n)
+	t.depth++
+	return curr[n-1], minDist
+}
+
+// Row returns the cells of row r (0-based). The slice aliases the table's
+// storage and is invalidated by the next AddRow*/Pop.
+func (t *Table) Row(r int) []float64 {
+	n := len(t.q)
+	return t.rows[r*n : (r+1)*n]
+}
+
+// LastColumn returns the final column of row r: the cumulative distance
+// between the full query and the first r+1 elements of the matched
+// subsequence.
+func (t *Table) LastColumn(r int) float64 {
+	n := len(t.q)
+	return t.rows[r*n+n-1]
+}

@@ -1,0 +1,430 @@
+package multivar
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"twsearch/internal/categorize"
+	"twsearch/internal/suffixtree"
+)
+
+func TestDatasetBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(501))
+	for trial := 0; trial < 10; trial++ {
+		dim := 1 + rng.Intn(4)
+		d := randomVecDataset(rng, 1+rng.Intn(5), 20, dim)
+		var buf bytes.Buffer
+		if err := d.WriteBinary(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Dim() != d.Dim() || got.Len() != d.Len() {
+			t.Fatal("header mismatch")
+		}
+		for i := 0; i < d.Len(); i++ {
+			if got.Seq(i).ID != d.Seq(i).ID || !reflect.DeepEqual(got.Points(i), d.Points(i)) {
+				t.Fatalf("sequence %d differs", i)
+			}
+		}
+	}
+}
+
+func TestDatasetFileRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(503))
+	d := randomVecDataset(rng, 3, 15, 2)
+	path := filepath.Join(t.TempDir(), "vec.twvdb")
+	if err := d.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != d.Len() {
+		t.Fatal("length mismatch")
+	}
+}
+
+func TestDatasetBadMagic(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("XXXXXXXXgarbage"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestGridRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(507))
+	data := randomVecDataset(rng, 4, 25, 3)
+	grid, err := FitGrid(data, categorize.KindMaxEntropy, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := grid.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGrid(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumCells() != grid.NumCells() {
+		t.Fatalf("cells = %d, want %d", got.NumCells(), grid.NumCells())
+	}
+	// Same encoding and boxes after the round trip.
+	for i := 0; i < data.Len(); i++ {
+		a, err := grid.Encode(data.Points(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := got.Encode(data.Points(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("encoding differs for sequence %d", i)
+		}
+	}
+	for s := 0; s < grid.NumCells(); s++ {
+		a, b := grid.Box(suffixtree.Symbol(s)), got.Box(suffixtree.Symbol(s))
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("box %d differs", s)
+		}
+	}
+	if _, err := ReadGrid(bytes.NewReader([]byte("XXXXXXXXjunkjunk"))); err == nil {
+		t.Fatal("garbage grid accepted")
+	}
+}
+
+// Windowed multivariate search must equal the windowed scan.
+func TestMultivarWindowedNoFalseDismissals(t *testing.T) {
+	rng := rand.New(rand.NewSource(509))
+	for trial := 0; trial < 8; trial++ {
+		dim := 1 + rng.Intn(2)
+		data := randomVecDataset(rng, 2+rng.Intn(3), 18, dim)
+		q := randomVecQuery(rng, 6, dim)
+		eps := float64(rng.Intn(8)) + 0.5
+		window := 1 + rng.Intn(5)
+		for _, sparse := range []bool{false, true} {
+			ix, err := Build(data, filepath.Join(t.TempDir(), "w.twt"), Options{
+				CatsPerDim: 1 + rng.Intn(3), Sparse: sparse, Window: window,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _, err := SeqScan(data, q, eps, window)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := ix.Search(q, eps)
+			ix.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("trial %d sparse=%v w=%d: %d vs %d", trial, sparse, window, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].Ref != want[i].Ref || math.Abs(got[i].Distance-want[i].Distance) > 1e-9 {
+					t.Fatalf("trial %d: match %d differs", trial, i)
+				}
+			}
+		}
+	}
+}
+
+// Length-filtered multivariate indexes return exactly the scan answers of
+// at least the floor length.
+func TestMultivarMinAnswerLen(t *testing.T) {
+	rng := rand.New(rand.NewSource(511))
+	for trial := 0; trial < 6; trial++ {
+		data := randomVecDataset(rng, 3, 20, 2)
+		q := randomVecQuery(rng, 5, 2)
+		eps := float64(rng.Intn(8)) + 0.5
+		minLen := 2 + rng.Intn(4)
+		ix, err := Build(data, filepath.Join(t.TempDir(), "ml.twt"), Options{
+			CatsPerDim: 3, Sparse: trial%2 == 0, MinAnswerLen: minLen,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ix.MinAnswerLen() != minLen {
+			t.Fatalf("MinAnswerLen = %d", ix.MinAnswerLen())
+		}
+		got, _, err := ix.Search(q, eps)
+		ix.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		all, _, err := SeqScan(data, q, eps, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []Match
+		for _, m := range all {
+			if m.Ref.End-m.Ref.Start >= minLen {
+				want = append(want, m)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d vs %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Ref != want[i].Ref {
+				t.Fatalf("trial %d: match %d differs", trial, i)
+			}
+		}
+	}
+}
+
+func TestMultivarKNN(t *testing.T) {
+	rng := rand.New(rand.NewSource(513))
+	data := randomVecDataset(rng, 3, 20, 2)
+	ix, err := Build(data, filepath.Join(t.TempDir(), "knn.twt"), Options{CatsPerDim: 3, Sparse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	q := randomVecQuery(rng, 5, 2)
+	k := 7
+	got, _, err := ix.SearchKNN(q, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != k {
+		t.Fatalf("kNN returned %d", len(got))
+	}
+	all, _, err := SeqScan(data, q, 1e18, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Distance < all[j].Distance })
+	kth := all[k-1].Distance
+	for _, m := range got {
+		if m.Distance > kth+1e-9 {
+			t.Fatalf("kNN distance %v beyond true kth %v", m.Distance, kth)
+		}
+	}
+	if _, _, err := ix.SearchKNN(q, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, _, err := ix.SearchKNN(nil, 2); err == nil {
+		t.Error("empty query accepted")
+	}
+}
+
+// Open must reproduce a built index's answers from the persisted grid.
+func TestMultivarOpen(t *testing.T) {
+	rng := rand.New(rand.NewSource(517))
+	data := randomVecDataset(rng, 4, 20, 2)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "mv.twt")
+	ix, err := Build(data, path, Options{CatsPerDim: 4, Sparse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := randomVecQuery(rng, 5, 2)
+	want, _, err := ix.Search(q, 9.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Persist and reload the grid, then reopen.
+	var buf bytes.Buffer
+	if err := ix.Grid.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ix.Close()
+	grid, err := ReadGrid(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(data, grid, path, 16, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got, _, err := re.Search(q, 9.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("reopened: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("match %d differs after reopen", i)
+		}
+	}
+}
+
+func TestMultivarSeqScanFullAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(519))
+	data := randomVecDataset(rng, 3, 15, 2)
+	q := randomVecQuery(rng, 5, 2)
+	want, ps, err := SeqScan(data, q, 6.5, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, fs, err := SeqScanFull(data, q, 6.5, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("full %d vs pruned %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("match %d differs", i)
+		}
+	}
+	if fs.FilterCells < ps.FilterCells {
+		t.Error("full scan did less work than pruned scan")
+	}
+}
+
+func TestMultivarWindowTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(521))
+	for trial := 0; trial < 50; trial++ {
+		dim := 1 + rng.Intn(3)
+		q := randomVecQuery(rng, 6, dim)
+		s := randomVecQuery(rng, 6, dim)
+		w := len(q) + len(s)
+		wide := NewTableWindow(q, w)
+		var last float64
+		for _, p := range s {
+			last, _ = wide.AddRowPoint(p)
+		}
+		if want := Distance(s, q); math.Abs(last-want) > 1e-9 {
+			t.Fatalf("wide window %v != unconstrained %v", last, want)
+		}
+	}
+	// Too-narrow band yields Inf.
+	q := [][]float64{{0}}
+	s := [][]float64{{0}, {0}, {0}, {0}}
+	tab := NewTableWindow(q, 1)
+	var last float64
+	for _, p := range s {
+		last, _ = tab.AddRowPoint(p)
+	}
+	if !math.IsInf(last, 1) {
+		t.Fatalf("narrow band distance = %v, want Inf", last)
+	}
+}
+
+func TestMultivarBuildOptionErrors(t *testing.T) {
+	d := NewDataset(1)
+	d.MustAdd(Sequence{ID: "a", Points: [][]float64{{1}, {2}, {3}}})
+	// Build with every option combination must produce a searchable index.
+	for _, opts := range []Options{
+		{},
+		{Sparse: true},
+		{Window: 2},
+		{MinAnswerLen: 2, Sparse: true},
+		{Kind: categorize.KindEqualLength, CatsPerDim: 2},
+	} {
+		path := filepath.Join(t.TempDir(), fmt.Sprintf("o%v%v.twt", opts.Sparse, opts.Window))
+		ix, err := Build(d, path, opts)
+		if err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+		if _, _, err := ix.Search([][]float64{{2}}, 1); err != nil {
+			t.Fatalf("%+v: search: %v", opts, err)
+		}
+		ix.Close()
+	}
+}
+
+func TestVectorAddRejectsNonFinite(t *testing.T) {
+	d := NewDataset(2)
+	if _, err := d.Add(Sequence{ID: "nan", Points: [][]float64{{1, math.NaN()}}}); err == nil {
+		t.Error("NaN accepted")
+	}
+	if _, err := d.Add(Sequence{ID: "inf", Points: [][]float64{{math.Inf(1), 0}}}); err == nil {
+		t.Error("Inf accepted")
+	}
+}
+
+func TestMultivarDup(t *testing.T) {
+	rng := rand.New(rand.NewSource(523))
+	data := randomVecDataset(rng, 4, 20, 2)
+	ix, err := Build(data, filepath.Join(t.TempDir(), "dup.twt"), Options{CatsPerDim: 4, Sparse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	q := randomVecQuery(rng, 5, 2)
+	want, _, err := ix.Search(q, 8.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup, err := ix.Dup(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dup.Close()
+	got, _, err := dup.Search(q, 8.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("dup %d, original %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("match %d differs", i)
+		}
+	}
+}
+
+func TestMultivarSearchVisit(t *testing.T) {
+	rng := rand.New(rand.NewSource(541))
+	data := randomVecDataset(rng, 3, 20, 2)
+	ix, err := Build(data, filepath.Join(t.TempDir(), "sv.twt"), Options{CatsPerDim: 3, Sparse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	q := randomVecQuery(rng, 5, 2)
+	want, _, err := ix.Search(q, 9.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Match
+	if _, err := ix.SearchVisit(q, 9.5, func(m Match) bool {
+		got = append(got, m)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sortMatches(got)
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d, Search %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("match %d differs", i)
+		}
+	}
+	if len(want) > 2 {
+		count := 0
+		if _, err := ix.SearchVisit(q, 9.5, func(Match) bool {
+			count++
+			return count < 2
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if count != 2 {
+			t.Fatalf("early stop delivered %d", count)
+		}
+	}
+	if _, err := ix.SearchVisit(q, 9.5, nil); err == nil {
+		t.Error("nil visitor accepted")
+	}
+}

@@ -1,0 +1,248 @@
+// Package multivar implements the paper's conclusion-section extension to
+// multivariate sequences: elements are vectors, the base distance is the
+// city-block distance summed over dimensions, and categorization becomes a
+// multi-dimensional grid (an MTAH-style per-dimension categorization whose
+// cells are the categories). The same suffix-tree index construction and
+// the same lower-bound filtering then apply to the cell-symbol sequences.
+package multivar
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"twsearch/internal/categorize"
+	"twsearch/internal/dtw"
+	"twsearch/internal/suffixtree"
+)
+
+// Sequence is a named series of vector samples; all points of all sequences
+// in a Dataset share one dimensionality.
+type Sequence struct {
+	ID     string
+	Points [][]float64
+}
+
+// Dataset owns multivariate sequences.
+type Dataset struct {
+	dim  int
+	seqs []Sequence
+	byID map[string]int
+}
+
+// NewDataset returns an empty dataset for vectors of the given dimension.
+func NewDataset(dim int) *Dataset {
+	return &Dataset{dim: dim, byID: make(map[string]int)}
+}
+
+// Dim returns the vector dimensionality.
+func (d *Dataset) Dim() int { return d.dim }
+
+// Add appends a sequence, validating id uniqueness and point shape.
+func (d *Dataset) Add(s Sequence) (int, error) {
+	if s.ID == "" {
+		return 0, errors.New("multivar: empty id")
+	}
+	if len(s.Points) == 0 {
+		return 0, fmt.Errorf("multivar: %q has no points", s.ID)
+	}
+	if _, dup := d.byID[s.ID]; dup {
+		return 0, fmt.Errorf("multivar: duplicate id %q", s.ID)
+	}
+	for i, p := range s.Points {
+		if len(p) != d.dim {
+			return 0, fmt.Errorf("multivar: %q point %d has %d dims, want %d", s.ID, i, len(p), d.dim)
+		}
+		for k, v := range p {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0, fmt.Errorf("multivar: %q point %d dim %d is %v", s.ID, i, k, v)
+			}
+		}
+	}
+	idx := len(d.seqs)
+	d.seqs = append(d.seqs, s)
+	d.byID[s.ID] = idx
+	return idx, nil
+}
+
+// MustAdd panics on error; for generators and tests.
+func (d *Dataset) MustAdd(s Sequence) int {
+	idx, err := d.Add(s)
+	if err != nil {
+		panic(err)
+	}
+	return idx
+}
+
+// Len returns the number of sequences.
+func (d *Dataset) Len() int { return len(d.seqs) }
+
+// Seq returns sequence i.
+func (d *Dataset) Seq(i int) Sequence { return d.seqs[i] }
+
+// Points returns the samples of sequence i (not to be mutated).
+func (d *Dataset) Points(i int) [][]float64 { return d.seqs[i].Points }
+
+// Base is the multivariate D_base: city-block distance summed over
+// dimensions.
+func Base(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += dtw.Base(a[i], b[i])
+	}
+	return s
+}
+
+// Box is a per-dimension interval — the observed bounding box of one grid
+// cell, the multivariate analogue of [B.lb, B.ub].
+type Box struct {
+	Lo, Hi []float64
+}
+
+// BaseBox is the multivariate D_base-lb: the minimum possible Base distance
+// between the point p and any point inside the box.
+func BaseBox(p []float64, b Box) float64 {
+	s := 0.0
+	for i := range p {
+		s += dtw.BaseInterval(p[i], b.Lo[i], b.Hi[i])
+	}
+	return s
+}
+
+// Distance is the multivariate time warping distance.
+func Distance(a, b [][]float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		panic("multivar: distance of empty sequence")
+	}
+	prev := make([]float64, len(b))
+	curr := make([]float64, len(b))
+	for x := 0; x < len(a); x++ {
+		for y := 0; y < len(b); y++ {
+			base := Base(a[x], b[y])
+			switch {
+			case x == 0 && y == 0:
+				curr[y] = base
+			case x == 0:
+				curr[y] = base + curr[y-1]
+			case y == 0:
+				curr[y] = base + prev[y]
+			default:
+				m := curr[y-1]
+				if prev[y] < m {
+					m = prev[y]
+				}
+				if prev[y-1] < m {
+					m = prev[y-1]
+				}
+				curr[y] = base + m
+			}
+		}
+		prev, curr = curr, prev
+	}
+	return prev[len(b)-1]
+}
+
+// GridScheme is an MTAH-style multi-dimensional categorization: one
+// univariate scheme per dimension; a cell is a combination of per-dimension
+// categories; only observed cells get (dense) symbols, each with the
+// observed bounding box of its points.
+type GridScheme struct {
+	dims  []*categorize.Scheme
+	cells map[uint64]suffixtree.Symbol
+	boxes []Box
+}
+
+// FitGrid fits one univariate categorizer per dimension (catsPerDim
+// categories each) and assigns dense cell symbols to every observed
+// combination.
+func FitGrid(data *Dataset, kind categorize.Kind, catsPerDim int) (*GridScheme, error) {
+	if data.Len() == 0 {
+		return nil, errors.New("multivar: empty dataset")
+	}
+	dim := data.Dim()
+	g := &GridScheme{
+		dims:  make([]*categorize.Scheme, dim),
+		cells: make(map[uint64]suffixtree.Symbol),
+	}
+	for k := 0; k < dim; k++ {
+		var vals []float64
+		for i := 0; i < data.Len(); i++ {
+			for _, p := range data.Points(i) {
+				vals = append(vals, p[k])
+			}
+		}
+		s, err := categorize.Fit(kind, vals, catsPerDim, 20)
+		if err != nil {
+			return nil, fmt.Errorf("multivar: fitting dim %d: %w", k, err)
+		}
+		g.dims[k] = s
+	}
+	// Register every observed cell and grow its box.
+	for i := 0; i < data.Len(); i++ {
+		for _, p := range data.Points(i) {
+			sym := g.symbolFor(p, true)
+			box := &g.boxes[sym]
+			for k := 0; k < dim; k++ {
+				if p[k] < box.Lo[k] {
+					box.Lo[k] = p[k]
+				}
+				if p[k] > box.Hi[k] {
+					box.Hi[k] = p[k]
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// cellKey mixes per-dimension category indexes into one key.
+func (g *GridScheme) cellKey(p []float64) uint64 {
+	key := uint64(0)
+	for k, s := range g.dims {
+		key = key*uint64(s.NumCategories()) + uint64(s.Symbol(p[k]))
+	}
+	return key
+}
+
+// symbolFor returns the dense symbol of p's cell, creating it when create
+// is set. It returns -1 for an unseen cell when create is false.
+func (g *GridScheme) symbolFor(p []float64, create bool) suffixtree.Symbol {
+	key := g.cellKey(p)
+	if sym, ok := g.cells[key]; ok {
+		return sym
+	}
+	if !create {
+		return -1
+	}
+	sym := suffixtree.Symbol(len(g.boxes))
+	g.cells[key] = sym
+	lo := make([]float64, len(g.dims))
+	hi := make([]float64, len(g.dims))
+	for k := range g.dims {
+		lo[k] = p[k]
+		hi[k] = p[k]
+	}
+	g.boxes = append(g.boxes, Box{Lo: lo, Hi: hi})
+	return sym
+}
+
+// NumCells returns the number of observed cells.
+func (g *GridScheme) NumCells() int { return len(g.boxes) }
+
+// Box returns the observed bounding box of a cell symbol.
+func (g *GridScheme) Box(sym suffixtree.Symbol) Box { return g.boxes[sym] }
+
+// Encode converts a point sequence drawn from the fitted data into cell
+// symbols. It returns an error on a point from an unseen cell, which cannot
+// happen for fitted sequences.
+func (g *GridScheme) Encode(points [][]float64) ([]suffixtree.Symbol, error) {
+	out := make([]suffixtree.Symbol, len(points))
+	for i, p := range points {
+		sym := g.symbolFor(p, false)
+		if sym < 0 {
+			return nil, fmt.Errorf("multivar: point %d falls in an unfitted cell", i)
+		}
+		out[i] = sym
+	}
+	return out, nil
+}

@@ -1,0 +1,220 @@
+package multivar
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"twsearch/internal/categorize"
+)
+
+func randomVecDataset(rng *rand.Rand, nSeq, maxLen, dim int) *Dataset {
+	d := NewDataset(dim)
+	for i := 0; i < nSeq; i++ {
+		n := 2 + rng.Intn(maxLen-1)
+		points := make([][]float64, n)
+		v := make([]float64, dim)
+		for k := range v {
+			v[k] = float64(rng.Intn(10))
+		}
+		for j := range points {
+			p := make([]float64, dim)
+			for k := range p {
+				v[k] += float64(rng.Intn(3) - 1)
+				p[k] = v[k]
+			}
+			points[j] = p
+		}
+		d.MustAdd(Sequence{ID: fmt.Sprintf("m%d", i), Points: points})
+	}
+	return d
+}
+
+func randomVecQuery(rng *rand.Rand, maxLen, dim int) [][]float64 {
+	n := 1 + rng.Intn(maxLen)
+	q := make([][]float64, n)
+	v := make([]float64, dim)
+	for k := range v {
+		v[k] = float64(rng.Intn(10))
+	}
+	for j := range q {
+		p := make([]float64, dim)
+		for k := range p {
+			v[k] += float64(rng.Intn(3) - 1)
+			p[k] = v[k]
+		}
+		q[j] = p
+	}
+	return q
+}
+
+func TestBaseAndBox(t *testing.T) {
+	if Base([]float64{1, 2}, []float64{3, 0}) != 4 {
+		t.Fatal("Base wrong")
+	}
+	box := Box{Lo: []float64{0, 10}, Hi: []float64{5, 20}}
+	if got := BaseBox([]float64{3, 15}, box); got != 0 {
+		t.Fatalf("inside box = %v", got)
+	}
+	if got := BaseBox([]float64{7, 25}, box); got != 2+5 {
+		t.Fatalf("outside box = %v, want 7", got)
+	}
+}
+
+func TestDistanceReducesToUnivariate(t *testing.T) {
+	// dim=1 must agree with dtw.Distance semantics; spot check Figure 1.
+	a := [][]float64{{3}, {4}, {3}}
+	b := [][]float64{{4}, {5}, {6}, {7}, {6}, {6}}
+	if got := Distance(a, b); got != 12 {
+		t.Fatalf("Distance = %v, want 12", got)
+	}
+}
+
+func TestDatasetValidation(t *testing.T) {
+	d := NewDataset(2)
+	if _, err := d.Add(Sequence{ID: "", Points: [][]float64{{1, 2}}}); err == nil {
+		t.Error("empty id accepted")
+	}
+	if _, err := d.Add(Sequence{ID: "a", Points: nil}); err == nil {
+		t.Error("empty points accepted")
+	}
+	if _, err := d.Add(Sequence{ID: "a", Points: [][]float64{{1}}}); err == nil {
+		t.Error("wrong dim accepted")
+	}
+	if _, err := d.Add(Sequence{ID: "a", Points: [][]float64{{1, 2}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Add(Sequence{ID: "a", Points: [][]float64{{3, 4}}}); err == nil {
+		t.Error("duplicate id accepted")
+	}
+}
+
+func TestFitGridBoxesContainPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	data := randomVecDataset(rng, 5, 30, 3)
+	grid, err := FitGrid(data, categorize.KindMaxEntropy, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grid.NumCells() == 0 {
+		t.Fatal("no cells")
+	}
+	for i := 0; i < data.Len(); i++ {
+		syms, err := grid.Encode(data.Points(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, p := range data.Points(i) {
+			box := grid.Box(syms[j])
+			for k := range p {
+				if p[k] < box.Lo[k] || p[k] > box.Hi[k] {
+					t.Fatalf("point %v outside its cell box %+v", p, box)
+				}
+			}
+			// Lower bound of the point against its own box must be zero.
+			if BaseBox(p, box) != 0 {
+				t.Fatalf("BaseBox of member point = %v", BaseBox(p, box))
+			}
+		}
+	}
+}
+
+func TestEncodeUnseenCellFails(t *testing.T) {
+	// Only the diagonal cells (low,low) and (high,high) are observed; the
+	// off-diagonal combination (low,high) has no cell symbol.
+	d := NewDataset(2)
+	d.MustAdd(Sequence{ID: "a", Points: [][]float64{{1, 1}, {10, 10}}})
+	grid, err := FitGrid(d, categorize.KindEqualLength, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grid.NumCells() != 2 {
+		t.Fatalf("cells = %d, want 2", grid.NumCells())
+	}
+	if _, err := grid.Encode([][]float64{{1, 10}}); err == nil {
+		t.Error("point in unseen cell encoded")
+	}
+}
+
+// Multivariate no-false-dismissal: index search equals sequential scan.
+func TestMultivarNoFalseDismissals(t *testing.T) {
+	rng := rand.New(rand.NewSource(409))
+	dir := t.TempDir()
+	for trial := 0; trial < 10; trial++ {
+		dim := 1 + rng.Intn(3)
+		data := randomVecDataset(rng, 2+rng.Intn(3), 20, dim)
+		q := randomVecQuery(rng, 6, dim)
+		eps := float64(rng.Intn(10)) + 0.5
+		for _, sparse := range []bool{false, true} {
+			path := filepath.Join(dir, fmt.Sprintf("mix-%d-%v.twt", trial, sparse))
+			ix, err := Build(data, path, Options{
+				Kind:       categorize.KindMaxEntropy,
+				CatsPerDim: 1 + rng.Intn(4),
+				Sparse:     sparse,
+			})
+			if err != nil {
+				t.Fatalf("trial %d: Build: %v", trial, err)
+			}
+			want, _, err := SeqScan(data, q, eps, -1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, stats, err := ix.Search(q, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ix.Close()
+			if len(got) != len(want) {
+				t.Fatalf("trial %d sparse=%v eps=%v: index %d matches, scan %d",
+					trial, sparse, eps, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].Ref != want[i].Ref || math.Abs(got[i].Distance-want[i].Distance) > 1e-9 {
+					t.Fatalf("trial %d sparse=%v: match %d differs: %+v vs %+v",
+						trial, sparse, i, got[i], want[i])
+				}
+			}
+			if stats.Candidates == 0 && stats.Answers > 0 {
+				t.Error("answers found without any candidates")
+			}
+		}
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(419))
+	data := randomVecDataset(rng, 2, 10, 2)
+	ix, err := Build(data, filepath.Join(t.TempDir(), "v.twt"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	if _, _, err := ix.Search(nil, 1); err == nil {
+		t.Error("empty query accepted")
+	}
+	if _, _, err := ix.Search([][]float64{{1}}, 1); err == nil {
+		t.Error("wrong-dim query accepted")
+	}
+	if _, _, err := ix.Search([][]float64{{1, 2}}, -1); err == nil {
+		t.Error("negative eps accepted")
+	}
+}
+
+func TestTableMatchesDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(421))
+	for trial := 0; trial < 100; trial++ {
+		dim := 1 + rng.Intn(3)
+		q := randomVecQuery(rng, 6, dim)
+		s := randomVecQuery(rng, 6, dim)
+		tab := NewTable(q)
+		var last float64
+		for _, p := range s {
+			last, _ = tab.AddRowPoint(p)
+		}
+		if want := Distance(s, q); math.Abs(last-want) > 1e-9 {
+			t.Fatalf("table %v != distance %v", last, want)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package multivar
+
+import "twsearch/internal/dtw"
+
+// Table is the multivariate counterpart of dtw.Table: the cumulative time
+// warping distance table with the query's points along the columns, grown
+// (and popped) one row at a time by the tree traversal.
+type Table struct {
+	q      [][]float64
+	window int // Sakoe–Chiba half-width; <0 means unconstrained
+	rows   []float64
+	depth  int
+	cells  uint64
+}
+
+// NewTable returns a table for the given query with no warping-window
+// constraint. It panics on an empty query.
+func NewTable(q [][]float64) *Table {
+	return NewTableWindow(q, -1)
+}
+
+// NewTableWindow returns a table whose rows apply a Sakoe–Chiba band of
+// half-width w; pass w < 0 for no constraint.
+func NewTableWindow(q [][]float64, w int) *Table {
+	if len(q) == 0 {
+		panic("multivar: empty query")
+	}
+	return &Table{q: q, window: w}
+}
+
+// Depth returns the current number of rows.
+func (t *Table) Depth() int { return t.depth }
+
+// Cells returns the number of DP cells computed since construction.
+func (t *Table) Cells() uint64 { return t.cells }
+
+// Truncate pops rows until depth rows remain (the cell counter keeps
+// accumulating).
+func (t *Table) Truncate(depth int) {
+	if depth < 0 || depth > t.depth {
+		panic("multivar: bad Truncate depth")
+	}
+	t.depth = depth
+	t.rows = t.rows[:depth*len(t.q)]
+}
+
+// AddRowPoint appends the row for a data point using the exact base
+// distance; returns the last column (prefix distance) and row minimum.
+func (t *Table) AddRowPoint(p []float64) (dist, minDist float64) {
+	return t.addRow(func(q []float64) float64 { return Base(p, q) })
+}
+
+// AddRowBox appends the row for a cell symbol's bounding box using the
+// lower-bound base distance.
+func (t *Table) AddRowBox(b Box) (dist, minDist float64) {
+	return t.addRow(func(q []float64) float64 { return BaseBox(q, b) })
+}
+
+func (t *Table) addRow(base func(q []float64) float64) (dist, minDist float64) {
+	n := len(t.q)
+	x := t.depth
+	t.rows = append(t.rows, make([]float64, n)...)
+	curr := t.rows[x*n : (x+1)*n]
+	var prev []float64
+	if x > 0 {
+		prev = t.rows[(x-1)*n : x*n]
+	}
+	minDist = dtw.Inf
+	for y := 0; y < n; y++ {
+		if t.window >= 0 && absInt(x-y) > t.window {
+			curr[y] = dtw.Inf
+			continue
+		}
+		b := base(t.q[y])
+		switch {
+		case x == 0 && y == 0:
+			curr[y] = b
+		case x == 0:
+			curr[y] = b + curr[y-1]
+		case y == 0:
+			curr[y] = b + prev[y]
+		default:
+			m := curr[y-1]
+			if prev[y] < m {
+				m = prev[y]
+			}
+			if prev[y-1] < m {
+				m = prev[y-1]
+			}
+			curr[y] = b + m
+		}
+		if curr[y] < minDist {
+			minDist = curr[y]
+		}
+	}
+	t.cells += uint64(n)
+	t.depth++
+	return curr[n-1], minDist
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

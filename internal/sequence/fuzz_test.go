@@ -1,0 +1,61 @@
+package sequence
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadBinary must never panic on arbitrary bytes, and anything it
+// accepts must re-serialize to an equal dataset.
+func FuzzReadBinary(f *testing.F) {
+	good := NewDataset()
+	good.MustAdd(Sequence{ID: "seed", Values: []float64{1, 2.5, -3}})
+	var buf bytes.Buffer
+	if err := good.WriteBinary(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("TWSEQDB1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := d.WriteBinary(&out); err != nil {
+			t.Fatalf("accepted dataset failed to serialize: %v", err)
+		}
+		d2, err := ReadBinary(&out)
+		if err != nil {
+			t.Fatalf("round trip of accepted dataset failed: %v", err)
+		}
+		if d2.Len() != d.Len() {
+			t.Fatalf("round trip changed length: %d vs %d", d2.Len(), d.Len())
+		}
+	})
+}
+
+// FuzzReadCSV must never panic and must only accept lines it can re-emit.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("a,1,2,3\nb,4\n")
+	f.Add("# comment\n\nx, 1.5 , -2e3\n")
+	f.Add(",,,")
+	f.Fuzz(func(t *testing.T, s string) {
+		d, err := ReadCSV(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		total := 0
+		for i := 0; i < d.Len(); i++ {
+			total += len(d.Values(i))
+			if d.Seq(i).ID == "" {
+				t.Fatal("accepted empty id")
+			}
+		}
+		if d.TotalElements() != total {
+			t.Fatal("TotalElements inconsistent")
+		}
+	})
+}

@@ -1,0 +1,186 @@
+package sequence
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Binary dataset format:
+//
+//	magic   [8]byte  "TWSEQDB1"
+//	count   uint32   number of sequences
+//	per sequence:
+//	  idLen  uint16
+//	  id     [idLen]byte
+//	  n      uint32   number of elements
+//	  values [n]float64, little endian
+//
+// The format is deliberately flat: datasets are read fully into memory; the
+// disk-resident structure is the suffix-tree index, not the raw data.
+
+var binaryMagic = [8]byte{'T', 'W', 'S', 'E', 'Q', 'D', 'B', '1'}
+
+// ErrBadMagic reports that a file is not a twsearch binary dataset.
+var ErrBadMagic = errors.New("sequence: bad magic, not a TWSEQDB1 file")
+
+// WriteBinary writes the dataset in the binary format.
+func (d *Dataset) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(d.seqs))); err != nil {
+		return err
+	}
+	for _, s := range d.seqs {
+		if len(s.ID) > math.MaxUint16 {
+			return fmt.Errorf("sequence: id %q too long", s.ID[:32])
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint16(len(s.ID))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(s.ID); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(s.Values))); err != nil {
+			return err
+		}
+		for _, v := range s.Values {
+			if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses a dataset written by WriteBinary.
+func ReadBinary(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("sequence: reading magic: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, ErrBadMagic
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("sequence: reading count: %w", err)
+	}
+	d := NewDataset()
+	for i := uint32(0); i < count; i++ {
+		var idLen uint16
+		if err := binary.Read(br, binary.LittleEndian, &idLen); err != nil {
+			return nil, fmt.Errorf("sequence: seq %d id length: %w", i, err)
+		}
+		idBuf := make([]byte, idLen)
+		if _, err := io.ReadFull(br, idBuf); err != nil {
+			return nil, fmt.Errorf("sequence: seq %d id: %w", i, err)
+		}
+		var n uint32
+		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+			return nil, fmt.Errorf("sequence: seq %d length: %w", i, err)
+		}
+		vals := make([]float64, n)
+		if err := binary.Read(br, binary.LittleEndian, vals); err != nil {
+			return nil, fmt.Errorf("sequence: seq %d values: %w", i, err)
+		}
+		if _, err := d.Add(Sequence{ID: string(idBuf), Values: vals}); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// SaveFile writes the dataset to path in the binary format, creating or
+// truncating the file.
+func (d *Dataset) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.WriteBinary(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a binary dataset file written by SaveFile.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBinary(f)
+}
+
+// WriteCSV writes one line per sequence: id,v1,v2,...,vn. Values are
+// formatted with the shortest representation that round-trips.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, s := range d.seqs {
+		if strings.ContainsAny(s.ID, ",\n\"") {
+			return fmt.Errorf("sequence: id %q not representable in CSV", s.ID)
+		}
+		if _, err := bw.WriteString(s.ID); err != nil {
+			return err
+		}
+		for _, v := range s.Values {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+			if _, err := bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses the format written by WriteCSV. Blank lines and lines
+// starting with '#' are skipped.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	d := NewDataset()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("sequence: line %d: need id and at least one value", lineNo)
+		}
+		vals := make([]float64, 0, len(fields)-1)
+		for j, f := range fields[1:] {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, fmt.Errorf("sequence: line %d field %d: %w", lineNo, j+2, err)
+			}
+			vals = append(vals, v)
+		}
+		if _, err := d.Add(Sequence{ID: strings.TrimSpace(fields[0]), Values: vals}); err != nil {
+			return nil, fmt.Errorf("sequence: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

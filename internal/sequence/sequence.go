@@ -1,0 +1,234 @@
+// Package sequence defines the data model shared by every layer of the
+// library: univariate sequences of continuous values, references to
+// subsequences, and an in-memory dataset that owns a collection of sequences.
+//
+// The index structures (internal/suffixtree, internal/disktree) and the
+// search algorithms (internal/core) never copy element values around; they
+// pass Ref values that point back into a Dataset.
+package sequence
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sequence is a named series of continuous values, e.g. the daily closing
+// prices of one stock. Values must not be mutated after the sequence has
+// been added to a Dataset that has been indexed.
+type Sequence struct {
+	// ID is an application-chosen identifier, unique within a Dataset.
+	ID string
+	// Values holds the elements in time order.
+	Values []float64
+}
+
+// Len returns the number of elements.
+func (s Sequence) Len() int { return len(s.Values) }
+
+// Ref identifies the subsequence Values[Start:End] (half-open interval) of
+// the sequence with index Seq inside some Dataset. A Ref with Start==0 and
+// End==Len is the whole sequence; a Ref with End==Len is a suffix.
+type Ref struct {
+	Seq   int // index of the sequence within its Dataset
+	Start int // first element, inclusive
+	End   int // one past the last element
+}
+
+// Len returns the number of elements the reference spans.
+func (r Ref) Len() int { return r.End - r.Start }
+
+// String renders the reference in the paper's S_i[p:q] notation
+// (1-based, inclusive).
+func (r Ref) String() string {
+	return fmt.Sprintf("S_%d[%d:%d]", r.Seq, r.Start+1, r.End)
+}
+
+// Dataset owns an ordered collection of sequences and answers id and
+// subsequence lookups. The zero value is ready to use.
+type Dataset struct {
+	seqs []Sequence
+	byID map[string]int
+}
+
+// NewDataset returns an empty dataset.
+func NewDataset() *Dataset {
+	return &Dataset{byID: make(map[string]int)}
+}
+
+// Add appends a sequence and returns its index. It returns an error when
+// the id is empty or duplicated, the sequence has no elements (the
+// suffix-tree layers require non-empty sequences), or any element is NaN or
+// infinite (distances would silently stop being comparable).
+func (d *Dataset) Add(s Sequence) (int, error) {
+	if s.ID == "" {
+		return 0, fmt.Errorf("sequence: empty id")
+	}
+	if len(s.Values) == 0 {
+		return 0, fmt.Errorf("sequence: %q has no elements", s.ID)
+	}
+	for i, v := range s.Values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, fmt.Errorf("sequence: %q element %d is %v", s.ID, i, v)
+		}
+	}
+	if d.byID == nil {
+		d.byID = make(map[string]int)
+	}
+	if _, dup := d.byID[s.ID]; dup {
+		return 0, fmt.Errorf("sequence: duplicate id %q", s.ID)
+	}
+	idx := len(d.seqs)
+	d.seqs = append(d.seqs, s)
+	d.byID[s.ID] = idx
+	return idx, nil
+}
+
+// MustAdd is Add for test and generator code where ids are known-valid.
+// It panics on error.
+func (d *Dataset) MustAdd(s Sequence) int {
+	idx, err := d.Add(s)
+	if err != nil {
+		panic(err)
+	}
+	return idx
+}
+
+// Len returns the number of sequences.
+func (d *Dataset) Len() int { return len(d.seqs) }
+
+// Seq returns the sequence at index i.
+func (d *Dataset) Seq(i int) Sequence { return d.seqs[i] }
+
+// Values returns the element slice of sequence i. The caller must not
+// mutate it.
+func (d *Dataset) Values(i int) []float64 { return d.seqs[i].Values }
+
+// ByID returns the index of the sequence with the given id, or -1.
+func (d *Dataset) ByID(id string) int {
+	if idx, ok := d.byID[id]; ok {
+		return idx
+	}
+	return -1
+}
+
+// Slice resolves a Ref to its element values. The returned slice aliases the
+// dataset's storage and must not be mutated.
+func (d *Dataset) Slice(r Ref) []float64 {
+	return d.seqs[r.Seq].Values[r.Start:r.End]
+}
+
+// TotalElements returns the sum of all sequence lengths — the paper's M·L̄.
+func (d *Dataset) TotalElements() int {
+	total := 0
+	for _, s := range d.seqs {
+		total += len(s.Values)
+	}
+	return total
+}
+
+// AvgLen returns the average sequence length L̄, or 0 for an empty dataset.
+func (d *Dataset) AvgLen() float64 {
+	if len(d.seqs) == 0 {
+		return 0
+	}
+	return float64(d.TotalElements()) / float64(len(d.seqs))
+}
+
+// MinMax returns the smallest and largest element value in the dataset.
+// These are the MIN and MAX inputs of the equal-length categorization.
+// It returns (0, 0) for an empty dataset.
+func (d *Dataset) MinMax() (min, max float64) {
+	first := true
+	for _, s := range d.seqs {
+		for _, v := range s.Values {
+			if first {
+				min, max = v, v
+				first = false
+				continue
+			}
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+	}
+	return min, max
+}
+
+// AllValues returns every element of every sequence in one slice, in dataset
+// order. Categorizers use it to fit boundaries.
+func (d *Dataset) AllValues() []float64 {
+	out := make([]float64, 0, d.TotalElements())
+	for _, s := range d.seqs {
+		out = append(out, s.Values...)
+	}
+	return out
+}
+
+// SortedValues returns AllValues sorted ascending. The maximum-entropy
+// categorizer uses it to place quantile boundaries.
+func (d *Dataset) SortedValues() []float64 {
+	vals := d.AllValues()
+	sort.Float64s(vals)
+	return vals
+}
+
+// Stats summarizes a dataset for reports and EXPERIMENTS.md tables.
+type Stats struct {
+	Sequences     int
+	TotalElements int
+	AvgLen        float64
+	MinLen        int
+	MaxLen        int
+	MinValue      float64
+	MaxValue      float64
+	MeanValue     float64
+	StdDev        float64
+}
+
+// ComputeStats scans the dataset once and returns its summary statistics.
+func (d *Dataset) ComputeStats() Stats {
+	st := Stats{Sequences: len(d.seqs)}
+	if len(d.seqs) == 0 {
+		return st
+	}
+	st.MinLen = math.MaxInt
+	sum, sumSq := 0.0, 0.0
+	first := true
+	for _, s := range d.seqs {
+		n := len(s.Values)
+		st.TotalElements += n
+		if n < st.MinLen {
+			st.MinLen = n
+		}
+		if n > st.MaxLen {
+			st.MaxLen = n
+		}
+		for _, v := range s.Values {
+			if first {
+				st.MinValue, st.MaxValue = v, v
+				first = false
+			} else {
+				if v < st.MinValue {
+					st.MinValue = v
+				}
+				if v > st.MaxValue {
+					st.MaxValue = v
+				}
+			}
+			sum += v
+			sumSq += v * v
+		}
+	}
+	n := float64(st.TotalElements)
+	st.AvgLen = n / float64(st.Sequences)
+	st.MeanValue = sum / n
+	variance := sumSq/n - st.MeanValue*st.MeanValue
+	if variance > 0 {
+		st.StdDev = math.Sqrt(variance)
+	}
+	return st
+}

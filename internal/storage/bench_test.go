@@ -1,0 +1,53 @@
+package storage
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func benchPool(b *testing.B, capacity, nPages int) (*Pool, []PageID) {
+	b.Helper()
+	pf, err := CreateFile(filepath.Join(b.TempDir(), "bench.bin"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { pf.Close() })
+	pool, err := NewPool(pf, capacity)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := make([]PageID, nPages)
+	for i := range ids {
+		fr, err := pool.Alloc()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids[i] = fr.ID()
+		pool.Release(fr)
+	}
+	return pool, ids
+}
+
+func BenchmarkPoolGetHit(b *testing.B) {
+	pool, ids := benchPool(b, 64, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fr, err := pool.Get(ids[i%len(ids)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		pool.Release(fr)
+	}
+}
+
+func BenchmarkPoolGetMiss(b *testing.B) {
+	pool, ids := benchPool(b, 2, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fr, err := pool.Get(ids[i%len(ids)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		pool.Release(fr)
+	}
+}

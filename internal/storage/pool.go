@@ -1,0 +1,173 @@
+package storage
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+)
+
+// Frame is a pinned page in the buffer pool. Callers must Release every
+// frame they Get; a pinned frame is never evicted.
+type Frame struct {
+	id    PageID
+	data  []byte
+	pins  int
+	dirty bool
+	elem  *list.Element // position in the pool's LRU list (nil while pinned)
+}
+
+// ID returns the page id this frame holds.
+func (fr *Frame) ID() PageID { return fr.id }
+
+// Data returns the frame's page bytes. The slice remains valid until the
+// frame is released and evicted; do not retain it past Release.
+func (fr *Frame) Data() []byte { return fr.data }
+
+// MarkDirty records that the frame's bytes were modified and must be
+// written back before eviction.
+func (fr *Frame) MarkDirty() { fr.dirty = true }
+
+// PoolStats counts buffer pool activity since creation.
+type PoolStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// Pool is an LRU buffer pool over one page File. It is not safe for
+// concurrent use; concurrent searches each open their own Pool.
+type Pool struct {
+	file     *File
+	capacity int
+	frames   map[PageID]*Frame
+	lru      *list.List // unpinned frames, front = most recently used
+	stats    PoolStats
+}
+
+// NewPool wraps file with a pool holding at most capacity pages
+// (capacity >= 1).
+func NewPool(file *File, capacity int) (*Pool, error) {
+	if capacity < 1 {
+		return nil, errors.New("storage: pool capacity must be >= 1")
+	}
+	return &Pool{
+		file:     file,
+		capacity: capacity,
+		frames:   make(map[PageID]*Frame, capacity),
+		lru:      list.New(),
+	}, nil
+}
+
+// File returns the underlying page file.
+func (p *Pool) File() *File { return p.file }
+
+// Stats returns a copy of the pool's counters.
+func (p *Pool) Stats() PoolStats { return p.stats }
+
+// Get pins the page and returns its frame, reading it from disk on a miss.
+func (p *Pool) Get(id PageID) (*Frame, error) {
+	if fr, ok := p.frames[id]; ok {
+		p.stats.Hits++
+		p.pin(fr)
+		return fr, nil
+	}
+	p.stats.Misses++
+	fr, err := p.newFrame(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.file.ReadPage(id, fr.data); err != nil {
+		delete(p.frames, id)
+		return nil, err
+	}
+	return fr, nil
+}
+
+// Alloc extends the file by one page and returns it pinned and zeroed.
+func (p *Pool) Alloc() (*Frame, error) {
+	id, err := p.file.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	fr, err := p.newFrame(id)
+	if err != nil {
+		return nil, err
+	}
+	return fr, nil
+}
+
+// newFrame makes room and installs a pinned, zeroed frame for id.
+func (p *Pool) newFrame(id PageID) (*Frame, error) {
+	if len(p.frames) >= p.capacity {
+		if err := p.evictOne(); err != nil {
+			return nil, err
+		}
+	}
+	fr := &Frame{id: id, data: make([]byte, PageSize), pins: 1}
+	p.frames[id] = fr
+	return fr, nil
+}
+
+// Release unpins a frame obtained from Get or Alloc.
+func (p *Pool) Release(fr *Frame) {
+	if fr.pins <= 0 {
+		panic("storage: Release of unpinned frame")
+	}
+	fr.pins--
+	if fr.pins == 0 {
+		fr.elem = p.lru.PushFront(fr)
+	}
+}
+
+func (p *Pool) pin(fr *Frame) {
+	if fr.pins == 0 && fr.elem != nil {
+		p.lru.Remove(fr.elem)
+		fr.elem = nil
+	}
+	fr.pins++
+}
+
+// evictOne writes back and drops the least recently used unpinned frame.
+func (p *Pool) evictOne() error {
+	back := p.lru.Back()
+	if back == nil {
+		return fmt.Errorf("storage: pool of %d frames fully pinned", p.capacity)
+	}
+	fr := back.Value.(*Frame)
+	p.lru.Remove(back)
+	fr.elem = nil
+	if fr.dirty {
+		if err := p.file.WritePage(fr.id, fr.data); err != nil {
+			return err
+		}
+		fr.dirty = false
+	}
+	delete(p.frames, fr.id)
+	p.stats.Evictions++
+	return nil
+}
+
+// FlushAll writes back every dirty frame (pinned or not) without evicting.
+func (p *Pool) FlushAll() error {
+	for _, fr := range p.frames {
+		if fr.dirty {
+			if err := p.file.WritePage(fr.id, fr.data); err != nil {
+				return err
+			}
+			fr.dirty = false
+		}
+	}
+	return nil
+}
+
+// PinnedCount returns the number of currently pinned frames; used by tests
+// to verify that traversals release everything they touch.
+func (p *Pool) PinnedCount() int {
+	n := 0
+	for _, fr := range p.frames {
+		if fr.pins > 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,392 @@
+package storage
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func tempFile(t *testing.T) *File {
+	t.Helper()
+	pf, err := CreateFile(filepath.Join(t.TempDir(), "pages.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pf.Close() })
+	return pf
+}
+
+func TestFileCreateOpen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.bin")
+	pf, err := CreateFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.NumPages() != 1 {
+		t.Fatalf("new file has %d pages, want 1 (meta)", pf.NumPages())
+	}
+	id, err := pf.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 1 {
+		t.Fatalf("first alloc = %d, want 1", id)
+	}
+	buf := make([]byte, PageSize)
+	copy(buf, "hello pages")
+	if err := pf.WritePage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	pf2, err := OpenFile(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf2.Close()
+	if pf2.NumPages() != 2 {
+		t.Fatalf("reopened file has %d pages, want 2", pf2.NumPages())
+	}
+	got := make([]byte, PageSize)
+	if err := pf2.ReadPage(id, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, buf) {
+		t.Fatal("page content mismatch after reopen")
+	}
+}
+
+func TestFileBoundsAndModes(t *testing.T) {
+	pf := tempFile(t)
+	buf := make([]byte, PageSize)
+	if err := pf.ReadPage(99, buf); err == nil {
+		t.Error("out-of-range read accepted")
+	}
+	if err := pf.WritePage(99, buf); err == nil {
+		t.Error("out-of-range write accepted")
+	}
+	if err := pf.ReadPage(0, make([]byte, 10)); err == nil {
+		t.Error("short buffer accepted")
+	}
+
+	path := filepath.Join(t.TempDir(), "ro.bin")
+	pfw, err := CreateFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pfw.Close()
+	ro, err := OpenFile(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+	if _, err := ro.Alloc(); err == nil {
+		t.Error("Alloc on read-only file accepted")
+	}
+	if err := ro.SetMeta([]byte("x")); err == nil {
+		t.Error("SetMeta on read-only file accepted")
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk.bin")
+	if err := os.WriteFile(path, bytes.Repeat([]byte("x"), PageSize), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(path, true); err == nil {
+		t.Fatal("garbage file accepted")
+	}
+	if err := os.WriteFile(path, []byte("short"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(path, true); err == nil {
+		t.Fatal("short file accepted")
+	}
+}
+
+func TestMetaRoundTrip(t *testing.T) {
+	pf := tempFile(t)
+	blob := []byte("root=42;symbols=7")
+	if err := pf.SetMeta(blob); err != nil {
+		t.Fatal(err)
+	}
+	got, err := pf.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, blob) {
+		t.Fatalf("meta = %q, want %q", got, blob)
+	}
+	if err := pf.SetMeta(make([]byte, PageSize)); err == nil {
+		t.Error("oversized meta accepted")
+	}
+	// Empty meta on a fresh file.
+	pf2 := tempFile(t)
+	got2, err := pf2.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got2) != 0 {
+		t.Fatalf("fresh meta = %q, want empty", got2)
+	}
+}
+
+func TestPoolHitMissEvict(t *testing.T) {
+	pf := tempFile(t)
+	pool, err := NewPool(pf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three pages, capacity two.
+	var ids []PageID
+	for i := 0; i < 3; i++ {
+		fr, err := pool.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr.Data()[0] = byte('a' + i)
+		fr.MarkDirty()
+		ids = append(ids, fr.ID())
+		pool.Release(fr)
+	}
+	// Page ids[0] was evicted (written back); re-fetching it is a miss but
+	// content must survive.
+	fr, err := pool.Get(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Data()[0] != 'a' {
+		t.Fatalf("evicted page lost content: %q", fr.Data()[0])
+	}
+	pool.Release(fr)
+	st := pool.Stats()
+	if st.Evictions == 0 {
+		t.Error("no evictions recorded")
+	}
+	if st.Misses == 0 {
+		t.Error("no misses recorded")
+	}
+	// Immediate re-get is a hit.
+	before := pool.Stats().Hits
+	fr, err = pool.Get(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Release(fr)
+	if pool.Stats().Hits != before+1 {
+		t.Error("re-get did not hit")
+	}
+}
+
+func TestPoolPinPreventsEviction(t *testing.T) {
+	pf := tempFile(t)
+	pool, err := NewPool(pf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := pool.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pool is full with a pinned frame: the next alloc must fail, not evict.
+	if _, err := pool.Alloc(); err == nil {
+		t.Fatal("alloc evicted a pinned frame")
+	}
+	pool.Release(fr)
+	if _, err := pool.Alloc(); err != nil {
+		t.Fatalf("alloc after release failed: %v", err)
+	}
+	if pool.PinnedCount() != 1 {
+		t.Fatalf("pinned = %d, want 1", pool.PinnedCount())
+	}
+}
+
+func TestPoolDoubleReleasePanics(t *testing.T) {
+	pf := tempFile(t)
+	pool, _ := NewPool(pf, 2)
+	fr, err := pool.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Release(fr)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	pool.Release(fr)
+}
+
+func TestPoolFlushAll(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.bin")
+	pf, err := CreateFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, _ := NewPool(pf, 4)
+	fr, err := pool.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(fr.Data(), "dirty data")
+	fr.MarkDirty()
+	pool.Release(fr)
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	pf.Close()
+
+	pf2, err := OpenFile(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf2.Close()
+	buf := make([]byte, PageSize)
+	if err := pf2.ReadPage(1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf, []byte("dirty data")) {
+		t.Fatal("FlushAll did not persist dirty page")
+	}
+}
+
+func TestNewPoolBadCapacity(t *testing.T) {
+	pf := tempFile(t)
+	if _, err := NewPool(pf, 0); err == nil {
+		t.Fatal("capacity 0 accepted")
+	}
+}
+
+// Property: any interleaving of writes through a small pool and reads after
+// a full flush observes exactly the bytes last written per page — the pool
+// is a transparent cache.
+func TestQuickPoolTransparency(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	f := func() bool {
+		pf := mustCreate(t)
+		defer pf.Close()
+		pool, err := NewPool(pf, 1+rng.Intn(4))
+		if err != nil {
+			return false
+		}
+		nPages := 1 + rng.Intn(10)
+		want := make(map[PageID]byte)
+		var ids []PageID
+		for i := 0; i < nPages; i++ {
+			fr, err := pool.Alloc()
+			if err != nil {
+				return false
+			}
+			ids = append(ids, fr.ID())
+			pool.Release(fr)
+		}
+		// Random writes.
+		for op := 0; op < 50; op++ {
+			id := ids[rng.Intn(len(ids))]
+			fr, err := pool.Get(id)
+			if err != nil {
+				return false
+			}
+			b := byte(rng.Intn(256))
+			fr.Data()[17] = b
+			fr.MarkDirty()
+			want[id] = b
+			pool.Release(fr)
+		}
+		if err := pool.FlushAll(); err != nil {
+			return false
+		}
+		// Verify against the raw file, bypassing the pool.
+		buf := make([]byte, PageSize)
+		for id, b := range want {
+			if err := pf.ReadPage(id, buf); err != nil {
+				return false
+			}
+			if buf[17] != b {
+				return false
+			}
+		}
+		return pool.PinnedCount() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustCreate(t *testing.T) *File {
+	t.Helper()
+	pf, err := CreateFile(filepath.Join(t.TempDir(), "q.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pf
+}
+
+func TestFileCopy(t *testing.T) {
+	pf := tempFile(t)
+	id, err := pf.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	copy(buf, "copy me")
+	if err := pf.WritePage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := pf.Copy(&out); err != nil {
+		t.Fatal(err)
+	}
+	if int64(out.Len()) != pf.SizeBytes() {
+		t.Fatalf("copied %d bytes, want %d", out.Len(), pf.SizeBytes())
+	}
+	if !bytes.Contains(out.Bytes(), []byte("copy me")) {
+		t.Fatal("copy lost page content")
+	}
+}
+
+func TestFileSyncAndPath(t *testing.T) {
+	pf := tempFile(t)
+	if err := pf.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if pf.Path() == "" {
+		t.Fatal("empty path")
+	}
+	// Read-only sync is a no-op, not an error.
+	path := filepath.Join(t.TempDir(), "ro.bin")
+	w, err := CreateFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	ro, err := OpenFile(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+	if err := ro.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ro.WritePage(0, make([]byte, PageSize)); err == nil {
+		t.Fatal("read-only write accepted")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	pf := tempFile(t)
+	id, _ := pf.Alloc()
+	buf := make([]byte, PageSize)
+	pf.WritePage(id, buf)
+	pf.ReadPage(id, buf)
+	if pf.PagesWritten < 2 || pf.PagesRead < 1 {
+		t.Fatalf("counters: wrote %d read %d", pf.PagesWritten, pf.PagesRead)
+	}
+}

@@ -1,0 +1,72 @@
+package suffixtree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchStore(nSeq, seqLen, alphabet int) *TextStore {
+	rng := rand.New(rand.NewSource(77))
+	ts := NewTextStore()
+	for i := 0; i < nSeq; i++ {
+		text := make([]Symbol, seqLen)
+		for j := range text {
+			text[j] = Symbol(rng.Intn(alphabet))
+		}
+		ts.Add(text)
+	}
+	return ts
+}
+
+func benchSeqs(ts *TextStore) []int {
+	out := make([]int, ts.Len())
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func BenchmarkBuildUkkonen(b *testing.B) {
+	ts := benchStore(1, 2000, 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BuildUkkonen(ts, 0)
+	}
+}
+
+func BenchmarkBuildNaiveSingle(b *testing.B) {
+	ts := benchStore(1, 2000, 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BuildNaive(ts, []int{0}, false)
+	}
+}
+
+func BenchmarkBuildMergedDense(b *testing.B) {
+	ts := benchStore(32, 232, 20)
+	seqs := benchSeqs(ts)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BuildMerged(ts, seqs, false)
+	}
+}
+
+func BenchmarkBuildSparse(b *testing.B) {
+	ts := benchStore(32, 232, 8)
+	seqs := benchSeqs(ts)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BuildNaive(ts, seqs, true)
+	}
+}
+
+func BenchmarkFind(b *testing.B) {
+	ts := benchStore(32, 232, 8)
+	tree := BuildMerged(ts, benchSeqs(ts), false)
+	pattern := ts.Text(3)[10:16]
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tree.Find(pattern)
+	}
+}

@@ -1,0 +1,121 @@
+package suffixtree
+
+// Merge destructively merges tree b into tree a and returns a. Both trees
+// must share the same TextStore and index disjoint sequence sets (their
+// per-sequence terminators guarantee that no suffix of one is a prefix of a
+// suffix of the other). This is the paper's binary merge (Section 4.1): a
+// simultaneous pre-order traversal combining paths with common label
+// prefixes, O(|a|+|b|).
+func Merge(a, b *Tree) *Tree {
+	if a.Store != b.Store {
+		panic("suffixtree: Merge across different stores")
+	}
+	if a.Sparse != b.Sparse {
+		panic("suffixtree: Merge of sparse and dense trees")
+	}
+	if a.MinSuffixLen != b.MinSuffixLen {
+		panic("suffixtree: Merge of trees with different length filters")
+	}
+	a.mergeNodes(a.Root, b.Root)
+	return a
+}
+
+// mergeNodes merges y's children into x. x and y spell the same path label.
+func (t *Tree) mergeNodes(x, y *Node) {
+	if x.Leaf != nil || y.Leaf != nil {
+		// Two identical suffixes can only come from the same sequence.
+		panic("suffixtree: leaf collision during merge (overlapping sequence sets?)")
+	}
+	for _, yc := range y.Children {
+		xc := t.findChild(x, t.firstSymbol(yc))
+		if xc == nil {
+			t.insertChild(x, yc)
+			continue
+		}
+		t.mergeEdge(x, xc, yc)
+	}
+}
+
+// mergeEdge merges the subtree hanging off edge yc into the edge xc; both
+// edges hang off parent and start with the same symbol.
+func (t *Tree) mergeEdge(parent, xc, yc *Node) {
+	// Length of the common label prefix.
+	maxL := int(xc.LabelLen)
+	if int(yc.LabelLen) < maxL {
+		maxL = int(yc.LabelLen)
+	}
+	l := 1 // first symbols are known equal
+	for l < maxL &&
+		t.Store.Sym(int(xc.LabelSeq), int(xc.LabelStart)+l) ==
+			t.Store.Sym(int(yc.LabelSeq), int(yc.LabelStart)+l) {
+		l++
+	}
+
+	target := xc
+	if l < int(xc.LabelLen) {
+		// Split xc at l; the new internal node takes xc's place.
+		mid := &Node{LabelSeq: xc.LabelSeq, LabelStart: xc.LabelStart, LabelLen: int32(l)}
+		t.replaceChild(parent, xc, mid)
+		xc.LabelStart += int32(l)
+		xc.LabelLen -= int32(l)
+		t.insertChild(mid, xc)
+		target = mid
+	}
+
+	yc.LabelStart += int32(l)
+	yc.LabelLen -= int32(l)
+	if yc.LabelLen == 0 {
+		t.mergeNodes(target, yc)
+		return
+	}
+	if c := t.findChild(target, t.firstSymbol(yc)); c != nil {
+		t.mergeEdge(target, c, yc)
+		return
+	}
+	t.insertChild(target, yc)
+}
+
+// BuildMerged constructs the generalized suffix tree of the given sequences
+// the way the paper does: one tree per sequence (Ukkonen for dense trees,
+// suffix insertion for sparse ones, whose suffix subset Ukkonen cannot
+// emit), then a series of binary merges of trees of increasing size.
+func BuildMerged(store *TextStore, seqs []int, sparse bool) *Tree {
+	return BuildMergedFiltered(store, seqs, sparse, 0)
+}
+
+// BuildMergedFiltered is BuildMerged with the conclusion-section suffix
+// length filter. Filtered trees are built by suffix insertion (Ukkonen
+// always emits every suffix).
+func BuildMergedFiltered(store *TextStore, seqs []int, sparse bool, minSuffixLen int) *Tree {
+	trees := make([]*Tree, 0, len(seqs))
+	for _, seq := range seqs {
+		if len(store.Text(seq)) == 0 {
+			continue
+		}
+		var t *Tree
+		if !sparse && minSuffixLen <= 1 {
+			t = BuildUkkonen(store, seq)
+		} else {
+			t = BuildFiltered(store, []int{seq}, sparse, minSuffixLen)
+		}
+		t.Sparse = sparse
+		t.MinSuffixLen = minSuffixLen
+		trees = append(trees, t)
+	}
+	if len(trees) == 0 {
+		return &Tree{Store: store, Root: &Node{}, Sparse: sparse, MinSuffixLen: minSuffixLen}
+	}
+	// Balanced rounds of pairwise merges, so every merge combines trees of
+	// similar size.
+	for len(trees) > 1 {
+		next := trees[:0]
+		for i := 0; i+1 < len(trees); i += 2 {
+			next = append(next, Merge(trees[i], trees[i+1]))
+		}
+		if len(trees)%2 == 1 {
+			next = append(next, trees[len(trees)-1])
+		}
+		trees = next
+	}
+	return trees[0]
+}

@@ -1,0 +1,95 @@
+package suffixtree
+
+import (
+	"fmt"
+
+	"twsearch/internal/categorize"
+)
+
+// BuildNaive builds a generalized suffix tree over the given sequences by
+// inserting suffixes one at a time. For sparse trees it inserts only the
+// run-head suffixes (Section 6.1). It is the executable specification the
+// Ukkonen and merge builders are verified against, and the production
+// builder for sparse trees, whose suffix subsets Ukkonen cannot produce
+// directly.
+func BuildNaive(store *TextStore, seqs []int, sparse bool) *Tree {
+	return BuildFiltered(store, seqs, sparse, 0)
+}
+
+// BuildFiltered is BuildNaive with the conclusion-section length filter:
+// suffixes shorter than minSuffixLen are not inserted, because no answer of
+// at least that length can be anchored at their start. minSuffixLen <= 1
+// keeps every suffix.
+func BuildFiltered(store *TextStore, seqs []int, sparse bool, minSuffixLen int) *Tree {
+	t := &Tree{Store: store, Root: &Node{}, Sparse: sparse, MinSuffixLen: minSuffixLen}
+	for _, seq := range seqs {
+		text := store.Text(seq)
+		if len(text) == 0 {
+			continue
+		}
+		if sparse {
+			for _, pos := range categorize.RunHeads(text) {
+				if len(text)-pos >= minSuffixLen {
+					t.insertSuffix(seq, pos)
+				}
+			}
+		} else {
+			for pos := range text {
+				if len(text)-pos >= minSuffixLen {
+					t.insertSuffix(seq, pos)
+				}
+			}
+		}
+	}
+	return t
+}
+
+// insertSuffix adds the suffix text[pos:]+terminator of sequence seq.
+func (t *Tree) insertSuffix(seq, pos int) {
+	text := t.Store.Text(seq)
+	total := len(text) - pos + 1 // suffix length including terminator
+	runLen := int32(categorize.RunLengthAt(text, pos))
+	cur := t.Root
+	i := 0 // symbols of the suffix consumed so far
+	for {
+		if i >= total {
+			panic(fmt.Sprintf("suffixtree: suffix (%d,%d) already present", seq, pos))
+		}
+		child := t.findChild(cur, t.Store.Sym(seq, pos+i))
+		if child == nil {
+			t.insertChild(cur, &Node{
+				LabelSeq:   int32(seq),
+				LabelStart: int32(pos + i),
+				LabelLen:   int32(total - i),
+				Leaf:       &LeafInfo{Seq: int32(seq), Pos: int32(pos), RunLen: runLen},
+			})
+			return
+		}
+		// Match along the child's edge label.
+		j := 0
+		for j < int(child.LabelLen) && i < total &&
+			t.Store.Sym(int(child.LabelSeq), int(child.LabelStart)+j) == t.Store.Sym(seq, pos+i) {
+			j++
+			i++
+		}
+		if j == int(child.LabelLen) {
+			cur = child
+			continue
+		}
+		// Mismatch inside the edge: split at j. The per-sequence terminator
+		// guarantees i < total here (a suffix can never be a prefix of an
+		// existing path).
+		mid := &Node{LabelSeq: child.LabelSeq, LabelStart: child.LabelStart, LabelLen: int32(j)}
+		t.replaceChild(cur, child, mid)
+		child.LabelStart += int32(j)
+		child.LabelLen -= int32(j)
+		t.insertChild(mid, child)
+		t.insertChild(mid, &Node{
+			LabelSeq:   int32(seq),
+			LabelStart: int32(pos + i),
+			LabelLen:   int32(total - i),
+			Leaf:       &LeafInfo{Seq: int32(seq), Pos: int32(pos), RunLen: runLen},
+		})
+		return
+	}
+}

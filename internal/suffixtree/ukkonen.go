@@ -1,0 +1,145 @@
+package suffixtree
+
+import (
+	"sort"
+
+	"twsearch/internal/categorize"
+)
+
+// BuildUkkonen builds the suffix tree of one sequence in O(L) time with
+// Ukkonen's online algorithm — the "ordinary suffix tree algorithm" the
+// paper applies per sequence before merging (Section 4.1).
+func BuildUkkonen(store *TextStore, seq int) *Tree {
+	text := store.Text(seq)
+	// Work on s = text + terminator. Sym() exposes exactly this view.
+	n := len(text) + 1
+	sym := func(i int) Symbol { return store.Sym(seq, i) }
+
+	root := &unode{children: map[Symbol]*unode{}}
+	activeNode := root
+	activeEdge := 0 // index into s of the active edge's first symbol
+	activeLength := 0
+	remainder := 0
+
+	edgeLen := func(u *unode, pos int) int {
+		if u.end == openEnd {
+			return pos + 1 - u.start
+		}
+		return u.end - u.start
+	}
+
+	for pos := 0; pos < n; pos++ {
+		var needLink *unode
+		addLink := func(u *unode) {
+			if needLink != nil {
+				needLink.link = u
+			}
+			needLink = u
+		}
+		remainder++
+		for remainder > 0 {
+			if activeLength == 0 {
+				activeEdge = pos
+			}
+			child, ok := activeNode.children[sym(activeEdge)]
+			if !ok {
+				activeNode.children[sym(activeEdge)] = &unode{start: pos, end: openEnd}
+				addLink(activeNode)
+			} else {
+				el := edgeLen(child, pos)
+				if activeLength >= el {
+					// Walk down: the active point is past this edge.
+					activeEdge += el
+					activeLength -= el
+					activeNode = child
+					continue
+				}
+				if sym(child.start+activeLength) == sym(pos) {
+					// The symbol is already on the edge: rule 3, extension
+					// implicit. The terminator being unique means this never
+					// happens on the final symbol.
+					activeLength++
+					addLink(activeNode)
+					break
+				}
+				// Rule 2 with split.
+				split := &unode{
+					start:    child.start,
+					end:      child.start + activeLength,
+					children: map[Symbol]*unode{},
+				}
+				activeNode.children[sym(activeEdge)] = split
+				split.children[sym(pos)] = &unode{start: pos, end: openEnd}
+				child.start += activeLength
+				split.children[sym(child.start)] = child
+				addLink(split)
+			}
+			remainder--
+			if activeNode == root && activeLength > 0 {
+				activeLength--
+				activeEdge = pos - remainder + 1
+			} else if activeNode != root {
+				if activeNode.link != nil {
+					activeNode = activeNode.link
+				} else {
+					activeNode = root
+				}
+			}
+		}
+	}
+
+	// Convert to the exported node representation: close leaf ends, assign
+	// leaf suffix positions from path depth, sort children, and drop the
+	// terminator-only leaf (it stands for the empty suffix of the text).
+	t := &Tree{Store: store, Root: &Node{}}
+	var convert func(u *unode, pathLen int) *Node
+	convert = func(u *unode, pathLen int) *Node {
+		end := u.end
+		if end == openEnd {
+			end = n
+		}
+		labelLen := end - u.start
+		node := &Node{
+			LabelSeq:   int32(seq),
+			LabelStart: int32(u.start),
+			LabelLen:   int32(labelLen),
+		}
+		pathLen += labelLen
+		if len(u.children) == 0 {
+			posInText := n - pathLen
+			node.Leaf = &LeafInfo{
+				Seq:    int32(seq),
+				Pos:    int32(posInText),
+				RunLen: int32(categorize.RunLengthAt(text, posInText)),
+			}
+			return node
+		}
+		syms := make([]Symbol, 0, len(u.children))
+		for s := range u.children {
+			syms = append(syms, s)
+		}
+		sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
+		node.Children = make([]*Node, 0, len(syms))
+		for _, s := range syms {
+			node.Children = append(node.Children, convert(u.children[s], pathLen))
+		}
+		return node
+	}
+	for s, u := range root.children {
+		if IsTerminator(s) {
+			continue // empty-suffix leaf
+		}
+		t.insertChild(t.Root, convert(u, 0))
+	}
+	return t
+}
+
+const openEnd = -1
+
+// unode is Ukkonen's construction-time node: edge label s[start:end), with
+// end == openEnd meaning "grows with the text".
+type unode struct {
+	start, end int
+	children   map[Symbol]*unode
+	link       *unode
+}

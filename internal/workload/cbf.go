@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"twsearch/internal/sequence"
+)
+
+// CBFClass is one of the three Cylinder–Bell–Funnel shape classes — the
+// classic synthetic benchmark (Saito 1994) used throughout the time-series
+// matching literature that grew out of this paper's problem setting. 1-NN
+// classification under DTW on CBF is the canonical sanity check for a time
+// warping matcher.
+type CBFClass int
+
+// The three classes.
+const (
+	Cylinder CBFClass = iota // flat plateau
+	Bell                     // linear ramp up, sharp drop
+	Funnel                   // sharp rise, linear ramp down
+)
+
+func (c CBFClass) String() string {
+	switch c {
+	case Cylinder:
+		return "cylinder"
+	case Bell:
+		return "bell"
+	default:
+		return "funnel"
+	}
+}
+
+// CBFConfig parameterizes CBF generation.
+type CBFConfig struct {
+	// PerClass is how many instances of each class to generate.
+	PerClass int
+	// Len is the instance length (default 128, the traditional value).
+	Len int
+	// Noise is the additive Gaussian noise sigma (default 0.5).
+	Noise float64
+	Seed  int64
+}
+
+// CBF generates a labelled Cylinder–Bell–Funnel dataset. Sequence ids are
+// "<class>-<i>", so the class is recoverable from the id; labels are also
+// returned indexed by dataset position.
+func CBF(cfg CBFConfig) (*sequence.Dataset, []CBFClass) {
+	if cfg.Len == 0 {
+		cfg.Len = 128
+	}
+	if cfg.Noise == 0 {
+		cfg.Noise = 0.5
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := sequence.NewDataset()
+	var labels []CBFClass
+	for _, class := range []CBFClass{Cylinder, Bell, Funnel} {
+		for i := 0; i < cfg.PerClass; i++ {
+			d.MustAdd(sequence.Sequence{
+				ID:     fmt.Sprintf("%s-%03d", class, i),
+				Values: CBFInstance(rng, class, cfg.Len, cfg.Noise),
+			})
+			labels = append(labels, class)
+		}
+	}
+	return d, labels
+}
+
+// CBFInstance generates one instance: the class shape occupies a random
+// window [a, b] with random amplitude, embedded in noise — so instances of
+// one class differ in onset, duration and height, which is exactly what
+// time warping absorbs and lock-step distances do not.
+func CBFInstance(rng *rand.Rand, class CBFClass, n int, noise float64) []float64 {
+	a := n/8 + rng.Intn(n/4)     // event onset
+	b := a + n/4 + rng.Intn(n/3) // event end
+	if b > n-4 {
+		b = n - 4
+	}
+	amp := 4 + rng.NormFloat64() // event height ~ N(4,1) above baseline
+	vals := make([]float64, n)
+	for t := range vals {
+		v := 0.0
+		if t >= a && t <= b {
+			frac := float64(t-a) / float64(b-a)
+			switch class {
+			case Cylinder:
+				v = amp
+			case Bell:
+				v = amp * frac
+			case Funnel:
+				v = amp * (1 - frac)
+			}
+		}
+		vals[t] = math.Round((v+rng.NormFloat64()*noise)*100) / 100
+	}
+	return vals
+}

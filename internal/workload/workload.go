@@ -1,0 +1,218 @@
+// Package workload generates the paper's two evaluation datasets and its
+// query mix.
+//
+// The paper's stock data (545 S&P 500 daily-closing-price series, average
+// length 232, from a long-dead URL) is unavailable; Stocks substitutes
+// seeded random walks with the same sequence count, length distribution,
+// and price-band mix the paper itself reports (20% of queries from stocks
+// averaging under $30, 50% from $30–60, 30% above). The artificial dataset
+// is the paper's own definition, S[p] = S[p-1] + Z_p with i.i.d. Z.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"twsearch/internal/sequence"
+)
+
+// Band identifies the paper's three average-price bands.
+type Band int
+
+// The price bands of Section 7's query mix.
+const (
+	BandLow  Band = iota // average price below $30
+	BandMid              // average price $30–60
+	BandHigh             // average price above $60
+)
+
+// BandOf buckets an average price.
+func BandOf(avg float64) Band {
+	switch {
+	case avg < 30:
+		return BandLow
+	case avg <= 60:
+		return BandMid
+	default:
+		return BandHigh
+	}
+}
+
+// StockConfig parameterizes the synthetic S&P 500 stand-in.
+type StockConfig struct {
+	// NumSequences defaults to the paper's 545.
+	NumSequences int
+	// AvgLen defaults to the paper's 232. Individual lengths are uniform in
+	// [AvgLen-LenJitter, AvgLen+LenJitter].
+	AvgLen    int
+	LenJitter int
+	// SigmaFrac is the daily step's standard deviation as a fraction of the
+	// start price. The default 0.02 is calibrated so the answer-set sizes
+	// of Table 3's eps sweep land near the paper's (tens of answers per
+	// query at eps=5, hundreds of thousands at eps=50).
+	SigmaFrac float64
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+func (c StockConfig) withDefaults() StockConfig {
+	if c.NumSequences == 0 {
+		c.NumSequences = 545
+	}
+	if c.AvgLen == 0 {
+		c.AvgLen = 232
+	}
+	if c.LenJitter == 0 {
+		c.LenJitter = c.AvgLen / 4
+	}
+	if c.SigmaFrac == 0 {
+		c.SigmaFrac = 0.02
+	}
+	return c
+}
+
+// Stocks generates the stock-like dataset: per-sequence start prices drawn
+// so the three bands hold 20%/50%/30% of the sequences, then a daily random
+// walk with price-proportional steps, rounded to cents and floored at $1.
+func Stocks(cfg StockConfig) *sequence.Dataset {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := sequence.NewDataset()
+	for i := 0; i < cfg.NumSequences; i++ {
+		var start float64
+		switch r := rng.Float64(); {
+		case r < 0.20:
+			start = 5 + rng.Float64()*23 // [5, 28): stays under $30 on average
+		case r < 0.70:
+			start = 32 + rng.Float64()*26 // [32, 58)
+		default:
+			start = 65 + rng.Float64()*85 // [65, 150)
+		}
+		n := cfg.AvgLen - cfg.LenJitter + rng.Intn(2*cfg.LenJitter+1)
+		if n < 2 {
+			n = 2
+		}
+		vals := make([]float64, n)
+		price := start
+		sigma := math.Max(0.05, cfg.SigmaFrac*start)
+		for j := range vals {
+			price += rng.NormFloat64() * sigma
+			if price < 1 {
+				price = 1
+			}
+			vals[j] = math.Round(price*100) / 100
+		}
+		d.MustAdd(sequence.Sequence{ID: fmt.Sprintf("stock-%04d", i), Values: vals})
+	}
+	return d
+}
+
+// ArtificialConfig parameterizes the random-walk dataset of Sections 7 and
+// 7.3 (scalability): S[p] = S[p-1] + Z_p.
+type ArtificialConfig struct {
+	NumSequences int
+	// Len is the average sequence length; individual lengths are uniform in
+	// [Len-LenJitter, Len+LenJitter].
+	Len       int
+	LenJitter int
+	// StepSigma is Z's standard deviation (default 1).
+	StepSigma float64
+	Seed      int64
+}
+
+// Artificial generates the paper's artificial sequences.
+func Artificial(cfg ArtificialConfig) *sequence.Dataset {
+	if cfg.StepSigma == 0 {
+		cfg.StepSigma = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := sequence.NewDataset()
+	for i := 0; i < cfg.NumSequences; i++ {
+		n := cfg.Len
+		if cfg.LenJitter > 0 {
+			n = cfg.Len - cfg.LenJitter + rng.Intn(2*cfg.LenJitter+1)
+		}
+		if n < 2 {
+			n = 2
+		}
+		vals := make([]float64, n)
+		v := rng.NormFloat64() * 10
+		for j := range vals {
+			v += rng.NormFloat64() * cfg.StepSigma
+			vals[j] = math.Round(v*100) / 100
+		}
+		d.MustAdd(sequence.Sequence{ID: fmt.Sprintf("art-%05d", i), Values: vals})
+	}
+	return d
+}
+
+// QueryConfig parameterizes query sampling.
+type QueryConfig struct {
+	// Count is the number of queries to draw.
+	Count int
+	// AvgLen defaults to the paper's 20; lengths are uniform in
+	// [AvgLen-5, AvgLen+5] (clamped to at least 2).
+	AvgLen int
+	Seed   int64
+}
+
+// Queries samples query sequences from the dataset with the paper's band
+// mix: 20% from low-band sequences, 50% mid, 30% high. When a band has no
+// sequences (artificial data), queries fall back to uniform sampling.
+func Queries(data *sequence.Dataset, cfg QueryConfig) [][]float64 {
+	if cfg.AvgLen == 0 {
+		cfg.AvgLen = 20
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Bucket sequences by average value.
+	var buckets [3][]int
+	for i := 0; i < data.Len(); i++ {
+		vals := data.Values(i)
+		sum := 0.0
+		for _, v := range vals {
+			sum += v
+		}
+		b := BandOf(sum / float64(len(vals)))
+		buckets[b] = append(buckets[b], i)
+	}
+	anyBucket := make([]int, data.Len())
+	for i := range anyBucket {
+		anyBucket[i] = i
+	}
+
+	pick := func(b Band) []int {
+		if len(buckets[b]) > 0 {
+			return buckets[b]
+		}
+		return anyBucket
+	}
+
+	queries := make([][]float64, 0, cfg.Count)
+	for i := 0; i < cfg.Count; i++ {
+		var bucket []int
+		switch r := rng.Float64(); {
+		case r < 0.20:
+			bucket = pick(BandLow)
+		case r < 0.70:
+			bucket = pick(BandMid)
+		default:
+			bucket = pick(BandHigh)
+		}
+		seq := bucket[rng.Intn(len(bucket))]
+		vals := data.Values(seq)
+		n := cfg.AvgLen - 5 + rng.Intn(11)
+		if n < 2 {
+			n = 2
+		}
+		if n > len(vals) {
+			n = len(vals)
+		}
+		start := rng.Intn(len(vals) - n + 1)
+		q := make([]float64, n)
+		copy(q, vals[start:start+n])
+		queries = append(queries, q)
+	}
+	return queries
+}

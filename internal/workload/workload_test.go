@@ -1,0 +1,234 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"twsearch/internal/dtw"
+	"twsearch/internal/sequence"
+)
+
+func TestBandOf(t *testing.T) {
+	cases := []struct {
+		avg  float64
+		want Band
+	}{
+		{10, BandLow}, {29.99, BandLow}, {30, BandMid}, {60, BandMid}, {60.01, BandHigh}, {150, BandHigh},
+	}
+	for _, c := range cases {
+		if got := BandOf(c.avg); got != c.want {
+			t.Errorf("BandOf(%v) = %v, want %v", c.avg, got, c.want)
+		}
+	}
+}
+
+func avgOf(vals []float64) float64 {
+	s := 0.0
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}
+
+func TestStocksMatchesPaperShape(t *testing.T) {
+	d := Stocks(StockConfig{Seed: 1})
+	if d.Len() != 545 {
+		t.Fatalf("sequences = %d, want 545", d.Len())
+	}
+	st := d.ComputeStats()
+	if math.Abs(st.AvgLen-232) > 20 {
+		t.Errorf("avg length = %v, want near 232", st.AvgLen)
+	}
+	if st.MinValue < 1 {
+		t.Errorf("price below $1: %v", st.MinValue)
+	}
+	// Band mix close to 20/50/30.
+	var counts [3]int
+	for i := 0; i < d.Len(); i++ {
+		counts[BandOf(avgOf(d.Values(i)))]++
+	}
+	frac := func(c int) float64 { return float64(c) / float64(d.Len()) }
+	if math.Abs(frac(counts[0])-0.20) > 0.07 {
+		t.Errorf("low band fraction = %v, want ~0.20", frac(counts[0]))
+	}
+	if math.Abs(frac(counts[1])-0.50) > 0.07 {
+		t.Errorf("mid band fraction = %v, want ~0.50", frac(counts[1]))
+	}
+	if math.Abs(frac(counts[2])-0.30) > 0.07 {
+		t.Errorf("high band fraction = %v, want ~0.30", frac(counts[2]))
+	}
+	// Prices rounded to cents.
+	v := d.Values(0)[0]
+	if math.Round(v*100) != v*100 {
+		t.Errorf("price %v not cent-rounded", v)
+	}
+}
+
+func TestStocksDeterministic(t *testing.T) {
+	a := Stocks(StockConfig{NumSequences: 10, Seed: 7})
+	b := Stocks(StockConfig{NumSequences: 10, Seed: 7})
+	for i := 0; i < a.Len(); i++ {
+		if !reflect.DeepEqual(a.Values(i), b.Values(i)) {
+			t.Fatal("same seed produced different data")
+		}
+	}
+	c := Stocks(StockConfig{NumSequences: 10, Seed: 8})
+	if reflect.DeepEqual(a.Values(0), c.Values(0)) {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestArtificial(t *testing.T) {
+	d := Artificial(ArtificialConfig{NumSequences: 200, Len: 100, Seed: 3})
+	if d.Len() != 200 {
+		t.Fatalf("sequences = %d", d.Len())
+	}
+	for i := 0; i < d.Len(); i++ {
+		if len(d.Values(i)) != 100 {
+			t.Fatalf("sequence %d length %d, want exactly 100 with no jitter", i, len(d.Values(i)))
+		}
+	}
+	// Random-walk property: steps have roughly unit variance.
+	vals := d.Values(0)
+	sumSq := 0.0
+	for j := 1; j < len(vals); j++ {
+		step := vals[j] - vals[j-1]
+		sumSq += step * step
+	}
+	sd := math.Sqrt(sumSq / float64(len(vals)-1))
+	if sd < 0.5 || sd > 2 {
+		t.Errorf("step stddev = %v, want near 1", sd)
+	}
+	dj := Artificial(ArtificialConfig{NumSequences: 5, Len: 50, LenJitter: 10, Seed: 4})
+	for i := 0; i < dj.Len(); i++ {
+		n := len(dj.Values(i))
+		if n < 40 || n > 60 {
+			t.Errorf("jittered length %d outside [40,60]", n)
+		}
+	}
+}
+
+func TestQueriesShape(t *testing.T) {
+	d := Stocks(StockConfig{NumSequences: 100, Seed: 5})
+	qs := Queries(d, QueryConfig{Count: 200, Seed: 6})
+	if len(qs) != 200 {
+		t.Fatalf("queries = %d", len(qs))
+	}
+	totalLen := 0
+	for _, q := range qs {
+		if len(q) < 2 || len(q) > 25 {
+			t.Fatalf("query length %d outside [2,25]", len(q))
+		}
+		totalLen += len(q)
+	}
+	avg := float64(totalLen) / float64(len(qs))
+	if math.Abs(avg-20) > 3 {
+		t.Errorf("avg query length = %v, want near 20", avg)
+	}
+	// Each query is a verbatim subsequence of some stock.
+	q := qs[0]
+	found := false
+	for i := 0; i < d.Len() && !found; i++ {
+		vals := d.Values(i)
+		for p := 0; p+len(q) <= len(vals); p++ {
+			match := true
+			for k := range q {
+				if vals[p+k] != q[k] {
+					match = false
+					break
+				}
+			}
+			if match {
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Error("query is not a subsequence of the dataset")
+	}
+}
+
+func TestQueriesFallbackWhenBandsEmpty(t *testing.T) {
+	// Artificial data is centered near zero: most sequences land in the low
+	// band; mid/high buckets may be empty and must fall back, not panic.
+	d := Artificial(ArtificialConfig{NumSequences: 10, Len: 50, Seed: 9})
+	qs := Queries(d, QueryConfig{Count: 30, Seed: 10})
+	if len(qs) != 30 {
+		t.Fatalf("queries = %d", len(qs))
+	}
+}
+
+func TestQueriesShortSequences(t *testing.T) {
+	d := sequence.NewDataset()
+	d.MustAdd(sequence.Sequence{ID: "tiny", Values: []float64{1, 2, 3}})
+	qs := Queries(d, QueryConfig{Count: 5, Seed: 11})
+	for _, q := range qs {
+		if len(q) > 3 {
+			t.Fatalf("query longer than its source sequence: %d", len(q))
+		}
+	}
+}
+
+func TestCBFShapes(t *testing.T) {
+	d, labels := CBF(CBFConfig{PerClass: 10, Seed: 41})
+	if d.Len() != 30 || len(labels) != 30 {
+		t.Fatalf("len = %d labels = %d", d.Len(), len(labels))
+	}
+	for i := 0; i < d.Len(); i++ {
+		if len(d.Values(i)) != 128 {
+			t.Fatalf("instance %d length %d", i, len(d.Values(i)))
+		}
+	}
+	// Ids encode the class.
+	if d.Seq(0).ID[:8] != "cylinder" {
+		t.Fatalf("id = %q", d.Seq(0).ID)
+	}
+	if labels[0] != Cylinder || labels[10] != Bell || labels[20] != Funnel {
+		t.Fatalf("labels wrong: %v %v %v", labels[0], labels[10], labels[20])
+	}
+	// Cylinders plateau: their mean over the event window is higher than
+	// bells' early window. Just check basic signal presence: max >> noise.
+	for i := 0; i < d.Len(); i++ {
+		max := 0.0
+		for _, v := range d.Values(i) {
+			if v > max {
+				max = v
+			}
+		}
+		if max < 1.5 {
+			t.Fatalf("instance %d has no visible event (max=%v)", i, max)
+		}
+	}
+	if Cylinder.String() != "cylinder" || Bell.String() != "bell" || Funnel.String() != "funnel" {
+		t.Fatal("class names wrong")
+	}
+}
+
+// 1-NN under whole-sequence DTW must classify held-out CBF instances well —
+// the canonical time warping sanity check.
+func TestCBFOneNNClassification(t *testing.T) {
+	train, trainLabels := CBF(CBFConfig{PerClass: 15, Seed: 43})
+	rng := rand.New(rand.NewSource(44))
+	correct, total := 0, 0
+	for _, class := range []CBFClass{Cylinder, Bell, Funnel} {
+		for trial := 0; trial < 5; trial++ {
+			q := CBFInstance(rng, class, 128, 0.5)
+			best, bestDist := CBFClass(-1), math.Inf(1)
+			for i := 0; i < train.Len(); i++ {
+				if d := dtw.Distance(train.Values(i), q); d < bestDist {
+					best, bestDist = trainLabels[i], d
+				}
+			}
+			if best == class {
+				correct++
+			}
+			total++
+		}
+	}
+	if correct < total*4/5 {
+		t.Fatalf("1-NN DTW accuracy %d/%d below 80%%", correct, total)
+	}
+}

@@ -1,0 +1,75 @@
+package twsearch_test
+
+import (
+	"math"
+	"testing"
+
+	"twsearch/internal/dtw"
+)
+
+// TestPaperIntroductionClaims verifies the numeric claims of the paper's
+// introduction, word for word: "The Euclidean distance between S2 and any
+// subsequence of length four of S1 is greater than 1.41. However, if we
+// duplicate every element of S2 using time warping, we find that the two
+// sequences are identical."
+func TestPaperIntroductionClaims(t *testing.T) {
+	s1 := []float64{20, 20, 21, 21, 20, 20, 23, 23}
+	s2 := []float64{20, 21, 20, 23}
+
+	minEuclid := math.Inf(1)
+	for p := 0; p+len(s2) <= len(s1); p++ {
+		sum := 0.0
+		for i := range s2 {
+			d := s1[p+i] - s2[i]
+			sum += d * d
+		}
+		if e := math.Sqrt(sum); e < minEuclid {
+			minEuclid = e
+		}
+	}
+	if !(minEuclid > 1.41) {
+		t.Fatalf("min Euclidean distance over length-4 windows = %v, paper says > 1.41", minEuclid)
+	}
+
+	if d := dtw.Distance(s1, s2); d != 0 {
+		t.Fatalf("D_tw(S1, S2) = %v, paper says identical under time warping", d)
+	}
+
+	// "if we duplicate every element of S2 ... the two sequences are
+	// identical" — check the duplication explicitly.
+	doubled := make([]float64, 0, 2*len(s2))
+	for _, v := range s2 {
+		doubled = append(doubled, v, v)
+	}
+	for i := range s1 {
+		if s1[i] != doubled[i] {
+			t.Fatalf("duplicated S2 differs from S1 at %d", i)
+		}
+	}
+}
+
+// TestPaperSection4Complexities spot-checks the cumulative-table sharing
+// factor R_d formula of Section 4.3 on a concrete instance: k suffixes with
+// a shared prefix of length t cost (sum |a_i|) - t(k-1) rows instead of
+// sum |a_i| rows.
+func TestPaperSection4SharingFactor(t *testing.T) {
+	// Three suffixes sharing a 4-symbol prefix, lengths 10, 8, 6.
+	lengths := []int{10, 8, 6}
+	shared := 4
+	naive := 0
+	for _, l := range lengths {
+		naive += l
+	}
+	sharedCost := shared // the prefix rows, computed once
+	for _, l := range lengths {
+		sharedCost += l - shared
+	}
+	wantSaved := shared * (len(lengths) - 1)
+	if naive-sharedCost != wantSaved {
+		t.Fatalf("sharing saves %d rows, formula says %d", naive-sharedCost, wantSaved)
+	}
+	rd := float64(naive) / float64(sharedCost)
+	if rd <= 1 {
+		t.Fatalf("R_d = %v, must exceed 1 with a shared prefix", rd)
+	}
+}

@@ -1,0 +1,203 @@
+package seqdb
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"twsearch/internal/categorize"
+	"twsearch/internal/core"
+	"twsearch/internal/dtw"
+	"twsearch/internal/sequence"
+)
+
+// SearchKNN returns the k subsequences nearest to q under the time warping
+// distance, through the named index. See the range Search for the matching
+// semantics; nearest-neighbor search expands the threshold until k answers
+// are certain.
+func (db *DB) SearchKNN(indexName string, q []float64, k int) ([]Match, SearchStats, error) {
+	oi, ok := db.indexes[indexName]
+	if !ok {
+		return nil, SearchStats{}, fmt.Errorf("seqdb: no index %q", indexName)
+	}
+	ms, stats, err := oi.ix.SearchKNN(q, k)
+	if err != nil {
+		return nil, stats, err
+	}
+	return db.publicMatches(ms), stats, nil
+}
+
+// SearchParallel runs one range search per query concurrently, each worker
+// on its own handle of the index file (its own buffer pool). Results are
+// returned in query order. workers <= 0 means one worker per query, capped
+// at 8.
+func (db *DB) SearchParallel(indexName string, queries [][]float64, eps float64, workers int) ([][]Match, error) {
+	oi, ok := db.indexes[indexName]
+	if !ok {
+		return nil, fmt.Errorf("seqdb: no index %q", indexName)
+	}
+	if workers <= 0 {
+		workers = len(queries)
+		if workers > 8 {
+			workers = 8
+		}
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers == 0 {
+		return nil, nil
+	}
+
+	results := make([][]Match, len(queries))
+	errs := make([]error, workers)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		dup, err := oi.ix.Dup(oi.spec.PoolPages)
+		if err != nil {
+			close(jobs)
+			wg.Wait()
+			return nil, err
+		}
+		wg.Add(1)
+		go func(w int, ix *core.Index) {
+			defer wg.Done()
+			defer ix.Close()
+			for j := range jobs {
+				ms, _, err := ix.Search(queries[j], eps)
+				if err != nil {
+					errs[w] = err
+					continue
+				}
+				results[j] = db.publicMatches(ms)
+			}
+		}(w, dup)
+	}
+	for j := range queries {
+		jobs <- j
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// AlignmentStep records that query element QueryIndex was matched to the
+// sequence element at absolute position SeqIndex by the optimal warping
+// path.
+type AlignmentStep struct {
+	QueryIndex int
+	SeqIndex   int
+}
+
+// Align recomputes a match's optimal warping path against the query —
+// Figure 1(b)'s element mapping — so callers can explain which elements
+// were stretched or compressed. It returns the exact distance (equal to the
+// match's Distance for an unconstrained index) and the path in forward
+// order.
+func (db *DB) Align(m Match, q []float64) (float64, []AlignmentStep, error) {
+	vals := db.Values(m.SeqID)
+	if vals == nil {
+		return 0, nil, fmt.Errorf("seqdb: no sequence %q", m.SeqID)
+	}
+	if m.Start < 0 || m.End > len(vals) || m.Start >= m.End {
+		return 0, nil, fmt.Errorf("seqdb: match range [%d,%d) out of bounds of %q", m.Start, m.End, m.SeqID)
+	}
+	if len(q) == 0 {
+		return 0, nil, fmt.Errorf("seqdb: empty query")
+	}
+	dist, pairs := dtw.Align(vals[m.Start:m.End], q)
+	steps := make([]AlignmentStep, len(pairs))
+	for i, p := range pairs {
+		steps[i] = AlignmentStep{QueryIndex: p.Y, SeqIndex: m.Start + p.X}
+	}
+	return dist, steps, nil
+}
+
+// CostModel re-exports the Section 5.1 weighting of query time against
+// index space used by SelectCategories.
+type CostModel = categorize.CostModel
+
+// CategoryMeasure is one trial of SelectCategories: the candidate count,
+// its average query seconds, and its index size in KB.
+type CategoryMeasure = categorize.Measure
+
+// SelectCategories implements the paper's category-count selection: it
+// builds a trial index per candidate count (with the given spec's method
+// and sparsity), measures average query time at eps over the sample
+// queries and the index size, and returns the count minimizing
+// model.Wt*seconds + model.Ws*KB, along with every measurement.
+func (db *DB) SelectCategories(spec IndexSpec, counts []int, queries [][]float64, eps float64, model CostModel) (int, []CategoryMeasure, error) {
+	spec = spec.withDefaults()
+	best, measures, err := core.SelectCategories(db.data, queries, eps, counts, model,
+		core.Options{
+			Kind:         categorize.Kind(spec.Method),
+			Sparse:       spec.Sparse,
+			Window:       spec.Window,
+			MinAnswerLen: spec.MinAnswerLen,
+		}, db.dir)
+	if err != nil {
+		return 0, nil, err
+	}
+	return best.Count, measures, nil
+}
+
+// ExportCSV writes every sequence as an id,v1,v2,... line — a portable dump
+// readable by ImportCSV and by cmd/seqdbctl import.
+func (db *DB) ExportCSV(w io.Writer) error {
+	return db.data.WriteCSV(w)
+}
+
+// ImportCSV appends all sequences from an id,v1,v2,... stream (blank lines
+// and '#' comments skipped). Like Add, it is rejected while indexes exist.
+// On a malformed line nothing is imported.
+func (db *DB) ImportCSV(r io.Reader) (int, error) {
+	if len(db.indexes) > 0 {
+		return 0, fmt.Errorf("seqdb: cannot import while indexes exist; drop indexes first")
+	}
+	parsed, err := sequence.ReadCSV(r)
+	if err != nil {
+		return 0, err
+	}
+	// Validate every id against the current dataset before mutating.
+	for i := 0; i < parsed.Len(); i++ {
+		if db.data.ByID(parsed.Seq(i).ID) >= 0 {
+			return 0, fmt.Errorf("seqdb: sequence %q already exists", parsed.Seq(i).ID)
+		}
+	}
+	for i := 0; i < parsed.Len(); i++ {
+		s := parsed.Seq(i)
+		if _, err := db.data.Add(s); err != nil {
+			return i, err
+		}
+	}
+	return parsed.Len(), nil
+}
+
+// SearchVisit streams answers to fn instead of materializing them: fn is
+// called once per answer (unordered); returning false stops the search.
+// Use it when a permissive threshold would produce answer sets too large
+// to hold in memory.
+func (db *DB) SearchVisit(indexName string, q []float64, eps float64, fn func(Match) bool) (SearchStats, error) {
+	oi, ok := db.indexes[indexName]
+	if !ok {
+		return SearchStats{}, fmt.Errorf("seqdb: no index %q", indexName)
+	}
+	if fn == nil {
+		return SearchStats{}, fmt.Errorf("seqdb: nil visitor")
+	}
+	return oi.ix.SearchVisit(q, eps, func(m core.Match) bool {
+		return fn(Match{
+			SeqID:    db.data.Seq(m.Ref.Seq).ID,
+			Seq:      m.Ref.Seq,
+			Start:    m.Ref.Start,
+			End:      m.Ref.End,
+			Distance: m.Distance,
+		})
+	})
+}

@@ -1,0 +1,254 @@
+package seqdb
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"twsearch/internal/categorize"
+	"twsearch/internal/core"
+	"twsearch/internal/disktree"
+)
+
+// Method selects how continuous values are turned into category symbols.
+type Method string
+
+// The available categorization methods. MethodExact keeps every distinct
+// value as its own point category, giving the paper's exact suffix tree ST
+// (large index, no post-processing); the others give the compact lossy
+// indexes ST_C / SST_C.
+const (
+	MethodExact       Method = Method(categorize.KindIdentity)
+	MethodEqualLength Method = Method(categorize.KindEqualLength)
+	MethodMaxEntropy  Method = Method(categorize.KindMaxEntropy)
+	MethodKMeans      Method = Method(categorize.KindKMeans)
+)
+
+// IndexSpec describes an index to build.
+type IndexSpec struct {
+	// Method defaults to MethodMaxEntropy — the configuration the paper
+	// recommends after its Section 7.1 study.
+	Method Method
+	// Categories is the number of categories (default 20; ignored by
+	// MethodExact).
+	Categories int
+	// Sparse stores only run-head suffixes — the paper's SST_C.
+	Sparse bool
+	// Window, when positive, constrains matching to a Sakoe–Chiba band of
+	// that half-width and prunes by the implied answer-length bounds
+	// (the paper's conclusion-section extension). Zero or negative means
+	// unconstrained.
+	Window int
+	// MinAnswerLen, when > 1, shrinks the index by skipping suffixes
+	// shorter than this (the conclusion's other space optimization);
+	// Search then returns only answers of at least this length.
+	MinAnswerLen int
+	// BatchSize and PoolPages tune the disk build pipeline (sequences per
+	// in-memory tree; buffer pool pages per file).
+	BatchSize int
+	PoolPages int
+}
+
+func (s IndexSpec) withDefaults() IndexSpec {
+	if s.Method == "" {
+		s.Method = MethodMaxEntropy
+	}
+	if s.Categories == 0 {
+		s.Categories = 20
+	}
+	if s.Window <= 0 {
+		s.Window = -1
+	}
+	return s
+}
+
+func validIndexName(name string) error {
+	if name == "" {
+		return errors.New("seqdb: empty index name")
+	}
+	for _, r := range name {
+		if !(r == '-' || r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')) {
+			return fmt.Errorf("seqdb: index name %q contains %q", name, r)
+		}
+	}
+	return nil
+}
+
+func (db *DB) treePath(name string) string {
+	return filepath.Join(db.dir, "idx-"+name+".twt")
+}
+
+func (db *DB) schemePath(name string) string {
+	return filepath.Join(db.dir, "idx-"+name+".cat")
+}
+
+func (db *DB) metaPath(name string) string {
+	return filepath.Join(db.dir, "idx-"+name+".meta")
+}
+
+// BuildIndex builds and persists a new index.
+func (db *DB) BuildIndex(name string, spec IndexSpec) error {
+	if err := validIndexName(name); err != nil {
+		return err
+	}
+	if _, exists := db.indexes[name]; exists {
+		return fmt.Errorf("seqdb: index %q already exists", name)
+	}
+	if db.data.Len() == 0 {
+		return errors.New("seqdb: cannot index an empty database")
+	}
+	spec = spec.withDefaults()
+	ix, err := core.Build(db.data, db.treePath(name), core.Options{
+		Kind:         categorize.Kind(spec.Method),
+		Categories:   spec.Categories,
+		Sparse:       spec.Sparse,
+		Window:       spec.Window,
+		MinAnswerLen: spec.MinAnswerLen,
+		Build: disktree.BuildOptions{
+			BatchSize: spec.BatchSize,
+			PoolPages: spec.PoolPages,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if err := db.persistIndexMeta(name, spec, ix); err != nil {
+		ix.RemoveFile()
+		return err
+	}
+	db.indexes[name] = &openIndex{spec: spec, ix: ix}
+	return nil
+}
+
+func (db *DB) persistIndexMeta(name string, spec IndexSpec, ix *core.Index) error {
+	sf, err := os.Create(db.schemePath(name))
+	if err != nil {
+		return err
+	}
+	if err := ix.Scheme.Write(sf); err != nil {
+		sf.Close()
+		return err
+	}
+	if err := sf.Close(); err != nil {
+		return err
+	}
+	meta := fmt.Sprintf("window=%d\npool_pages=%d\n", spec.Window, spec.PoolPages)
+	return os.WriteFile(db.metaPath(name), []byte(meta), 0o644)
+}
+
+// openIndexFiles attaches a persisted index during Open.
+func (db *DB) openIndexFiles(name string) error {
+	sf, err := os.Open(db.schemePath(name))
+	if err != nil {
+		return err
+	}
+	scheme, err := categorize.ReadScheme(sf)
+	sf.Close()
+	if err != nil {
+		return err
+	}
+	window, poolPages := -1, 0
+	if mf, err := os.Open(db.metaPath(name)); err == nil {
+		sc := bufio.NewScanner(mf)
+		for sc.Scan() {
+			k, v, ok := strings.Cut(strings.TrimSpace(sc.Text()), "=")
+			if !ok {
+				continue
+			}
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				continue
+			}
+			switch k {
+			case "window":
+				window = n
+			case "pool_pages":
+				poolPages = n
+			}
+		}
+		mf.Close()
+	}
+	ix, err := core.Open(db.data, scheme, db.treePath(name), poolPages, window)
+	if err != nil {
+		return err
+	}
+	db.indexes[name] = &openIndex{
+		spec: IndexSpec{
+			Method:       Method(scheme.Kind()),
+			Categories:   scheme.NumCategories(),
+			Sparse:       ix.Tree.Sparse(),
+			Window:       window,
+			MinAnswerLen: ix.MinAnswerLen(),
+			PoolPages:    poolPages,
+		},
+		ix: ix,
+	}
+	return nil
+}
+
+// DropIndex closes and deletes an index.
+func (db *DB) DropIndex(name string) error {
+	oi, ok := db.indexes[name]
+	if !ok {
+		return fmt.Errorf("seqdb: no index %q", name)
+	}
+	delete(db.indexes, name)
+	if err := oi.ix.Close(); err != nil {
+		return err
+	}
+	os.Remove(db.metaPath(name))
+	os.Remove(db.schemePath(name))
+	return os.Remove(db.treePath(name))
+}
+
+// Indexes lists the open indexes' names.
+func (db *DB) Indexes() []string {
+	out := make([]string, 0, len(db.indexes))
+	for name := range db.indexes {
+		out = append(out, name)
+	}
+	return out
+}
+
+// IndexInfo describes one index.
+type IndexInfo struct {
+	Name      string
+	Spec      IndexSpec
+	SizeBytes int64
+	Leaves    uint64
+	Nodes     uint64
+}
+
+// Index returns metadata for a named index.
+func (db *DB) Index(name string) (IndexInfo, error) {
+	oi, ok := db.indexes[name]
+	if !ok {
+		return IndexInfo{}, fmt.Errorf("seqdb: no index %q", name)
+	}
+	return IndexInfo{
+		Name:      name,
+		Spec:      oi.spec,
+		SizeBytes: oi.ix.SizeBytes(),
+		Leaves:    oi.ix.Tree.NumLeaves(),
+		Nodes:     oi.ix.Tree.NumNodes(),
+	}, nil
+}
+
+// Search runs a similarity search through the named index: every
+// subsequence with time warping distance at most eps from q, sorted by
+// (sequence, start, end). No false dismissals.
+func (db *DB) Search(indexName string, q []float64, eps float64) ([]Match, SearchStats, error) {
+	oi, ok := db.indexes[indexName]
+	if !ok {
+		return nil, SearchStats{}, fmt.Errorf("seqdb: no index %q", indexName)
+	}
+	ms, stats, err := oi.ix.Search(q, eps)
+	if err != nil {
+		return nil, stats, err
+	}
+	return db.publicMatches(ms), stats, nil
+}

@@ -1,0 +1,190 @@
+// Package seqdb is the public API of twsearch: a small sequence database
+// with disk-based suffix-tree indexes for similarity search under the time
+// warping distance, implementing Park, Chu, Yoon and Hsu, "Efficient
+// Searches for Similar Subsequences of Different Lengths in Sequence
+// Databases" (ICDE 2000).
+//
+// A database lives in a directory: the raw sequences in one binary file and
+// each index as a tree file plus its categorization scheme. Typical use:
+//
+//	db, _ := seqdb.Create(dir)
+//	db.Add("stock-A", prices)
+//	db.Save()
+//	db.BuildIndex("fast", seqdb.IndexSpec{
+//		Method:     seqdb.MethodMaxEntropy,
+//		Categories: 20,
+//		Sparse:     true, // the paper's SST_C
+//	})
+//	matches, stats, _ := db.Search("fast", query, 30)
+//
+// Search returns every subsequence (of any length, any alignment) whose
+// time warping distance from the query is at most the threshold — with no
+// false dismissals: the answer set is identical to what the exhaustive
+// SeqScan returns, typically at a small fraction of the work.
+//
+// A DB is not safe for concurrent use.
+package seqdb
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"twsearch/internal/core"
+	"twsearch/internal/sequence"
+)
+
+const dataFileName = "data.twdb"
+
+// Match is one answer subsequence. Start/End index the sequence's values as
+// a half-open interval; Distance is the exact time warping distance from
+// the query.
+type Match struct {
+	SeqID    string
+	Seq      int
+	Start    int
+	End      int
+	Distance float64
+}
+
+// SearchStats re-exports the engine's work counters (nodes visited, table
+// cells computed, candidates, false alarms, I/O, wall clock).
+type SearchStats = core.SearchStats
+
+// Stats re-exports dataset summary statistics.
+type Stats = sequence.Stats
+
+// DB is a sequence database bound to a directory.
+type DB struct {
+	dir     string
+	data    *sequence.Dataset
+	indexes map[string]*openIndex
+}
+
+type openIndex struct {
+	spec IndexSpec
+	ix   *core.Index
+}
+
+// Create initializes a new database in dir (creating the directory if
+// needed). It fails if dir already holds a database.
+func Create(dir string) (*DB, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	dataPath := filepath.Join(dir, dataFileName)
+	if _, err := os.Stat(dataPath); err == nil {
+		return nil, fmt.Errorf("seqdb: %s already holds a database", dir)
+	}
+	db := &DB{dir: dir, data: sequence.NewDataset(), indexes: map[string]*openIndex{}}
+	if err := db.Save(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// Open loads an existing database and all its indexes.
+func Open(dir string) (*DB, error) {
+	data, err := sequence.LoadFile(filepath.Join(dir, dataFileName))
+	if err != nil {
+		return nil, fmt.Errorf("seqdb: loading dataset: %w", err)
+	}
+	db := &DB{dir: dir, data: data, indexes: map[string]*openIndex{}}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "idx-") || !strings.HasSuffix(name, ".twt") {
+			continue
+		}
+		idxName := strings.TrimSuffix(strings.TrimPrefix(name, "idx-"), ".twt")
+		if err := db.openIndexFiles(idxName); err != nil {
+			db.Close()
+			return nil, fmt.Errorf("seqdb: opening index %q: %w", idxName, err)
+		}
+	}
+	return db, nil
+}
+
+// Close releases every open index. The dataset is not implicitly saved.
+func (db *DB) Close() error {
+	var first error
+	for _, oi := range db.indexes {
+		if err := oi.ix.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	db.indexes = map[string]*openIndex{}
+	return first
+}
+
+// Dir returns the database directory.
+func (db *DB) Dir() string { return db.dir }
+
+// Add appends a sequence. Adding is rejected while indexes exist, because
+// they would silently go stale; drop indexes first and rebuild after.
+func (db *DB) Add(id string, values []float64) error {
+	if len(db.indexes) > 0 {
+		return errors.New("seqdb: cannot add sequences while indexes exist; drop indexes first")
+	}
+	vals := append([]float64(nil), values...)
+	_, err := db.data.Add(sequence.Sequence{ID: id, Values: vals})
+	return err
+}
+
+// Save persists the dataset to disk.
+func (db *DB) Save() error {
+	return db.data.SaveFile(filepath.Join(db.dir, dataFileName))
+}
+
+// Len returns the number of sequences.
+func (db *DB) Len() int { return db.data.Len() }
+
+// SequenceIDs returns all sequence ids in insertion order.
+func (db *DB) SequenceIDs() []string {
+	out := make([]string, db.data.Len())
+	for i := range out {
+		out[i] = db.data.Seq(i).ID
+	}
+	return out
+}
+
+// Values returns the elements of the sequence with the given id, or nil if
+// absent. The slice must not be mutated.
+func (db *DB) Values(id string) []float64 {
+	i := db.data.ByID(id)
+	if i < 0 {
+		return nil
+	}
+	return db.data.Values(i)
+}
+
+// Stats summarizes the dataset.
+func (db *DB) Stats() Stats { return db.data.ComputeStats() }
+
+// SeqScan runs the exhaustive baseline: exact answers with no index.
+func (db *DB) SeqScan(q []float64, eps float64) ([]Match, SearchStats, error) {
+	ms, stats, err := core.SeqScan(db.data, q, eps, -1)
+	if err != nil {
+		return nil, stats, err
+	}
+	return db.publicMatches(ms), stats, nil
+}
+
+func (db *DB) publicMatches(ms []core.Match) []Match {
+	out := make([]Match, len(ms))
+	for i, m := range ms {
+		out[i] = Match{
+			SeqID:    db.data.Seq(m.Ref.Seq).ID,
+			Seq:      m.Ref.Seq,
+			Start:    m.Ref.Start,
+			End:      m.Ref.End,
+			Distance: m.Distance,
+		}
+	}
+	return out
+}

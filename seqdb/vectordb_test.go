@@ -1,0 +1,197 @@
+package seqdb
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func vecSeq(rng *rand.Rand, n, dim int) [][]float64 {
+	points := make([][]float64, n)
+	v := make([]float64, dim)
+	for k := range v {
+		v[k] = float64(rng.Intn(10))
+	}
+	for i := range points {
+		p := make([]float64, dim)
+		for k := range p {
+			v[k] += float64(rng.Intn(3) - 1)
+			p[k] = v[k]
+		}
+		points[i] = p
+	}
+	return points
+}
+
+func newVectorTestDB(t *testing.T, nSeq, seqLen, dim int, seed int64) *VectorDB {
+	t.Helper()
+	db, err := CreateVector(filepath.Join(t.TempDir(), "vdb"), dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < nSeq; i++ {
+		if err := db.Add(fmt.Sprintf("vec-%d", i), vecSeq(rng, seqLen, dim)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Save(); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestVectorDBLifecycle(t *testing.T) {
+	db := newVectorTestDB(t, 5, 30, 2, 21)
+	if db.Dim() != 2 || db.Len() != 5 {
+		t.Fatalf("dim=%d len=%d", db.Dim(), db.Len())
+	}
+	if err := db.BuildIndex("g", VectorIndexSpec{CatsPerDim: 5, Sparse: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Add("late", [][]float64{{1, 2}}); err == nil {
+		t.Fatal("Add with live index accepted")
+	}
+
+	q := append([][]float64{}, db.Points("vec-1")[5:12]...)
+	got, err := db.Search("g", q, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := db.SeqScan(q, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("index %d matches, scan %d", len(got), len(want))
+	}
+	found := false
+	for _, m := range got {
+		if m.SeqID == "vec-1" && m.Start == 5 && m.End == 12 && m.Distance == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("verbatim vector query not found at distance 0")
+	}
+
+	knn, err := db.SearchKNN("g", q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(knn) != 3 || knn[0].Distance != 0 && knn[1].Distance != 0 && knn[2].Distance != 0 {
+		t.Fatalf("kNN wrong: %+v", knn)
+	}
+}
+
+func TestVectorDBPersistence(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "vdb")
+	db, err := CreateVector(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(22))
+	for i := 0; i < 4; i++ {
+		if err := db.Add(fmt.Sprintf("v%d", i), vecSeq(rng, 20, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Save(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildIndex("a", VectorIndexSpec{CatsPerDim: 4, Sparse: true, Window: 6}); err != nil {
+		t.Fatal(err)
+	}
+	q := append([][]float64{}, db.Points("v0")[3:9]...)
+	want, err := db.Search("a", q, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	re, err := OpenVector(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Dim() != 3 || re.Len() != 4 {
+		t.Fatalf("reopened dim=%d len=%d", re.Dim(), re.Len())
+	}
+	if !reflect.DeepEqual(re.Indexes(), []string{"a"}) {
+		t.Fatalf("indexes = %v", re.Indexes())
+	}
+	got, err := re.Search("a", q, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("windowed vector index differs after reopen")
+	}
+
+	if err := re.DropIndex("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Add("v99", vecSeq(rng, 5, 3)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVectorDBValidation(t *testing.T) {
+	if _, err := CreateVector(filepath.Join(t.TempDir(), "z"), 0); err == nil {
+		t.Error("dim 0 accepted")
+	}
+	dir := filepath.Join(t.TempDir(), "vdb")
+	db, err := CreateVector(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := CreateVector(dir, 2); err == nil {
+		t.Error("double create accepted")
+	}
+	if err := db.BuildIndex("x", VectorIndexSpec{}); err == nil {
+		t.Error("indexing empty vector db accepted")
+	}
+	if err := db.Add("a", [][]float64{{1}}); err == nil {
+		t.Error("wrong-dim points accepted")
+	}
+	if err := db.Add("a", [][]float64{{1, 2}, {3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildIndex("bad name", VectorIndexSpec{}); err == nil {
+		t.Error("bad index name accepted")
+	}
+	if err := db.BuildIndex("x", VectorIndexSpec{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildIndex("x", VectorIndexSpec{}); err == nil {
+		t.Error("duplicate index accepted")
+	}
+	if _, err := db.Search("nope", [][]float64{{1, 2}}, 1); err == nil {
+		t.Error("unknown index accepted")
+	}
+	if _, err := db.SearchKNN("nope", [][]float64{{1, 2}}, 1); err == nil {
+		t.Error("unknown index accepted for kNN")
+	}
+	if err := db.DropIndex("nope"); err == nil {
+		t.Error("dropping unknown index accepted")
+	}
+	if db.Points("ghost") != nil {
+		t.Error("Points of absent id not nil")
+	}
+}
+
+func TestVectorDBAddCopiesPoints(t *testing.T) {
+	db := newVectorTestDB(t, 0, 0, 2, 23)
+	pts := [][]float64{{1, 2}, {3, 4}}
+	if err := db.Add("a", pts); err != nil {
+		t.Fatal(err)
+	}
+	pts[0][0] = 99
+	if db.Points("a")[0][0] != 1 {
+		t.Fatal("Add aliased the caller's points")
+	}
+}
