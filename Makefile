@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench fuzz tables examples clean
+.PHONY: all build vet lint test race cover bench fuzz tables examples check clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -13,8 +13,16 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Project-specific static analysis (stdlib-only; see HACKING.md "Static
+# analysis"). Exits non-zero on any finding without a //lint:ignore reason.
+lint:
+	$(GO) run ./cmd/twlint ./...
+
 test:
 	$(GO) test ./...
+
+# The documented pre-PR gate: everything that must be green before review.
+check: build vet lint test race
 
 race:
 	$(GO) test -race ./...

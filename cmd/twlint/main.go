@@ -1,0 +1,87 @@
+// Command twlint runs twsearch's project-specific static analyzers over
+// module packages. It is built purely on the Go standard library — no
+// golang.org/x/tools — so the module stays dependency-free.
+//
+// Usage:
+//
+//	twlint [packages]
+//
+// where packages are directory paths or "./..."-style patterns (default
+// "./..."). Findings print one per line as
+//
+//	file:line: [check-name] message
+//
+// and the command exits 1 when any finding survives //lint:ignore
+// filtering, 2 on a load or type-check failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"twsearch/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("twlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	listChecks := fs.Bool("checks", false, "list the registered checks and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: twlint [-checks] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *listChecks {
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "twlint:", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "twlint:", err)
+		return 2
+	}
+	dirs, err := loader.ExpandPatterns(cwd, patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "twlint:", err)
+		return 2
+	}
+
+	analyzers := lint.Analyzers()
+	exit := 0
+	for _, dir := range dirs {
+		pkg, err := loader.Load(dir)
+		if err != nil {
+			fmt.Fprintln(stderr, "twlint:", err)
+			return 2
+		}
+		for _, f := range lint.RunPackage(pkg, analyzers) {
+			if rel, err := filepath.Rel(cwd, f.Pos.Filename); err == nil && !filepath.IsAbs(rel) {
+				f.Pos.Filename = rel
+			}
+			fmt.Fprintln(stdout, f.String())
+			exit = 1
+		}
+	}
+	return exit
+}

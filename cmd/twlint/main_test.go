@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const fixtures = "../../internal/lint/testdata/src/"
+
+// TestExitCodes pins the contract the Makefile depends on: clean packages
+// exit 0, findings exit 1, bad arguments exit 2.
+func TestExitCodes(t *testing.T) {
+	var out, errOut bytes.Buffer
+
+	if code := run([]string{fixtures + "floateq/good"}, &out, &errOut); code != 0 {
+		t.Errorf("good fixture: exit %d, output:\n%s%s", code, out.String(), errOut.String())
+	}
+
+	out.Reset()
+	if code := run([]string{fixtures + "floateq/bad"}, &out, &errOut); code != 1 {
+		t.Errorf("bad fixture: exit %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "[floateq]") {
+		t.Errorf("bad fixture output missing [floateq]: %q", out.String())
+	}
+
+	if code := run([]string{"no/such/dir"}, &out, &errOut); code != 2 {
+		t.Errorf("missing dir: exit %d, want 2", code)
+	}
+}
+
+// TestNegativeFixtures runs the driver over every analyzer's bad fixture —
+// the acceptance gate that each check fails its negative example.
+func TestNegativeFixtures(t *testing.T) {
+	for _, dir := range []string{
+		"panicpath", "errwrap", "floateq", "closecheck", "globalrand", "ctxloop",
+	} {
+		var out, errOut bytes.Buffer
+		if code := run([]string{fixtures + dir + "/bad"}, &out, &errOut); code != 1 {
+			t.Errorf("%s/bad: exit %d, want 1 (stderr: %s)", dir, code, errOut.String())
+		}
+	}
+}
+
+// TestChecksFlag keeps the -checks listing wired up.
+func TestChecksFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-checks"}, &out, &errOut); code != 0 {
+		t.Fatalf("-checks: exit %d", code)
+	}
+	for _, name := range []string{"panicpath", "errwrap", "floateq", "closecheck", "globalrand", "ctxless-loop"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-checks output missing %s:\n%s", name, out.String())
+		}
+	}
+}

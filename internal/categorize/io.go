@@ -79,7 +79,7 @@ func ReadScheme(r io.Reader) (*Scheme, error) {
 	}
 	var codeBuf [1]byte
 	if _, err := io.ReadFull(r, codeBuf[:]); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("categorize: reading kind: %w", err)
 	}
 	kind, ok := codeKinds[codeBuf[0]]
 	if !ok {
@@ -87,7 +87,7 @@ func ReadScheme(r io.Reader) (*Scheme, error) {
 	}
 	var count uint32
 	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("categorize: reading category count: %w", err)
 	}
 	cats := make([]Category, count)
 	uppers := make([]float64, count)

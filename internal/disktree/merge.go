@@ -486,7 +486,12 @@ func Build(store *suffixtree.TextStore, seqs []int, outPath string, opts BuildOp
 			cleanup()
 			return nil, err
 		}
-		f.Close()
+		// A failed close means the batch never fully flushed; merging a
+		// truncated batch would silently drop suffixes from the index.
+		if err := f.Close(); err != nil {
+			cleanup()
+			return nil, err
+		}
 		paths = append(paths, path)
 	}
 	stats.Batches = len(paths)
@@ -511,7 +516,11 @@ func Build(store *suffixtree.TextStore, seqs []int, outPath string, opts BuildOp
 				cleanup()
 				return nil, err
 			}
-			f.Close()
+			if err := f.Close(); err != nil {
+				paths = append(append(paths, next...), out)
+				cleanup()
+				return nil, err
+			}
 			os.Remove(paths[i])
 			os.Remove(paths[i+1])
 			next = append(next, out)

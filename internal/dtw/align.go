@@ -14,6 +14,7 @@ type Pair struct {
 // both by one.
 func Align(a, b []float64) (float64, []Pair) {
 	if len(a) == 0 || len(b) == 0 {
+		//lint:ignore panicpath precondition assertion: the engine validates queries before the kernel; a silent zero-distance path would break exactness
 		panic("dtw: align of empty sequence")
 	}
 	na, nb := len(a), len(b)

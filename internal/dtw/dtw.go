@@ -49,6 +49,7 @@ func Distance(a, b []float64) float64 {
 // happen only when |len(a)-len(b)| > w.
 func DistanceWindow(a, b []float64, w int) float64 {
 	if w < 0 {
+		//lint:ignore panicpath precondition assertion: a negative band is a construction-time bug, never data-dependent
 		panic("dtw: negative warping window")
 	}
 	return distance(a, b, w)
@@ -57,6 +58,7 @@ func DistanceWindow(a, b []float64, w int) float64 {
 // distance computes DTW with two rolling rows. w < 0 means unconstrained.
 func distance(a, b []float64, w int) float64 {
 	if len(a) == 0 || len(b) == 0 {
+		//lint:ignore panicpath precondition assertion: the engine validates queries before the kernel; a silent zero distance would break exactness
 		panic("dtw: distance of empty sequence")
 	}
 	// Rows indexed by a, columns by b.
@@ -91,6 +93,7 @@ func distance(a, b []float64, w int) float64 {
 // Otherwise it returns the exact distance and false.
 func DistanceEarlyAbandon(a, b []float64, eps float64) (float64, bool) {
 	if len(a) == 0 || len(b) == 0 {
+		//lint:ignore panicpath precondition assertion: the engine validates queries before the kernel; a silent zero distance would break exactness
 		panic("dtw: distance of empty sequence")
 	}
 	prev := make([]float64, len(b))
@@ -134,6 +137,7 @@ type Interval struct {
 // for any b whose elements lie inside ivs.
 func DistanceIntervals(a []float64, ivs []Interval) float64 {
 	if len(a) == 0 || len(ivs) == 0 {
+		//lint:ignore panicpath precondition assertion: an empty query or edge label cannot reach the lower-bound kernel; D_tw-lb of nothing is undefined
 		panic("dtw: distance of empty sequence")
 	}
 	// Rows indexed by ivs, columns by a — matches the orientation the tree

@@ -31,6 +31,7 @@ func NewTable(q []float64) *Table {
 // half-width w; pass w < 0 for no constraint.
 func NewTableWindow(q []float64, w int) *Table {
 	if len(q) == 0 {
+		//lint:ignore panicpath precondition assertion: search entry points reject empty queries before any table exists
 		panic("dtw: empty query")
 	}
 	return &Table{q: q, window: w}
@@ -56,6 +57,7 @@ func (t *Table) Reset() {
 // Pop removes the most recently added row. It panics on an empty table.
 func (t *Table) Pop() {
 	if t.depth == 0 {
+		//lint:ignore panicpath row-discipline assertion: an unmatched Pop means AddRow/Pop bookkeeping is already corrupt, so lower bounds can no longer be trusted
 		panic("dtw: Pop on empty table")
 	}
 	t.depth--
@@ -65,6 +67,7 @@ func (t *Table) Pop() {
 // Truncate pops rows until exactly depth rows remain.
 func (t *Table) Truncate(depth int) {
 	if depth < 0 || depth > t.depth {
+		//lint:ignore panicpath row-discipline assertion: truncating past the stack means traversal bookkeeping is already corrupt
 		panic("dtw: bad Truncate depth")
 	}
 	t.depth = depth

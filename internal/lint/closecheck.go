@@ -1,0 +1,204 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CloseCheck reports storage/disktree handles that are opened and then
+// either never closed or closed with the error always discarded. These
+// handles own buffer pools over file-backed pages; a missing Close leaks a
+// descriptor and a pool, and a discarded Close error can hide a failed
+// flush of dirty pages — which corrupts the index the no-false-dismissal
+// guarantee is computed from.
+//
+// The analysis is per function and deliberately conservative: a handle that
+// escapes the function (passed to a call, returned, stored in a struct or
+// variable) becomes its new owner's responsibility and is not reported.
+// Within one function, at least one Close on the handle must consume the
+// error (assign, return, or branch on it); a function that only ever writes
+// `h.Close()` or `defer h.Close()` is reported and must either check the
+// error or carry a //lint:ignore closecheck directive saying why the error
+// is immaterial (e.g. a read-only handle on an error path).
+var CloseCheck = &Analyzer{
+	Name: "closecheck",
+	Doc: "storage/disktree handle not closed on every path, or Close error " +
+		"never checked",
+	Run: runCloseCheck,
+}
+
+// handleProducers names the constructor prefixes of the two page-file
+// packages whose handles the check tracks.
+func isHandleProducer(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	if !strings.HasSuffix(path, "internal/storage") && !strings.HasSuffix(path, "internal/disktree") {
+		return false
+	}
+	return strings.HasPrefix(fn.Name(), "Open") || strings.HasPrefix(fn.Name(), "Create")
+}
+
+func runCloseCheck(pass *Pass) {
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset.Position(file.Pos())) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkHandles(pass, fd)
+		}
+	}
+}
+
+type handleState struct {
+	origin  *ast.CallExpr // the Open/Create call
+	callee  string        // pkg.Fn for the message
+	escapes bool
+	closes  int
+	checked int
+}
+
+func checkHandles(pass *Pass, fd *ast.FuncDecl) {
+	handles := make(map[types.Object]*handleState)
+	defIdents := make(map[*ast.Ident]bool)
+
+	// Pass 1: find handle-producing assignments h, err := pkg.OpenX(...).
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.Info, call)
+		if !isHandleProducer(fn) {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		obj := pass.Info.Defs[id]
+		if obj == nil {
+			obj = pass.Info.Uses[id]
+		}
+		if obj == nil {
+			return true
+		}
+		defIdents[id] = true
+		handles[obj] = &handleState{
+			origin: call,
+			callee: fn.Pkg().Name() + "." + fn.Name(),
+		}
+		return true
+	})
+	if len(handles) == 0 {
+		return
+	}
+
+	// Pass 2: classify every other use of each handle. The walker keeps the
+	// path of enclosing nodes so a use can see its context.
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		id, ok := n.(*ast.Ident)
+		if !ok || defIdents[id] {
+			return true
+		}
+		obj := pass.Info.Uses[id]
+		st, tracked := handles[obj]
+		if !tracked {
+			return true
+		}
+		classifyUse(pass, stack, st)
+		return true
+	})
+
+	for _, st := range handles {
+		if st.escapes {
+			continue
+		}
+		switch {
+		case st.closes == 0:
+			pass.Report(st.origin, "handle from %s is never closed in this function", st.callee)
+		case st.checked == 0:
+			pass.Report(st.origin, "handle from %s: Close error is never checked", st.callee)
+		}
+	}
+}
+
+// classifyUse inspects the enclosing-node path of one identifier use
+// (stack[len-1] is the ident itself) and updates the handle state.
+func classifyUse(pass *Pass, stack []ast.Node, st *handleState) {
+	if len(stack) < 2 {
+		st.escapes = true
+		return
+	}
+	parent := stack[len(stack)-2]
+
+	// h.Close() — a method call on the handle. Anything else reached
+	// through a selector (h.Meta(), h.SizeBytes()) is a plain read.
+	if sel, ok := parent.(*ast.SelectorExpr); ok && len(stack) >= 3 {
+		if call, ok := stack[len(stack)-3].(*ast.CallExpr); ok && call.Fun == sel {
+			if sel.Sel.Name != "Close" {
+				return
+			}
+			st.closes++
+			if closeErrorChecked(stack[:len(stack)-3]) {
+				st.checked++
+			}
+			return
+		}
+		return
+	}
+
+	switch p := parent.(type) {
+	case *ast.CallExpr:
+		// Appearing among the arguments (or as a function value) hands the
+		// handle to someone else.
+		if p.Fun != stack[len(stack)-1] {
+			st.escapes = true
+		}
+	case *ast.ReturnStmt, *ast.CompositeLit, *ast.KeyValueExpr, *ast.SendStmt:
+		st.escapes = true
+	case *ast.UnaryExpr:
+		st.escapes = true // address taken (or weirder)
+	case *ast.AssignStmt:
+		// On the right-hand side the handle is copied somewhere new.
+		for _, rhs := range p.Rhs {
+			if rhs == stack[len(stack)-1] {
+				st.escapes = true
+			}
+		}
+	case *ast.IndexExpr:
+		if p.Index == stack[len(stack)-1] {
+			st.escapes = true
+		}
+	}
+}
+
+// closeErrorChecked reports whether the h.Close() call whose enclosing path
+// is given consumes the returned error: any context other than a bare
+// expression statement or a bare defer counts.
+func closeErrorChecked(stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	switch stack[len(stack)-1].(type) {
+	case *ast.ExprStmt, *ast.DeferStmt, *ast.GoStmt:
+		return false
+	}
+	return true
+}

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignoreKey identifies one suppressed (file, line, check) triple.
+type ignoreKey struct {
+	file  string
+	line  int
+	check string
+}
+
+// directives scans the comments of every file for //lint:ignore annotations.
+// A directive suppresses findings of the named check on its own line and on
+// the line directly below it (so it can sit above the statement it audits).
+// Malformed directives — a missing check name or a missing reason — are
+// returned as findings in their own right: an unexplained exception is not
+// an audited exception.
+func directives(fset *token.FileSet, files []*ast.File) (map[ignoreKey]bool, []Finding) {
+	ignored := make(map[ignoreKey]bool)
+	var bad []Finding
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					bad = append(bad, Finding{Pos: pos, Check: "directive",
+						Message: "lint:ignore needs a check name and a reason"})
+					continue
+				}
+				if len(fields) < 2 {
+					bad = append(bad, Finding{Pos: pos, Check: "directive",
+						Message: "lint:ignore " + fields[0] + " needs a reason documenting the invariant"})
+					continue
+				}
+				for _, check := range strings.Split(fields[0], ",") {
+					ignored[ignoreKey{pos.Filename, pos.Line, check}] = true
+					ignored[ignoreKey{pos.Filename, pos.Line + 1, check}] = true
+				}
+			}
+		}
+	}
+	return ignored, bad
+}
+
+// filterIgnored drops findings suppressed by a directive.
+func filterIgnored(findings []Finding, ignored map[ignoreKey]bool) []Finding {
+	if len(ignored) == 0 {
+		return findings
+	}
+	out := findings[:0]
+	for _, f := range findings {
+		if ignored[ignoreKey{f.Pos.Filename, f.Pos.Line, f.Check}] {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}

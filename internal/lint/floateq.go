@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq reports == and != between floating-point values in library
+// packages. Distances here are sums of float64 arithmetic; two
+// mathematically equal distances routinely differ in the last ulp, so an
+// exact comparison makes pruning decisions (Theorem 1) and lower-bound
+// ordering checks (Theorems 2–3) nondeterministic. Compare against a
+// threshold instead (math.Abs(a-b) <= eps).
+//
+// Comparison against the literal constant 0 is allowed: "zero means unset"
+// is the config-default idiom throughout the codebase, and a value that was
+// never written is exactly zero. Any other exact comparison needs a
+// //lint:ignore floateq directive explaining why exactness holds.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc: "== or != on floating-point values; distance comparisons must use " +
+		"thresholds (literal-zero unset checks are exempt)",
+	Run: runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	if !pass.Library {
+		return
+	}
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset.Position(file.Pos())) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.Info, bin.X) || !isFloat(pass.Info, bin.Y) {
+				return true
+			}
+			if isZeroConst(pass.Info, bin.X) || isZeroConst(pass.Info, bin.Y) {
+				return true
+			}
+			pass.Report(bin, "%s on floating-point values; compare with a threshold", bin.Op)
+			return true
+		})
+	}
+}
+
+// isFloat reports whether e has a floating-point type.
+func isFloat(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isZeroConst reports whether e is a compile-time constant equal to zero.
+func isZeroConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return constant.Sign(tv.Value) == 0
+}

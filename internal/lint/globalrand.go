@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// GlobalRand reports uses of math/rand's package-level generator in library
+// packages. Workload generation, sampling, and benchmarks must be exactly
+// reproducible from a seed — the EXPERIMENTS.md tables are regenerated and
+// compared across machines — and the global source is both seeded elsewhere
+// and shared across goroutines. Constructors (rand.New, rand.NewSource,
+// rand.NewZipf, ...) are allowed; everything must flow through an explicit
+// seeded *rand.Rand.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc: "package-global math/rand use in a library package; thread a " +
+		"seeded *rand.Rand instead",
+	Run: runGlobalRand,
+}
+
+func runGlobalRand(pass *Pass) {
+	if !pass.Library {
+		return
+	}
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset.Position(file.Pos())) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			// Methods on *rand.Rand have a receiver; package-level functions
+			// do not. Only the latter touch the global source.
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			if strings.HasPrefix(fn.Name(), "New") {
+				return true
+			}
+			pass.Report(sel, "rand.%s uses the package-global source; thread a seeded *rand.Rand", fn.Name())
+			return true
+		})
+	}
+}

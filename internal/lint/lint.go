@@ -1,0 +1,149 @@
+// Package lint is twsearch's project-specific static-analysis suite. It is
+// built purely on the standard library (go/ast, go/parser, go/types,
+// go/token) so the module stays dependency-free, and it encodes invariants
+// that generic tooling cannot know about: the exactness of the search rests
+// on lower-bound ordering and careful error propagation, so one unchecked
+// Close or one panic on a library path silently breaks the no-false-dismissal
+// guarantee the paper proves.
+//
+// The driver (cmd/twlint) loads every package in the module, type-checks it,
+// and runs each registered Analyzer. Findings print as
+//
+//	file:line: [check-name] message
+//
+// and any finding makes the run exit non-zero. An audited exception is
+// annotated at the offending line (or the line above it) with
+//
+//	//lint:ignore check-name reason
+//
+// where the reason is mandatory — an ignore without a written-down invariant
+// is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer report, anchored to a source position.
+type Finding struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+// String renders the canonical file:line: [check] message form. The file
+// path is printed as stored; the driver rewrites it relative to the working
+// directory before printing.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Check, f.Message)
+}
+
+// Analyzer is one pluggable check.
+type Analyzer struct {
+	// Name is the check name used in reports and ignore directives.
+	Name string
+	// Doc is a one-paragraph description for `twlint -help`.
+	Doc string
+	// Run inspects one package and reports findings through pass.Report.
+	Run func(pass *Pass)
+}
+
+// Pass hands one type-checked package to an analyzer.
+type Pass struct {
+	Fset *token.FileSet
+	// Files holds the parsed non-test source files of the package.
+	Files []*ast.File
+	// Pkg is the type-checked package object.
+	Pkg *types.Package
+	// Info carries the use/def/type maps produced by the checker.
+	Info *types.Info
+	// Path is the import path of the package within the module
+	// (e.g. "twsearch/internal/dtw").
+	Path string
+	// Library reports whether the package is part of the library surface
+	// (internal/* or seqdb) as opposed to a command or example binary.
+	Library bool
+
+	check    string
+	findings *[]Finding
+}
+
+// Report records a finding at the given node's position.
+func (p *Pass) Report(n ast.Node, format string, args ...any) {
+	p.ReportPos(n.Pos(), format, args...)
+}
+
+// ReportPos records a finding at an explicit position.
+func (p *Pass) ReportPos(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Pos:     p.Fset.Position(pos),
+		Check:   p.check,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		PanicPath,
+		ErrWrap,
+		FloatEq,
+		CloseCheck,
+		GlobalRand,
+		CtxlessLoop,
+	}
+}
+
+// RunPackage runs every analyzer in the suite over one loaded package and
+// returns the findings that survive ignore-directive filtering, plus
+// findings about malformed directives themselves.
+func RunPackage(pkg *Package, analyzers []*Analyzer) []Finding {
+	var raw []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			Path:     pkg.Path,
+			Library:  pkg.Library,
+			check:    a.Name,
+			findings: &raw,
+		}
+		a.Run(pass)
+	}
+	dirs, bad := directives(pkg.Fset, pkg.Files)
+	out := filterIgnored(raw, dirs)
+	out = append(out, bad...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return out[i].Check < out[j].Check
+	})
+	return out
+}
+
+// isTestFile reports whether the position's file is a _test.go file.
+func isTestFile(pos token.Position) bool {
+	return strings.HasSuffix(pos.Filename, "_test.go")
+}
+
+// fileOf returns the *ast.File containing pos.
+func fileOf(fset *token.FileSet, files []*ast.File, pos token.Pos) *ast.File {
+	for _, f := range files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}

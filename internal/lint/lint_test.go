@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadFixture type-checks one fixture package under testdata/src.
+func loadFixture(t *testing.T, loader *Loader, parts ...string) *Package {
+	t.Helper()
+	dir := filepath.Join(append([]string{"testdata", "src"}, parts...)...)
+	pkg, err := loader.Load(dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	return pkg
+}
+
+func newTestLoader(t *testing.T) *Loader {
+	t.Helper()
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	return loader
+}
+
+// findingsOf filters findings down to one check.
+func findingsOf(fs []Finding, check string) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if f.Check == check {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// rawFindings runs one analyzer without ignore-directive filtering.
+func rawFindings(pkg *Package, a *Analyzer) []Finding {
+	var raw []Finding
+	a.Run(&Pass{
+		Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Types, Info: pkg.Info,
+		Path: pkg.Path, Library: pkg.Library,
+		check: a.Name, findings: &raw,
+	})
+	return raw
+}
+
+// TestAnalyzerFixtures drives every analyzer through its three fixture
+// packages: bad must trigger, good must pass, and ignored must trigger
+// without directives but pass with them.
+func TestAnalyzerFixtures(t *testing.T) {
+	loader := newTestLoader(t)
+	cases := []struct {
+		dir      string
+		analyzer *Analyzer
+		wantBad  int // findings expected in bad/
+	}{
+		{"panicpath", PanicPath, 1},
+		{"errwrap", ErrWrap, 1},
+		{"floateq", FloatEq, 1},
+		{"closecheck", CloseCheck, 2},
+		{"globalrand", GlobalRand, 1},
+		{"ctxloop", CtxlessLoop, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.analyzer.Name, func(t *testing.T) {
+			all := []*Analyzer{tc.analyzer}
+
+			bad := loadFixture(t, loader, tc.dir, "bad")
+			got := findingsOf(RunPackage(bad, all), tc.analyzer.Name)
+			if len(got) != tc.wantBad {
+				t.Errorf("bad fixture: got %d %s findings, want %d: %v",
+					len(got), tc.analyzer.Name, tc.wantBad, got)
+			}
+
+			good := loadFixture(t, loader, tc.dir, "good")
+			if got := RunPackage(good, all); len(got) != 0 {
+				t.Errorf("good fixture: unexpected findings: %v", got)
+			}
+
+			ignored := loadFixture(t, loader, tc.dir, "ignored")
+			if raw := rawFindings(ignored, tc.analyzer); len(raw) == 0 {
+				t.Errorf("ignored fixture: analyzer found nothing even before directive filtering")
+			}
+			if got := RunPackage(ignored, all); len(got) != 0 {
+				t.Errorf("ignored fixture: directive did not suppress: %v", got)
+			}
+		})
+	}
+}
+
+// TestMalformedDirective checks that a lint:ignore without a reason is
+// itself reported and suppresses nothing.
+func TestMalformedDirective(t *testing.T) {
+	loader := newTestLoader(t)
+	all := []*Analyzer{FloatEq}
+
+	bad := loadFixture(t, loader, "directive", "bad")
+	got := RunPackage(bad, all)
+	if len(findingsOf(got, "directive")) != 1 {
+		t.Errorf("want 1 directive finding, got: %v", got)
+	}
+	if len(findingsOf(got, "floateq")) != 1 {
+		t.Errorf("reasonless directive must not suppress; got: %v", got)
+	}
+
+	good := loadFixture(t, loader, "directive", "good")
+	if got := RunPackage(good, all); len(got) != 0 {
+		t.Errorf("good fixture: unexpected findings: %v", got)
+	}
+}
+
+// TestFindingFormat pins the file:line: [check] message report shape the
+// Makefile and editors rely on.
+func TestFindingFormat(t *testing.T) {
+	loader := newTestLoader(t)
+	pkg := loadFixture(t, loader, "floateq", "bad")
+	got := RunPackage(pkg, []*Analyzer{FloatEq})
+	if len(got) != 1 {
+		t.Fatalf("want 1 finding, got %v", got)
+	}
+	s := got[0].String()
+	want := filepath.Join("floateq", "bad", "bad.go")
+	if !strings.Contains(s, want) || !strings.Contains(s, ": [floateq] ") {
+		t.Errorf("finding %q does not match file:line: [check] message", s)
+	}
+	if got[0].Pos.Line == 0 {
+		t.Errorf("finding has no line number: %q", s)
+	}
+}
+
+// TestLibraryScope checks that the strict library checks stay out of
+// command and example binaries.
+func TestLibraryScope(t *testing.T) {
+	loader := newTestLoader(t)
+	for path, want := range map[string]bool{
+		loader.ModPath() + "/internal/dtw":   true,
+		loader.ModPath() + "/seqdb":          true,
+		loader.ModPath() + "/cmd/twlint":     false,
+		loader.ModPath() + "/examples/stock": false,
+		loader.ModPath():                     false,
+	} {
+		if got := loader.isLibraryPath(path); got != want {
+			t.Errorf("isLibraryPath(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+// TestExpandPatterns checks recursive and plain-directory patterns.
+func TestExpandPatterns(t *testing.T) {
+	loader := newTestLoader(t)
+	root := loader.Root()
+
+	dirs, err := loader.ExpandPatterns(root, []string{"./..."})
+	if err != nil {
+		t.Fatalf("ExpandPatterns ./...: %v", err)
+	}
+	var sawLint, sawTestdata bool
+	for _, d := range dirs {
+		if strings.HasSuffix(d, filepath.Join("internal", "lint")) {
+			sawLint = true
+		}
+		if strings.Contains(d, "testdata") {
+			sawTestdata = true
+		}
+	}
+	if !sawLint {
+		t.Errorf("./... did not include internal/lint: %v", dirs)
+	}
+	if sawTestdata {
+		t.Errorf("./... must skip testdata fixtures: %v", dirs)
+	}
+
+	one, err := loader.ExpandPatterns(root, []string{"internal/lint"})
+	if err != nil || len(one) != 1 {
+		t.Fatalf("ExpandPatterns plain dir: %v, %v", one, err)
+	}
+}

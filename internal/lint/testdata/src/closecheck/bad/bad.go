@@ -1,0 +1,26 @@
+// Package bad must trigger closecheck twice: a handle that is never closed
+// and a handle whose Close error is always discarded.
+package bad
+
+import "twsearch/internal/storage"
+
+// Leak opens a page file and forgets it.
+func Leak() error {
+	f, err := storage.CreateMemFile()
+	if err != nil {
+		return err
+	}
+	_ = f.SizeBytes()
+	return nil
+}
+
+// Discard closes, but never looks at the error.
+func Discard() error {
+	f, err := storage.CreateMemFile()
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_ = f.SizeBytes()
+	return nil
+}

@@ -1,0 +1,24 @@
+// Package good must pass closecheck: one handle is closed with the error
+// checked, the other escapes to a caller who owns it.
+package good
+
+import "twsearch/internal/storage"
+
+// Use opens, works, and closes with the error checked.
+func Use() error {
+	f, err := storage.CreateMemFile()
+	if err != nil {
+		return err
+	}
+	_ = f.SizeBytes()
+	return f.Close()
+}
+
+// Open hands the handle to the caller, who becomes responsible for it.
+func Open() (*storage.File, error) {
+	f, err := storage.CreateMemFile()
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}

@@ -1,0 +1,17 @@
+// Package core (fixture) must trigger ctxless-loop: an unbounded loop with
+// no exit of its own. The inner switch captures the break, so the loop can
+// never terminate.
+package core
+
+// Drain spins forever: break exits the switch, not the loop.
+func Drain(ch chan int) int {
+	total := 0
+	for {
+		switch v := <-ch; {
+		case v < 0:
+			break
+		default:
+			total += v
+		}
+	}
+}

@@ -1,0 +1,15 @@
+// Package core (fixture) must pass ctxless-loop: every unbounded loop
+// checks a limit and exits.
+package core
+
+// Drain sums until the limit or a negative sentinel.
+func Drain(ch chan int, limit int) int {
+	total := 0
+	for {
+		v := <-ch
+		if v < 0 || total > limit {
+			return total
+		}
+		total += v
+	}
+}

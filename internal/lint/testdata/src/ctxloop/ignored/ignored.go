@@ -1,0 +1,11 @@
+// Package core (fixture) must pass ctxless-loop because the loop carries an
+// audited directive.
+package core
+
+// Serve runs forever by design.
+func Serve(ch chan int) {
+	//lint:ignore ctxless-loop fixture: top-level accept loop, lifetime is the process lifetime
+	for {
+		<-ch
+	}
+}

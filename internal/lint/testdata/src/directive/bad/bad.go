@@ -1,0 +1,9 @@
+// Package bad must trigger the directive check: a lint:ignore without a
+// reason is not an audited exception (and therefore suppresses nothing).
+package bad
+
+// SameDistance compares exactly, with a reasonless ignore.
+func SameDistance(a, b float64) bool {
+	//lint:ignore floateq
+	return a == b
+}

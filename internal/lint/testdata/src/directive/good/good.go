@@ -1,0 +1,8 @@
+// Package good must pass the directive check: well-formed directives only.
+package good
+
+// SameDistance compares exactly under a fully documented exception.
+func SameDistance(a, b float64) bool {
+	//lint:ignore floateq fixture: exact comparison audited with a written reason
+	return a == b
+}

@@ -1,0 +1,8 @@
+// Package ignored exists for symmetry with the other fixtures; the
+// directive check has no ignore mechanism of its own (an unexplained
+// exception must not be excusable), so this package simply has no
+// directives at all.
+package ignored
+
+// Nothing is here on purpose.
+func Nothing() {}

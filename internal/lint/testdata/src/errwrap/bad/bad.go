@@ -1,0 +1,17 @@
+// Package bad must trigger errwrap: an underlying error is flattened with
+// %v, so callers cannot errors.Is through the boundary.
+package bad
+
+import (
+	"fmt"
+	"os"
+)
+
+// Load is exported library API.
+func Load(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bad: loading %s: %v", path, err)
+	}
+	return data, nil
+}

@@ -1,0 +1,24 @@
+// Package good must pass errwrap: underlying errors are wrapped with %w
+// and pure-text errors carry no error operand at all.
+package good
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+// ErrEmpty is a sentinel callers can match.
+var ErrEmpty = errors.New("good: empty file")
+
+// Load is exported library API.
+func Load(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("good: loading %s: %w", path, err)
+	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("good: %s: %w", path, ErrEmpty)
+	}
+	return data, nil
+}

@@ -1,0 +1,18 @@
+// Package ignored must pass errwrap because the flattening site carries an
+// audited directive.
+package ignored
+
+import (
+	"fmt"
+	"os"
+)
+
+// Load deliberately flattens the cause.
+func Load(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		//lint:ignore errwrap fixture: cause is quoted into an opaque user-facing message by design
+		return nil, fmt.Errorf("ignored: loading %s: %v", path, err)
+	}
+	return data, nil
+}

@@ -1,0 +1,8 @@
+// Package bad must trigger floateq: exact equality between computed
+// distances.
+package bad
+
+// SameDistance compares two distances exactly.
+func SameDistance(a, b float64) bool {
+	return a == b
+}

@@ -1,0 +1,15 @@
+// Package good must pass floateq: threshold comparison, and the exempt
+// literal-zero unset check.
+package good
+
+import "math"
+
+// SameDistance compares with a tolerance.
+func SameDistance(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9
+}
+
+// Configured reports whether eps was set ("zero means unset" idiom).
+func Configured(eps float64) bool {
+	return eps != 0
+}

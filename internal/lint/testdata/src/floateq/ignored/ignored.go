@@ -1,0 +1,9 @@
+// Package ignored must pass floateq because the exact comparison carries an
+// audited directive.
+package ignored
+
+// Unchanged reports an exact fixpoint.
+func Unchanged(prev, next float64) bool {
+	//lint:ignore floateq fixture: exact fixpoint test, iteration is bounded elsewhere
+	return prev == next
+}

@@ -1,0 +1,10 @@
+// Package bad must trigger globalrand: a draw from the package-global
+// source.
+package bad
+
+import "math/rand"
+
+// Jitter perturbs n using the global generator.
+func Jitter(n int) int {
+	return n + rand.Intn(10)
+}

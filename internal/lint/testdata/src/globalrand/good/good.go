@@ -1,0 +1,15 @@
+// Package good must pass globalrand: randomness flows through an explicit
+// seeded generator.
+package good
+
+import "math/rand"
+
+// Jitter perturbs n using the caller's seeded generator.
+func Jitter(rng *rand.Rand, n int) int {
+	return n + rng.Intn(10)
+}
+
+// NewRng builds a seeded generator; constructors are allowed.
+func NewRng(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

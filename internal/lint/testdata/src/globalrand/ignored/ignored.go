@@ -1,0 +1,11 @@
+// Package ignored must pass globalrand because the global draw carries an
+// audited directive.
+package ignored
+
+import "math/rand"
+
+// Jitter perturbs n from the global source.
+func Jitter(n int) int {
+	//lint:ignore globalrand fixture: one-off jitter where reproducibility is explicitly unwanted
+	return n + rand.Intn(10)
+}

@@ -1,0 +1,17 @@
+// Package bad must trigger panicpath: a panic inside an unexported helper
+// that an exported function reaches.
+package bad
+
+import "errors"
+
+// Lookup is exported library API.
+func Lookup(xs []int, i int) int {
+	return index(xs, i)
+}
+
+func index(xs []int, i int) int {
+	if i < 0 || i >= len(xs) {
+		panic(errors.New("bad: index out of range"))
+	}
+	return xs[i]
+}

@@ -1,0 +1,20 @@
+// Package good must pass panicpath: exported API returns errors, and the
+// only panic lives in a helper no exported function reaches.
+package good
+
+import "errors"
+
+// Lookup is exported library API; it returns an error instead of panicking.
+func Lookup(xs []int, i int) (int, error) {
+	if i < 0 || i >= len(xs) {
+		return 0, errors.New("good: index out of range")
+	}
+	return xs[i], nil
+}
+
+// debugOnly is never called from exported code.
+func debugOnly() {
+	panic("good: unreachable from exported API")
+}
+
+var _ = debugOnly

@@ -1,0 +1,12 @@
+// Package ignored must pass panicpath because the panic carries an audited
+// ignore directive naming the invariant.
+package ignored
+
+// MustPick is a Must-style accessor.
+func MustPick(xs []int, i int) int {
+	if i < 0 || i >= len(xs) {
+		//lint:ignore panicpath fixture: Must-prefix contract, callers pass known-valid indexes
+		panic("ignored: index out of range")
+	}
+	return xs[i]
+}

@@ -69,6 +69,7 @@ func (d *Dataset) Add(s Sequence) (int, error) {
 func (d *Dataset) MustAdd(s Sequence) int {
 	idx, err := d.Add(s)
 	if err != nil {
+		//lint:ignore panicpath Must-prefix constructor contract (regexp.MustCompile idiom): generators pass ids and points that are valid by construction; Add is the error-returning path
 		panic(err)
 	}
 	return idx
@@ -112,6 +113,7 @@ func BaseBox(p []float64, b Box) float64 {
 // Distance is the multivariate time warping distance.
 func Distance(a, b [][]float64) float64 {
 	if len(a) == 0 || len(b) == 0 {
+		//lint:ignore panicpath precondition assertion: the engine validates queries before the kernel; a silent zero distance would break exactness
 		panic("multivar: distance of empty sequence")
 	}
 	prev := make([]float64, len(b))

@@ -23,6 +23,7 @@ func NewTable(q [][]float64) *Table {
 // half-width w; pass w < 0 for no constraint.
 func NewTableWindow(q [][]float64, w int) *Table {
 	if len(q) == 0 {
+		//lint:ignore panicpath precondition assertion: search entry points reject empty queries before any table exists
 		panic("multivar: empty query")
 	}
 	return &Table{q: q, window: w}
@@ -38,6 +39,7 @@ func (t *Table) Cells() uint64 { return t.cells }
 // accumulating).
 func (t *Table) Truncate(depth int) {
 	if depth < 0 || depth > t.depth {
+		//lint:ignore panicpath row-discipline assertion: truncating past the stack means traversal bookkeeping is already corrupt
 		panic("multivar: bad Truncate depth")
 	}
 	t.depth = depth

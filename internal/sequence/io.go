@@ -180,7 +180,7 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("sequence: reading CSV: %w", err)
 	}
 	return d, nil
 }

@@ -89,6 +89,7 @@ func (d *Dataset) Add(s Sequence) (int, error) {
 func (d *Dataset) MustAdd(s Sequence) int {
 	idx, err := d.Add(s)
 	if err != nil {
+		//lint:ignore panicpath Must-prefix constructor contract (regexp.MustCompile idiom): generators pass ids and values that are valid by construction; Add is the error-returning path
 		panic(err)
 	}
 	return idx

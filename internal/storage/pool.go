@@ -111,6 +111,7 @@ func (p *Pool) newFrame(id PageID) (*Frame, error) {
 // Release unpins a frame obtained from Get or Alloc.
 func (p *Pool) Release(fr *Frame) {
 	if fr.pins <= 0 {
+		//lint:ignore panicpath pin-accounting assertion: a double Release means some frame is mutable while another reader holds it; continuing would corrupt pages silently
 		panic("storage: Release of unpinned frame")
 	}
 	fr.pins--

@@ -8,12 +8,15 @@ package suffixtree
 // prefixes, O(|a|+|b|).
 func Merge(a, b *Tree) *Tree {
 	if a.Store != b.Store {
+		//lint:ignore panicpath construction invariant: both inputs are built from one TextStore by the batch builder; symbols from different stores are incomparable
 		panic("suffixtree: Merge across different stores")
 	}
 	if a.Sparse != b.Sparse {
+		//lint:ignore panicpath construction invariant: batch builds share one sparse setting; a mixed merge would drop or duplicate run-head suffixes
 		panic("suffixtree: Merge of sparse and dense trees")
 	}
 	if a.MinSuffixLen != b.MinSuffixLen {
+		//lint:ignore panicpath construction invariant: batch builds share one length filter; a mixed merge would break the answer-length floor
 		panic("suffixtree: Merge of trees with different length filters")
 	}
 	a.mergeNodes(a.Root, b.Root)
@@ -24,6 +27,7 @@ func Merge(a, b *Tree) *Tree {
 func (t *Tree) mergeNodes(x, y *Node) {
 	if x.Leaf != nil || y.Leaf != nil {
 		// Two identical suffixes can only come from the same sequence.
+		//lint:ignore panicpath unreachable-state assertion: per-sequence terminators make suffixes of disjoint sequence sets prefix-free, so two leaves can never spell one path
 		panic("suffixtree: leaf collision during merge (overlapping sequence sets?)")
 	}
 	for _, yc := range y.Children {

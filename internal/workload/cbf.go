@@ -46,15 +46,21 @@ type CBFConfig struct {
 
 // CBF generates a labelled Cylinder–Bell–Funnel dataset. Sequence ids are
 // "<class>-<i>", so the class is recoverable from the id; labels are also
-// returned indexed by dataset position.
+// returned indexed by dataset position. It is CBFRand with a generator
+// seeded from cfg.Seed.
 func CBF(cfg CBFConfig) (*sequence.Dataset, []CBFClass) {
+	return CBFRand(rand.New(rand.NewSource(cfg.Seed)), cfg)
+}
+
+// CBFRand is CBF drawing from an explicit generator; CBFInstance already
+// takes the rng, so the whole package threads one seeded source end to end.
+func CBFRand(rng *rand.Rand, cfg CBFConfig) (*sequence.Dataset, []CBFClass) {
 	if cfg.Len == 0 {
 		cfg.Len = 128
 	}
 	if cfg.Noise == 0 {
 		cfg.Noise = 0.5
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	d := sequence.NewDataset()
 	var labels []CBFClass
 	for _, class := range []CBFClass{Cylinder, Bell, Funnel} {

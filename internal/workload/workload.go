@@ -75,9 +75,17 @@ func (c StockConfig) withDefaults() StockConfig {
 // Stocks generates the stock-like dataset: per-sequence start prices drawn
 // so the three bands hold 20%/50%/30% of the sequences, then a daily random
 // walk with price-proportional steps, rounded to cents and floored at $1.
+// It is StocksRand with a generator seeded from cfg.Seed.
 func Stocks(cfg StockConfig) *sequence.Dataset {
+	return StocksRand(rand.New(rand.NewSource(cfg.Seed)), cfg)
+}
+
+// StocksRand is Stocks drawing from an explicit generator. Every random
+// choice flows through rng, so two calls with identically seeded generators
+// produce identical datasets — the property the reproducibility tests and
+// EXPERIMENTS.md tables rely on.
+func StocksRand(rng *rand.Rand, cfg StockConfig) *sequence.Dataset {
 	cfg = cfg.withDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	d := sequence.NewDataset()
 	for i := 0; i < cfg.NumSequences; i++ {
 		var start float64
@@ -121,12 +129,17 @@ type ArtificialConfig struct {
 	Seed      int64
 }
 
-// Artificial generates the paper's artificial sequences.
+// Artificial generates the paper's artificial sequences. It is
+// ArtificialRand with a generator seeded from cfg.Seed.
 func Artificial(cfg ArtificialConfig) *sequence.Dataset {
+	return ArtificialRand(rand.New(rand.NewSource(cfg.Seed)), cfg)
+}
+
+// ArtificialRand is Artificial drawing from an explicit generator.
+func ArtificialRand(rng *rand.Rand, cfg ArtificialConfig) *sequence.Dataset {
 	if cfg.StepSigma == 0 {
 		cfg.StepSigma = 1
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	d := sequence.NewDataset()
 	for i := 0; i < cfg.NumSequences; i++ {
 		n := cfg.Len
@@ -161,10 +174,14 @@ type QueryConfig struct {
 // mix: 20% from low-band sequences, 50% mid, 30% high. When a band has no
 // sequences (artificial data), queries fall back to uniform sampling.
 func Queries(data *sequence.Dataset, cfg QueryConfig) [][]float64 {
+	return QueriesRand(rand.New(rand.NewSource(cfg.Seed)), data, cfg)
+}
+
+// QueriesRand is Queries drawing from an explicit generator.
+func QueriesRand(rng *rand.Rand, data *sequence.Dataset, cfg QueryConfig) [][]float64 {
 	if cfg.AvgLen == 0 {
 		cfg.AvgLen = 20
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	// Bucket sequences by average value.
 	var buckets [3][]int

@@ -80,6 +80,61 @@ func TestStocksDeterministic(t *testing.T) {
 	}
 }
 
+// TestSeededRandThreading asserts the package's reproducibility contract:
+// every generator draws only from the rng threaded through it, so two runs
+// with identically seeded generators produce element-identical workloads,
+// and the Seed-based wrappers are exactly the Rand variants.
+func TestSeededRandThreading(t *testing.T) {
+	sameDataset := func(t *testing.T, a, b *sequence.Dataset) {
+		t.Helper()
+		if a.Len() != b.Len() {
+			t.Fatalf("dataset sizes differ: %d vs %d", a.Len(), b.Len())
+		}
+		for i := 0; i < a.Len(); i++ {
+			if a.Seq(i).ID != b.Seq(i).ID {
+				t.Fatalf("seq %d ids differ: %q vs %q", i, a.Seq(i).ID, b.Seq(i).ID)
+			}
+			if !reflect.DeepEqual(a.Values(i), b.Values(i)) {
+				t.Fatalf("seq %d values differ", i)
+			}
+		}
+	}
+
+	t.Run("stocks", func(t *testing.T) {
+		cfg := StockConfig{NumSequences: 8, Seed: 42}
+		sameDataset(t, StocksRand(rand.New(rand.NewSource(42)), cfg), StocksRand(rand.New(rand.NewSource(42)), cfg))
+		sameDataset(t, Stocks(cfg), StocksRand(rand.New(rand.NewSource(42)), cfg))
+	})
+	t.Run("artificial", func(t *testing.T) {
+		cfg := ArtificialConfig{NumSequences: 8, Len: 50, LenJitter: 10, Seed: 42}
+		sameDataset(t, ArtificialRand(rand.New(rand.NewSource(42)), cfg), ArtificialRand(rand.New(rand.NewSource(42)), cfg))
+		sameDataset(t, Artificial(cfg), ArtificialRand(rand.New(rand.NewSource(42)), cfg))
+	})
+	t.Run("cbf", func(t *testing.T) {
+		cfg := CBFConfig{PerClass: 4, Seed: 42}
+		d1, l1 := CBFRand(rand.New(rand.NewSource(42)), cfg)
+		d2, l2 := CBFRand(rand.New(rand.NewSource(42)), cfg)
+		sameDataset(t, d1, d2)
+		if !reflect.DeepEqual(l1, l2) {
+			t.Fatal("same seed produced different labels")
+		}
+		d3, _ := CBF(cfg)
+		sameDataset(t, d1, d3)
+	})
+	t.Run("queries", func(t *testing.T) {
+		data := Stocks(StockConfig{NumSequences: 20, Seed: 1})
+		cfg := QueryConfig{Count: 25, Seed: 42}
+		q1 := QueriesRand(rand.New(rand.NewSource(42)), data, cfg)
+		q2 := QueriesRand(rand.New(rand.NewSource(42)), data, cfg)
+		if !reflect.DeepEqual(q1, q2) {
+			t.Fatal("same seed produced different queries")
+		}
+		if !reflect.DeepEqual(q1, Queries(data, cfg)) {
+			t.Fatal("Queries(cfg) differs from QueriesRand with the same seed")
+		}
+	})
+}
+
 func TestArtificial(t *testing.T) {
 	d := Artificial(ArtificialConfig{NumSequences: 200, Len: 100, Seed: 3})
 	if d.Len() != 200 {
