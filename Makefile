@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench fuzz tables examples check clean
+.PHONY: all build vet lint test race cover bench fuzz fuzz-ci tables examples check ci clean
 
 all: build vet lint test
 
@@ -23,6 +23,19 @@ test:
 
 # The documented pre-PR gate: everything that must be green before review.
 check: build vet lint test race
+
+# The full CI gate: the pre-PR gate, a bounded fuzz pass over the kernel
+# fuzz targets, and the machine-readable lint gate (any finding fails the
+# run; the JSON lines feed CI annotations).
+ci: check fuzz-ci
+	$(GO) run ./cmd/twlint -json ./...
+
+# Bounded fuzzing for CI: the distance-kernel and engine-equivalence
+# targets, 10s each, seeds + corpus only.
+fuzz-ci:
+	$(GO) test -fuzz FuzzDistanceProperties -fuzztime 10s ./internal/dtw/
+	$(GO) test -fuzz FuzzIntervalLowerBound -fuzztime 10s ./internal/dtw/
+	$(GO) test -fuzz FuzzSearchMatchesScan -fuzztime 10s ./internal/core/
 
 race:
 	$(GO) test -race ./...

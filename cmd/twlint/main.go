@@ -4,18 +4,23 @@
 //
 // Usage:
 //
-//	twlint [packages]
+//	twlint [-json] [packages]
 //
 // where packages are directory paths or "./..."-style patterns (default
 // "./..."). Findings print one per line as
 //
 //	file:line: [check-name] message
 //
-// and the command exits 1 when any finding survives //lint:ignore
-// filtering, 2 on a load or type-check failure.
+// or, with -json, as one JSON object per line:
+//
+//	{"file":"...","line":N,"check":"...","message":"..."}
+//
+// In both modes the command exits 1 when any finding survives
+// //lint:ignore filtering, 2 on a load or type-check failure.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -25,6 +30,15 @@ import (
 	"twsearch/internal/lint"
 )
 
+// jsonFinding is the -json wire form of one finding, one object per line,
+// stable for CI consumers.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
@@ -33,8 +47,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("twlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	listChecks := fs.Bool("checks", false, "list the registered checks and exit")
+	asJSON := fs.Bool("json", false, "emit findings as one JSON object per line")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: twlint [-checks] [packages]\n")
+		fmt.Fprintf(stderr, "usage: twlint [-checks] [-json] [packages]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -79,7 +94,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 			if rel, err := filepath.Rel(cwd, f.Pos.Filename); err == nil && !filepath.IsAbs(rel) {
 				f.Pos.Filename = rel
 			}
-			fmt.Fprintln(stdout, f.String())
+			if *asJSON {
+				line, err := json.Marshal(jsonFinding{
+					File:    f.Pos.Filename,
+					Line:    f.Pos.Line,
+					Check:   f.Check,
+					Message: f.Message,
+				})
+				if err != nil {
+					fmt.Fprintln(stderr, "twlint:", err)
+					return 2
+				}
+				fmt.Fprintln(stdout, string(line))
+			} else {
+				fmt.Fprintln(stdout, f.String())
+			}
 			exit = 1
 		}
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -35,6 +36,7 @@ func TestExitCodes(t *testing.T) {
 func TestNegativeFixtures(t *testing.T) {
 	for _, dir := range []string{
 		"panicpath", "errwrap", "floateq", "closecheck", "globalrand", "ctxloop",
+		"boundscontract", "lockbalance", "goleak", "deferinloop",
 	} {
 		var out, errOut bytes.Buffer
 		if code := run([]string{fixtures + dir + "/bad"}, &out, &errOut); code != 1 {
@@ -49,9 +51,45 @@ func TestChecksFlag(t *testing.T) {
 	if code := run([]string{"-checks"}, &out, &errOut); code != 0 {
 		t.Fatalf("-checks: exit %d", code)
 	}
-	for _, name := range []string{"panicpath", "errwrap", "floateq", "closecheck", "globalrand", "ctxless-loop"} {
+	for _, name := range []string{
+		"panicpath", "errwrap", "floateq", "closecheck", "globalrand", "ctxless-loop",
+		"boundscontract", "lockbalance", "goleak", "deferinloop",
+	} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-checks output missing %s:\n%s", name, out.String())
 		}
+	}
+}
+
+// TestJSONOutput pins the -json wire form: one object per line with file,
+// line, check and message fields, same exit-code contract as text mode.
+func TestJSONOutput(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-json", fixtures + "floateq/bad"}, &out, &errOut); code != 1 {
+		t.Fatalf("-json bad fixture: exit %d, want 1 (stderr: %s)", code, errOut.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("want 1 finding line, got %d:\n%s", len(lines), out.String())
+	}
+	var f struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Check   string `json:"check"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &f); err != nil {
+		t.Fatalf("finding is not valid JSON: %v\n%s", err, lines[0])
+	}
+	if f.Check != "floateq" || f.Line == 0 || f.File == "" || f.Message == "" {
+		t.Errorf("incomplete finding object: %+v", f)
+	}
+
+	out.Reset()
+	if code := run([]string{"-json", fixtures + "floateq/good"}, &out, &errOut); code != 0 {
+		t.Errorf("-json good fixture: exit %d, want 0", code)
+	}
+	if out.Len() != 0 {
+		t.Errorf("-json good fixture: unexpected output %q", out.String())
 	}
 }

@@ -364,6 +364,8 @@ func (s *searcher) emitLeaf(leaf *disktree.Node, d int, dist float64) {
 // exact (identity categorization, unshifted suffix) the candidate is an
 // answer outright; otherwise it joins its start's pending group for the
 // post-processing scan.
+//
+//twlint:bound-source params=lb
 func (s *searcher) candidate(seq, start, end int, lb float64, exact bool) {
 	if end-start < s.ix.minAnswerLen {
 		return

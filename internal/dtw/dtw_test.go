@@ -286,6 +286,66 @@ func TestTableTruncateAndReset(t *testing.T) {
 	}
 }
 
+// Truncate to depth 0 empties the row stack like Reset (minus the cell
+// counter) and leaves the table fully reusable: rebuilding must reproduce
+// the original rows bit-for-bit.
+func TestTableTruncateToZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	q := randSeq(rng, 6)
+	vals := randSeq(rng, 4)
+
+	tab := NewTable(q)
+	dists := make([]float64, len(vals))
+	mins := make([]float64, len(vals))
+	for i, v := range vals {
+		dists[i], mins[i] = tab.AddRowValue(v)
+	}
+	cells := tab.Cells()
+
+	tab.Truncate(0)
+	if tab.Depth() != 0 {
+		t.Fatalf("depth after Truncate(0) = %d, want 0", tab.Depth())
+	}
+	if tab.Cells() != cells {
+		t.Fatalf("Truncate(0) changed the cell counter: %d != %d", tab.Cells(), cells)
+	}
+	for i, v := range vals {
+		d, m := tab.AddRowValue(v)
+		if d != dists[i] || m != mins[i] {
+			t.Fatalf("row %d after Truncate(0): (%v, %v), want (%v, %v)", i, d, m, dists[i], mins[i])
+		}
+	}
+}
+
+// A degenerate interval row (lo == hi) is an exact row: its returned
+// min-dist must equal the minimum, over all query prefixes, of the
+// from-scratch Distance between the accumulated values and that prefix —
+// the Theorem-1 pruning value computed independently.
+func TestTablePointIntervalMinDist(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	f := func() bool {
+		q := randSeq(rng, 7)
+		vals := randSeq(rng, 5)
+		tab := NewTable(q)
+		for r := range vals {
+			_, minDist := tab.AddRowInterval(vals[r], vals[r])
+			want := Inf
+			for j := 1; j <= len(q); j++ {
+				if d := Distance(vals[:r+1], q[:j]); d < want {
+					want = d
+				}
+			}
+			if math.Abs(minDist-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestTablePopEmptyPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

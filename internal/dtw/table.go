@@ -78,6 +78,8 @@ func (t *Table) Truncate(depth int) {
 // distance and returns the row's last column (the distance between the query
 // and the subsequence accumulated so far, per Definition 2) and its minimum
 // column (the Theorem-1 pruning value).
+//
+//twlint:bound-source results=1
 func (t *Table) AddRowValue(v float64) (dist, minDist float64) {
 	return t.addRow(func(q float64) float64 { return Base(v, q) })
 }
@@ -85,6 +87,8 @@ func (t *Table) AddRowValue(v float64) (dist, minDist float64) {
 // AddRowInterval appends the row for a category symbol whose observed value
 // range is [lo, hi], using the lower-bound base distance D_base-lb of
 // Definition 3.
+//
+//twlint:bound-source results=0,1
 func (t *Table) AddRowInterval(lo, hi float64) (dist, minDist float64) {
 	return t.addRow(func(q float64) float64 { return BaseInterval(q, lo, hi) })
 }

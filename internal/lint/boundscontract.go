@@ -1,0 +1,292 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"twsearch/internal/lint/cfg"
+)
+
+// BoundsContract statically enforces the usage discipline behind the
+// paper's no-false-dismissal guarantee (THEORY.md §1–3). Values produced by
+// the lower-bound APIs — the min-dist returns of dtw.Table.AddRow*,
+// dtw.DistanceIntervals, and any function or parameter marked with a
+// //twlint:bound-source directive — are *proven lower bounds* of the exact
+// time warping distance (Theorems 1–3), nothing more. Two rules follow:
+//
+//  1. A bound may only gate pruning through a strict test: `bound > eps`
+//     discards, `bound <= eps` keeps. `bound >= eps` (or `==`, `!=`,
+//     `<`, or the mirrored forms) discards a candidate whose exact
+//     distance could still equal eps — a silent false dismissal.
+//  2. A bound must never be published as an exact answer distance: a
+//     `Distance:` field built from a bound-tainted value is only legal on
+//     a path dominated by the true branch of an `exact` test; otherwise
+//     the candidate has to flow through post-processing.
+//
+// The analysis is flow-sensitive: a CFG is built per function and a
+// may-taint lattice over go/types objects tracks which variables can hold
+// a bound at each program point (arithmetic such as the D_tw-lb2 shift
+// discount `dist - float64(j)*base0` keeps a value a bound). It is
+// intra-procedural; cross-function flow is declared at the boundary with
+// //twlint:bound-source markers (see HACKING.md "Static analysis").
+var BoundsContract = &Analyzer{
+	Name: "boundscontract",
+	Doc: "lower-bound distance used outside the Theorem 1-3 contract: " +
+		"pruning must test bound > eps (never >=, <, == or !=), and a bound " +
+		"may not become an exact Match distance outside an exact-guarded path",
+	Run: runBoundsContract,
+}
+
+// builtinBoundSources names the cross-package lower-bound producers by
+// package-path suffix and function name, with the mask of which results
+// are bounds. Same-package producers declare themselves with a
+// //twlint:bound-source marker instead.
+var builtinBoundSources = map[string]map[string][]bool{
+	"internal/dtw": {
+		// AddRowInterval rows use D_base-lb (Definition 3): both the row
+		// distance and the row minimum are lower bounds.
+		"AddRowInterval": {true, true},
+		// AddRowValue rows are exact, but the row minimum only bounds
+		// extensions (Theorem 1).
+		"AddRowValue": {false, true},
+		// D_tw-lb of Definition 3.
+		"DistanceIntervals": {true},
+	},
+}
+
+// boundMarker is one parsed //twlint:bound-source directive.
+type boundMarker struct {
+	results []int
+	params  []string
+}
+
+// parseBoundMarker reads "//twlint:bound-source results=0,1 params=lb".
+func parseBoundMarker(doc *ast.CommentGroup) (boundMarker, bool) {
+	if doc == nil {
+		return boundMarker{}, false
+	}
+	for _, c := range doc.List {
+		rest, ok := strings.CutPrefix(c.Text, "//twlint:bound-source")
+		if !ok {
+			continue
+		}
+		var m boundMarker
+		for _, field := range strings.Fields(rest) {
+			if v, ok := strings.CutPrefix(field, "results="); ok {
+				for _, s := range strings.Split(v, ",") {
+					if i, err := strconv.Atoi(s); err == nil && i >= 0 {
+						m.results = append(m.results, i)
+					}
+				}
+			}
+			if v, ok := strings.CutPrefix(field, "params="); ok {
+				m.params = append(m.params, strings.Split(v, ",")...)
+			}
+		}
+		return m, true
+	}
+	return boundMarker{}, false
+}
+
+func runBoundsContract(pass *Pass) {
+	if !pass.Library {
+		return
+	}
+	bc := &boundsChecker{pass: pass, marked: make(map[*types.Func][]bool)}
+
+	// Pass 1: collect same-package //twlint:bound-source markers.
+	type seeded struct {
+		fd     *ast.FuncDecl
+		params []string
+	}
+	var fns []seeded
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset.Position(file.Pos())) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			s := seeded{fd: fd}
+			if m, ok := parseBoundMarker(fd.Doc); ok {
+				if obj, _ := pass.Info.Defs[fd.Name].(*types.Func); obj != nil && len(m.results) > 0 {
+					mask := make([]bool, obj.Type().(*types.Signature).Results().Len())
+					for _, i := range m.results {
+						if i < len(mask) {
+							mask[i] = true
+						}
+					}
+					bc.marked[obj] = mask
+				}
+				s.params = m.params
+			}
+			fns = append(fns, s)
+		}
+	}
+
+	// Pass 2: analyze every function, then every function literal (with no
+	// seeds — closures are separate flows; captured bounds cross the
+	// boundary through marked calls, not captured variables).
+	for _, s := range fns {
+		bc.checkFunc(s.fd, s.fd.Type, s.params)
+		ast.Inspect(s.fd.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				bc.checkFunc(lit, lit.Type, nil)
+			}
+			return true
+		})
+	}
+}
+
+type boundsChecker struct {
+	pass   *Pass
+	marked map[*types.Func][]bool
+}
+
+// sourceMask classifies a call as a lower-bound source, returning the
+// tainted-result mask or nil.
+func (bc *boundsChecker) sourceMask(call *ast.CallExpr) []bool {
+	fn := calleeFunc(bc.pass.Info, call)
+	if fn == nil {
+		return nil
+	}
+	if mask, ok := bc.marked[fn]; ok {
+		return mask
+	}
+	if fn.Pkg() == nil {
+		return nil
+	}
+	for suffix, byName := range builtinBoundSources {
+		if strings.HasSuffix(fn.Pkg().Path(), suffix) {
+			if mask, ok := byName[fn.Name()]; ok {
+				return mask
+			}
+		}
+	}
+	return nil
+}
+
+// checkFunc runs the flow analysis over one function or function literal.
+func (bc *boundsChecker) checkFunc(fn ast.Node, ftype *ast.FuncType, seedParams []string) {
+	var seeds []types.Object
+	if len(seedParams) > 0 && ftype.Params != nil {
+		for _, f := range ftype.Params.List {
+			for _, name := range f.Names {
+				for _, want := range seedParams {
+					if name.Name == want {
+						seeds = append(seeds, bc.pass.Info.Defs[name])
+					}
+				}
+			}
+		}
+	}
+
+	g := cfg.Build(bc.pass.Fset, fn)
+	ta := &cfg.Taint{Info: bc.pass.Info, SourceCall: bc.sourceMask, Seed: seeds}
+	facts := ta.Run(g)
+	dom := g.Dominators()
+
+	// Blocks reached only when an exact-flag condition held true.
+	var exactTrue []*cfg.Block
+	for _, b := range g.Blocks {
+		if c := b.Cond(); c != nil && isExactFlag(c) {
+			exactTrue = append(exactTrue, b.Succs[0])
+		}
+	}
+	underExact := func(b *cfg.Block) bool {
+		for _, t := range exactTrue {
+			if dom.Dominates(t, b) {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, b := range g.Blocks {
+		fact := facts[b.Index].Clone()
+		for _, n := range b.Nodes {
+			bc.checkNode(ta, fact, b, n, underExact)
+			ta.Apply(fact, n)
+		}
+	}
+}
+
+// checkNode inspects one CFG node with the taint fact holding at its entry.
+func (bc *boundsChecker) checkNode(ta *cfg.Taint, fact cfg.ObjSet, b *cfg.Block, n ast.Node, underExact func(*cfg.Block) bool) {
+	root := n
+	cfg.InspectNode(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok && x != root {
+			return false // literals are analyzed as their own functions
+		}
+		switch x := x.(type) {
+		case *ast.BinaryExpr:
+			bc.checkComparison(ta, fact, x)
+		case *ast.KeyValueExpr:
+			key, ok := x.Key.(*ast.Ident)
+			if ok && key.Name == "Distance" && ta.ExprTainted(fact, x.Value) && !underExact(b) {
+				bc.pass.Report(x, "lower-bound value published as an exact Match distance outside an exact-guarded path; route the candidate through post-processing (THEORY.md, Theorems 2-3)")
+			}
+		}
+		return true
+	})
+}
+
+// checkComparison enforces rule 1 on one comparison between a bound and
+// the threshold.
+func (bc *boundsChecker) checkComparison(ta *cfg.Taint, fact cfg.ObjSet, bin *ast.BinaryExpr) {
+	switch bin.Op {
+	case token.GTR, token.GEQ, token.LSS, token.LEQ, token.EQL, token.NEQ:
+	default:
+		return
+	}
+	xBound := ta.ExprTainted(fact, bin.X)
+	yBound := ta.ExprTainted(fact, bin.Y)
+	xEps := isEpsExpr(bin.X)
+	yEps := isEpsExpr(bin.Y)
+
+	var ok bool
+	switch {
+	case xBound && !yBound && yEps:
+		// bound OP eps: keep on <=, prune on >.
+		ok = bin.Op == token.GTR || bin.Op == token.LEQ
+	case yBound && !xBound && xEps:
+		// eps OP bound: the mirror — keep on >=, prune on <.
+		ok = bin.Op == token.LSS || bin.Op == token.GEQ
+	default:
+		return
+	}
+	if !ok {
+		bc.pass.Report(bin, "lower-bound value compared to the threshold with %s; Theorems 1-3 only justify pruning on bound > eps (keeping on bound <= eps) — %s here reintroduces false dismissals", bin.Op, bin.Op)
+	}
+}
+
+// isExactFlag reports whether a condition leaf is an exactness flag: an
+// identifier or field whose name contains "exact".
+func isExactFlag(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(e.Name), "exact")
+	case *ast.SelectorExpr:
+		return strings.Contains(strings.ToLower(e.Sel.Name), "exact")
+	}
+	return false
+}
+
+// isEpsExpr reports whether an expression denotes the search threshold: an
+// identifier or field named eps/epsilon.
+func isEpsExpr(e ast.Expr) bool {
+	name := ""
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		name = e.Name
+	case *ast.SelectorExpr:
+		name = e.Sel.Name
+	}
+	name = strings.ToLower(name)
+	return name == "eps" || name == "epsilon"
+}

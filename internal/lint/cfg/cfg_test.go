@@ -1,0 +1,470 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// buildFirstFunc parses src (a complete file), builds the graph of its
+// first function declaration, and returns it with the fileset.
+func buildFirstFunc(t *testing.T, src string) *Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "x.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return Build(fset, fd)
+		}
+	}
+	t.Fatal("no function in source")
+	return nil
+}
+
+// TestGolden pins the lowering of every control construct the analyzers
+// rely on: if/else, for, range (with break/continue), switch (with
+// fallthrough and default), defer with a negated condition, short-circuit
+// && / ||, and panic as a path terminator.
+func TestGolden(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{
+			name: "if",
+			src: `package p
+func f(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}`,
+			want: `b0(entry) [a > b] -> b2 b3
+b1(exit)
+b2(if.then) [return a] -> b1
+b3(if.done) [return b] -> b1
+`,
+		},
+		{
+			name: "if-else",
+			src: `package p
+func f(a int) int {
+	x := 0
+	if a > 0 {
+		x = 1
+	} else {
+		x = 2
+	}
+	return x
+}`,
+			want: `b0(entry) [x := 0; a > 0] -> b2 b4
+b1(exit)
+b2(if.then) [x = 1] -> b3
+b3(if.done) [return x] -> b1
+b4(if.else) [x = 2] -> b3
+`,
+		},
+		{
+			name: "for",
+			src: `package p
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}`,
+			want: `b0(entry) [s := 0; i := 0] -> b2
+b1(exit)
+b2(for.head) [i < n] -> b3 b4
+b3(for.body) [s += i] -> b5
+b4(for.done) [return s] -> b1
+b5(for.post) [i++] -> b2
+`,
+		},
+		{
+			name: "for-infinite-break",
+			src: `package p
+func f() int {
+	i := 0
+	for {
+		i++
+		if i > 3 {
+			break
+		}
+	}
+	return i
+}`,
+			want: `b0(entry) [i := 0] -> b2
+b1(exit)
+b2(for.head) -> b3
+b3(for.body) [i++; i > 3] -> b5 b6
+b4(for.done) [return i] -> b1
+b5(if.then) [break] -> b4
+b6(if.done) -> b2
+`,
+		},
+		{
+			name: "range-break-continue",
+			src: `package p
+func f(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		if x < 0 {
+			continue
+		}
+		if x > 99 {
+			break
+		}
+		s += x
+	}
+	return s
+}`,
+			want: `b0(entry) [s := 0] -> b2
+b1(exit)
+b2(range.head) [_, x := range xs] -> b3 b4
+b3(range.body) [x < 0] -> b5 b6
+b4(range.done) [return s] -> b1
+b5(if.then) [continue] -> b2
+b6(if.done) [x > 99] -> b7 b8
+b7(if.then) [break] -> b4
+b8(if.done) [s += x] -> b2
+`,
+		},
+		{
+			name: "switch-fallthrough-default",
+			src: `package p
+func f(x int) int {
+	y := 0
+	switch x {
+	case 1:
+		y = 1
+		fallthrough
+	case 2:
+		y = 2
+	default:
+		y = 3
+	}
+	return y
+}`,
+			want: `b0(entry) [y := 0; x; 1; 2] -> b3 b4 b5
+b1(exit)
+b2(switch.done) [return y] -> b1
+b3(switch.case) [y = 1; fallthrough] -> b4
+b4(switch.case) [y = 2] -> b2
+b5(switch.case) [y = 3] -> b2
+`,
+		},
+		{
+			name: "defer-negated-cond",
+			src: `package p
+func f(ok bool) error {
+	mu.Lock()
+	defer mu.Unlock()
+	if !ok {
+		return errNope
+	}
+	return nil
+}`,
+			// !ok swaps the branch edges: Succs[0] (ok true) is the done
+			// block, Succs[1] the then block.
+			want: `b0(entry) [mu.Lock(); defer mu.Unlock(); ok] -> b3 b2
+b1(exit)
+b2(if.then) [return errNope] -> b1
+b3(if.done) [return nil] -> b1
+`,
+		},
+		{
+			name: "short-circuit",
+			src: `package p
+func f(a, b, c bool) int {
+	if a && (b || c) {
+		return 1
+	}
+	return 0
+}`,
+			want: `b0(entry) [a] -> b4 b3
+b1(exit)
+b2(if.then) [return 1] -> b1
+b3(if.done) [return 0] -> b1
+b4(cond.and) [b] -> b2 b5
+b5(cond.or) [c] -> b2 b3
+`,
+		},
+		{
+			name: "panic-terminates",
+			src: `package p
+func f(x int) int {
+	if x < 0 {
+		panic("neg")
+	}
+	return x
+}`,
+			want: `b0(entry) [x < 0] -> b2 b3
+b1(exit)
+b2(if.then) [panic("neg")]
+b3(if.done) [return x] -> b1
+`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := buildFirstFunc(t, tc.src)
+			if got := g.String(); got != tc.want {
+				t.Errorf("graph mismatch\n--- got ---\n%s--- want ---\n%s", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestDominators checks dominance on the for-loop shape: the head dominates
+// body, post and done; the body does not dominate done (the cond can skip
+// it on the zeroth iteration... it cannot here, but domination is about all
+// paths from entry, and entry->head->done bypasses the body).
+func TestDominators(t *testing.T) {
+	g := buildFirstFunc(t, `package p
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}`)
+	dom := g.Dominators()
+	head, body, done := g.Blocks[2], g.Blocks[3], g.Blocks[4]
+	if !dom.Dominates(g.Entry, done) {
+		t.Errorf("entry must dominate every block")
+	}
+	if !dom.Dominates(head, body) || !dom.Dominates(head, done) {
+		t.Errorf("for.head must dominate body and done")
+	}
+	if dom.Dominates(body, done) {
+		t.Errorf("for.body must not dominate for.done")
+	}
+	if !dom.Dominates(body, body) {
+		t.Errorf("a block dominates itself")
+	}
+}
+
+// TestPathToExit checks the discipline query: with the unlock deferred
+// right after the lock, no path escapes to exit without passing it; with
+// the unlock only on one branch, the other branch leaks.
+func TestPathToExit(t *testing.T) {
+	stopAtUnlock := func(n ast.Node) bool {
+		found := false
+		ast.Inspect(n, func(x ast.Node) bool {
+			if sel, ok := x.(*ast.SelectorExpr); ok && sel.Sel.Name == "Unlock" {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+
+	balanced := buildFirstFunc(t, `package p
+func f(ok bool) error {
+	mu.Lock()
+	defer mu.Unlock()
+	if !ok {
+		return errNope
+	}
+	return nil
+}`)
+	if balanced.PathToExit(balanced.Entry, 0, stopAtUnlock) {
+		t.Errorf("deferred unlock right after lock must close every exit path")
+	}
+
+	leaky := buildFirstFunc(t, `package p
+func f(ok bool) error {
+	mu.Lock()
+	if !ok {
+		return errNope
+	}
+	mu.Unlock()
+	return nil
+}`)
+	if !leaky.PathToExit(leaky.Entry, 0, stopAtUnlock) {
+		t.Errorf("early return before unlock must leave an unlocked exit path")
+	}
+
+	panics := buildFirstFunc(t, `package p
+func f(ok bool) {
+	mu.Lock()
+	if !ok {
+		panic("bad")
+	}
+	mu.Unlock()
+}`)
+	if panics.PathToExit(panics.Entry, 0, stopAtUnlock) {
+		t.Errorf("a panicking path never reaches exit and must not count as a leak")
+	}
+}
+
+// TestTaint checks the reaching-values lattice: taint enters through a
+// designated source result, survives arithmetic and conversions, joins as
+// may-taint at merge points, and does not leak into untouched variables.
+func TestTaint(t *testing.T) {
+	src := `package p
+func source() (float64, float64) { return 0, 1 }
+func f(eps float64) (bool, bool) {
+	lb, v := source()
+	d := lb - v
+	var clean float64
+	if d > eps {
+		clean = v
+	} else {
+		clean = d
+	}
+	return clean > eps, v > eps
+}`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "x.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	var fn *ast.FuncDecl
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			fn = fd
+		}
+	}
+	g := Build(fset, fn)
+	ta := &Taint{
+		Info: info,
+		SourceCall: func(call *ast.CallExpr) []bool {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "source" {
+				return []bool{true, false} // only the first result is a bound
+			}
+			return nil
+		},
+	}
+	facts := ta.Run(g)
+
+	// Find the block holding the return statement and the idents within it.
+	var retBlock *Block
+	var ret *ast.ReturnStmt
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if r, ok := n.(*ast.ReturnStmt); ok {
+				retBlock, ret = b, r
+			}
+		}
+	}
+	if retBlock == nil {
+		t.Fatal("no return block")
+	}
+	fact := facts[retBlock.Index]
+	identTaint := func(name string) bool {
+		tainted := false
+		ast.Inspect(ret, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && id.Name == name {
+				tainted = ta.ExprTainted(fact, id)
+			}
+			return true
+		})
+		return tainted
+	}
+	if !identTaint("clean") {
+		t.Errorf("clean is assigned a bound on one branch; must be may-tainted after the join")
+	}
+	if identTaint("v") {
+		t.Errorf("v never carries a bound; must stay clean")
+	}
+	if !strings.Contains(g.String(), "d > eps") {
+		t.Errorf("condition leaf missing from graph:\n%s", g.String())
+	}
+}
+
+// TestTaintMidGraphSource pins the worklist seeding: a source call inside a
+// loop body introduces taint in a block whose entry fact is empty, so the
+// fixpoint must visit every block at least once — seeding only the entry
+// block would drain the worklist before the source is ever seen. This is
+// exactly the shape of core.(*searcher).processEdge, where AddRowInterval
+// runs inside the per-symbol loop.
+func TestTaintMidGraphSource(t *testing.T) {
+	src := `package p
+func source() (float64, float64) { return 0, 1 }
+func f(n int, eps float64) bool {
+	total := 0.0
+	for i := 0; i < n; i++ {
+		_, lb := source()
+		bound := lb
+		if n > 3 {
+			bound = lb - float64(i)
+		}
+		if bound > eps {
+			return false
+		}
+		total += bound
+	}
+	return total > eps
+}`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "x.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	var fn *ast.FuncDecl
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			fn = fd
+		}
+	}
+	g := Build(fset, fn)
+	ta := &Taint{
+		Info: info,
+		SourceCall: func(call *ast.CallExpr) []bool {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "source" {
+				return []bool{false, true}
+			}
+			return nil
+		},
+	}
+	facts := ta.Run(g)
+
+	// Every use of `bound` in a condition leaf must see it tainted at the
+	// block's entry — the comparison lives blocks away from the source call.
+	checked := 0
+	for _, b := range g.Blocks {
+		c := b.Cond()
+		if c == nil {
+			continue
+		}
+		bin, ok := c.(*ast.BinaryExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := bin.X.(*ast.Ident); ok && id.Name == "bound" {
+			checked++
+			if !ta.ExprTainted(facts[b.Index], id) {
+				t.Errorf("bound not tainted at its comparison block (entry fact has %d objects)", len(facts[b.Index]))
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no `bound > eps` condition leaf found in the graph")
+	}
+}

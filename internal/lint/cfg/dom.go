@@ -1,0 +1,135 @@
+package cfg
+
+import "go/ast"
+
+// Dominators computes the immediate-dominator relation of the graph's
+// blocks, reachable from Entry, with the iterative algorithm of Cooper,
+// Harvey and Kennedy ("A Simple, Fast Dominance Algorithm"). The returned
+// Dom answers dominance queries; unreachable blocks are dominated by
+// nothing but themselves.
+func (g *Graph) Dominators() *Dom {
+	// Reverse postorder over blocks reachable from entry.
+	seen := make([]bool, len(g.Blocks))
+	var post []*Block
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			if !seen[s.Index] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(g.Entry)
+
+	rpo := make([]*Block, len(post))
+	order := make([]int, len(g.Blocks)) // block index -> RPO position
+	for i := range order {
+		order[i] = -1
+	}
+	for i, b := range post {
+		p := len(post) - 1 - i
+		rpo[p] = b
+		order[b.Index] = p
+	}
+
+	idom := make([]*Block, len(g.Blocks))
+	idom[g.Entry.Index] = g.Entry
+	intersect := func(a, b *Block) *Block {
+		for a != b {
+			for order[a.Index] > order[b.Index] {
+				a = idom[a.Index]
+			}
+			for order[b.Index] > order[a.Index] {
+				b = idom[b.Index]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo[1:] {
+			var newIdom *Block
+			for _, p := range b.Preds {
+				if idom[p.Index] == nil {
+					continue // predecessor not yet processed or unreachable
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != nil && idom[b.Index] != newIdom {
+				idom[b.Index] = newIdom
+				changed = true
+			}
+		}
+	}
+	return &Dom{entry: g.Entry, idom: idom}
+}
+
+// Dom answers dominance queries over one graph.
+type Dom struct {
+	entry *Block
+	idom  []*Block
+}
+
+// Dominates reports whether every path from entry to b passes through a.
+// A block dominates itself. Unreachable blocks are dominated only by
+// themselves.
+func (d *Dom) Dominates(a, b *Block) bool {
+	if a == b {
+		return true
+	}
+	if d.idom[b.Index] == nil {
+		return false
+	}
+	for b != d.entry {
+		b = d.idom[b.Index]
+		if b == a {
+			return true
+		}
+	}
+	return a == d.entry
+}
+
+// PathToExit reports whether some path from the given node (identified by
+// its block and its index within Block.Nodes) can reach the function exit
+// without first passing a node for which stop returns true. The node at
+// (from, idx) itself is not tested; the search starts at the next node.
+//
+// This is the workhorse query of the discipline analyzers: "is there an
+// exit path with no Unlock", "is there an exit path with no Wait". Paths
+// that abort (panic, os.Exit, ...) never reach Exit and therefore never
+// witness a leak.
+func (g *Graph) PathToExit(from *Block, idx int, stop func(ast.Node) bool) bool {
+	// visited marks blocks whose full node list has been scanned, so each
+	// block is processed at most once from its top.
+	visited := make([]bool, len(g.Blocks))
+	var walk func(b *Block, start int) bool
+	walk = func(b *Block, start int) bool {
+		if start == 0 {
+			if visited[b.Index] {
+				return false
+			}
+			visited[b.Index] = true
+		}
+		for i := start; i < len(b.Nodes); i++ {
+			if stop(b.Nodes[i]) {
+				return false
+			}
+		}
+		if b == g.Exit {
+			return true
+		}
+		for _, s := range b.Succs {
+			if walk(s, 0) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(from, idx+1)
+}

@@ -1,0 +1,281 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ObjSet is a set of type-checked objects — the lattice element of the
+// taint analysis. The lattice is the powerset of the function's objects
+// ordered by inclusion; join is union, so the analysis computes
+// may-taint: an object is in the set at a program point if SOME path
+// reaches the point with the object carrying a tainted value.
+type ObjSet map[types.Object]bool
+
+// Clone returns an independent copy of the set.
+func (s ObjSet) Clone() ObjSet {
+	out := make(ObjSet, len(s))
+	for o := range s {
+		out[o] = true
+	}
+	return out
+}
+
+// union adds src into s, reporting whether s changed.
+func (s ObjSet) union(src ObjSet) bool {
+	changed := false
+	for o := range src {
+		if !s[o] {
+			s[o] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Taint is a forward may-taint analysis over one function's graph. Sources
+// are call results designated by SourceCall and the objects in Seed;
+// propagation follows assignments, conversions, arithmetic and the builtin
+// min/max — the operations the search engine applies to lower-bound
+// distances (shift discounts like `dist - float64(j)*base0` stay bounds).
+//
+// The analysis is intra-procedural and object-grained: struct fields are
+// tracked by their field object (all instances alias), which
+// over-approximates — the safe direction for a checker that must never
+// miss a pruning decision made on a bound.
+type Taint struct {
+	Info *types.Info
+	// SourceCall classifies a call: a non-nil mask marks which of the
+	// call's results carry tainted values.
+	SourceCall func(*ast.CallExpr) []bool
+	// Seed objects (typically parameters) are tainted on entry.
+	Seed []types.Object
+}
+
+// Run computes the tainted-object set at the entry of every block,
+// indexed by Block.Index.
+func (t *Taint) Run(g *Graph) []ObjSet {
+	entry := make([]ObjSet, len(g.Blocks))
+	for i := range entry {
+		entry[i] = make(ObjSet)
+	}
+	for _, o := range t.Seed {
+		if o != nil {
+			entry[g.Entry.Index][o] = true
+		}
+	}
+
+	// Every block starts on the worklist: taint is introduced mid-graph by
+	// source calls, so a block can generate facts even when its entry set
+	// is empty — seeding only the entry block would never visit it.
+	work := make([]*Block, len(g.Blocks))
+	copy(work, g.Blocks)
+	inWork := make([]bool, len(g.Blocks))
+	for i := range inWork {
+		inWork[i] = true
+	}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inWork[b.Index] = false
+
+		out := entry[b.Index].Clone()
+		for _, n := range b.Nodes {
+			t.Apply(out, n)
+		}
+		for _, s := range b.Succs {
+			if entry[s.Index].union(out) && !inWork[s.Index] {
+				inWork[s.Index] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return entry
+}
+
+// Apply mutates set with the effect of one block node. Nodes that assign
+// (assignments, declarations, range headers) can add or remove taint;
+// everything else is a no-op.
+func (t *Taint) Apply(set ObjSet, n ast.Node) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		t.assign(set, n)
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if i < len(vs.Values) {
+					t.setObj(set, t.defObj(name), t.ExprTainted(set, vs.Values[i]))
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		tainted := t.ExprTainted(set, n.X)
+		for _, e := range []ast.Expr{n.Key, n.Value} {
+			if e == nil {
+				continue
+			}
+			if id, ok := e.(*ast.Ident); ok {
+				t.setObj(set, t.defObj(id), tainted)
+			}
+		}
+	}
+}
+
+// assign transfers taint across one assignment statement.
+func (t *Taint) assign(set ObjSet, as *ast.AssignStmt) {
+	// Tuple assignment from a single call: x, y := f().
+	if len(as.Lhs) > 1 && len(as.Rhs) == 1 {
+		var mask []bool
+		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok && t.SourceCall != nil {
+			mask = t.SourceCall(call)
+		}
+		all := mask == nil && t.ExprTainted(set, as.Rhs[0])
+		for i, lhs := range as.Lhs {
+			tainted := all
+			if mask != nil && i < len(mask) {
+				tainted = mask[i]
+			}
+			t.assignTo(set, lhs, tainted, as.Tok)
+		}
+		return
+	}
+	for i, lhs := range as.Lhs {
+		if i >= len(as.Rhs) {
+			break
+		}
+		t.assignTo(set, lhs, t.ExprTainted(set, as.Rhs[i]), as.Tok)
+	}
+}
+
+// assignTo marks the target of one assignment. Compound assignments
+// (+=, -=, ...) keep existing taint: `x -= y` still holds a bound if x did.
+func (t *Taint) assignTo(set ObjSet, lhs ast.Expr, tainted bool, tok token.Token) {
+	obj := t.lhsObj(lhs)
+	if obj == nil {
+		return
+	}
+	if tok != token.ASSIGN && tok != token.DEFINE {
+		if tainted {
+			set[obj] = true
+		}
+		return
+	}
+	t.setObj(set, obj, tainted)
+}
+
+func (t *Taint) setObj(set ObjSet, obj types.Object, tainted bool) {
+	if obj == nil {
+		return
+	}
+	if tainted {
+		set[obj] = true
+	} else {
+		delete(set, obj)
+	}
+}
+
+// defObj resolves an identifier being defined or assigned.
+func (t *Taint) defObj(id *ast.Ident) types.Object {
+	if id == nil || id.Name == "_" {
+		return nil
+	}
+	if o := t.Info.Defs[id]; o != nil {
+		return o
+	}
+	return t.Info.Uses[id]
+}
+
+// lhsObj resolves the object an assignment target denotes: the variable for
+// an identifier, the field object for a selector, and the root object for
+// index/star expressions (coarse, but taint only ever over-approximates).
+func (t *Taint) lhsObj(lhs ast.Expr) types.Object {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		return t.defObj(lhs)
+	case *ast.SelectorExpr:
+		return t.Info.Uses[lhs.Sel]
+	case *ast.IndexExpr:
+		return t.lhsObj(lhs.X)
+	case *ast.StarExpr:
+		return t.lhsObj(lhs.X)
+	}
+	return nil
+}
+
+// ExprTainted reports whether evaluating e at a point with the given taint
+// set may yield a tainted value.
+func (t *Taint) ExprTainted(set ObjSet, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		o := t.Info.Uses[e]
+		if o == nil {
+			o = t.Info.Defs[e]
+		}
+		return o != nil && set[o]
+	case *ast.SelectorExpr:
+		if o := t.Info.Uses[e.Sel]; o != nil && set[o] {
+			return true
+		}
+		return false
+	case *ast.BinaryExpr:
+		if e.Op.IsOperator() && isComparison(e.Op) {
+			return false // a bool comparison result is not itself a bound
+		}
+		return t.ExprTainted(set, e.X) || t.ExprTainted(set, e.Y)
+	case *ast.UnaryExpr:
+		return t.ExprTainted(set, e.X)
+	case *ast.StarExpr:
+		return t.ExprTainted(set, e.X)
+	case *ast.IndexExpr:
+		return t.ExprTainted(set, e.X)
+	case *ast.CallExpr:
+		return t.callTainted(set, e)
+	}
+	return false
+}
+
+// callTainted classifies a call expression in value position: a designated
+// source with exactly one tainted single result, a type conversion (which
+// preserves taint), or the builtin min/max (a min of bounds is a bound).
+func (t *Taint) callTainted(set ObjSet, call *ast.CallExpr) bool {
+	if t.SourceCall != nil {
+		if mask := t.SourceCall(call); len(mask) == 1 {
+			return mask[0]
+		} else if mask != nil {
+			return false // multi-result source used in tuple context only
+		}
+	}
+	// Type conversion: float64(x) keeps x's taint.
+	if tv, ok := t.Info.Types[call.Fun]; ok && tv.IsType() {
+		return len(call.Args) == 1 && t.ExprTainted(set, call.Args[0])
+	}
+	// Builtin min/max combine bounds into bounds.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := t.Info.Uses[id].(*types.Builtin); isBuiltin && (id.Name == "min" || id.Name == "max") {
+			for _, a := range call.Args {
+				if t.ExprTainted(set, a) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// isComparison reports whether op yields an untyped bool from two operands.
+func isComparison(op token.Token) bool {
+	switch op {
+	case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+		return true
+	}
+	return false
+}

@@ -96,6 +96,10 @@ func Analyzers() []*Analyzer {
 		CloseCheck,
 		GlobalRand,
 		CtxlessLoop,
+		BoundsContract,
+		LockBalance,
+		GoLeak,
+		DeferInLoop,
 	}
 }
 

@@ -64,6 +64,10 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"closecheck", CloseCheck, 2},
 		{"globalrand", GlobalRand, 1},
 		{"ctxloop", CtxlessLoop, 1},
+		{"boundscontract", BoundsContract, 3},
+		{"lockbalance", LockBalance, 2},
+		{"goleak", GoLeak, 2},
+		{"deferinloop", DeferInLoop, 2},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer.Name, func(t *testing.T) {

@@ -1,0 +1,45 @@
+// Package bad must trigger boundscontract three times: a prune that
+// discards the boundary candidate with >=, the same prune blocks away from
+// the source call inside a loop, and a lower bound published as an exact
+// match distance with no exact guard.
+package bad
+
+import "twsearch/internal/dtw"
+
+type match struct {
+	Start, End int
+	Distance   float64
+}
+
+// Prune discards candidates whose lower bound merely *reaches* eps. The
+// exact distance of such a candidate can still equal eps, so this is a
+// false dismissal.
+func Prune(t *dtw.Table, lo, hi, eps float64) bool {
+	_, minDist := t.AddRowInterval(lo, hi)
+	return minDist >= eps
+}
+
+// PruneLoop repeats the mistake with the processEdge shape: the bound is
+// produced inside a loop body, discounted on one branch, and compared
+// several basic blocks away from the source call. The taint must survive
+// the block boundaries for the >= to be caught.
+func PruneLoop(t *dtw.Table, ivs []dtw.Interval, base0, eps float64, sparse bool) bool {
+	for j, iv := range ivs {
+		_, minDist := t.AddRowInterval(iv.Lo, iv.Hi)
+		bound := minDist
+		if sparse && j > 0 {
+			bound = minDist - float64(j)*base0
+		}
+		if bound >= eps {
+			return false
+		}
+	}
+	return true
+}
+
+// Publish reports the interval lower bound as if it were the exact
+// distance, without any exactness guard.
+func Publish(q []float64, ivs []dtw.Interval) match {
+	lb := dtw.DistanceIntervals(q, ivs)
+	return match{Start: 0, End: len(ivs), Distance: lb}
+}

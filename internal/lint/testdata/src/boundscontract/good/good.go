@@ -1,0 +1,58 @@
+// Package good must pass boundscontract: pruning is strict (> eps), the
+// shift-discounted bound inherits the discipline through arithmetic, and a
+// bound only becomes a Match distance under an exact guard.
+package good
+
+import "twsearch/internal/dtw"
+
+type match struct {
+	Start, End int
+	Distance   float64
+}
+
+// Prune keeps the boundary candidate: only bound > eps may discard
+// (Theorem 2), and bound <= eps keeps.
+func Prune(t *dtw.Table, lo, hi, eps float64) bool {
+	_, minDist := t.AddRowInterval(lo, hi)
+	return minDist > eps
+}
+
+// Keep is the complementary test on the discounted bound of Theorem 3:
+// subtracting the shift discount keeps the value a bound, and <= eps is
+// the legal keep test.
+func Keep(t *dtw.Table, lo, hi, base0 float64, j int, eps float64) bool {
+	dist, _ := t.AddRowInterval(lo, hi)
+	shifted := dist - float64(j)*base0
+	return shifted <= eps
+}
+
+// PruneLoop is the legal version of the processEdge shape: the bound made
+// inside the loop body, discounted blocks away, prunes strictly.
+func PruneLoop(t *dtw.Table, ivs []dtw.Interval, base0, eps float64, sparse bool) bool {
+	for j, iv := range ivs {
+		_, minDist := t.AddRowInterval(iv.Lo, iv.Hi)
+		bound := minDist
+		if sparse && j > 0 {
+			bound = minDist - float64(j)*base0
+		}
+		if bound > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// Emit publishes lb as the answer distance only when the candidate is
+// exact; otherwise it recomputes the true distance first.
+//
+//twlint:bound-source params=lb
+func Emit(lb float64, exact bool, eps float64, q, s []float64) match {
+	if exact {
+		return match{Start: 0, End: len(s), Distance: lb}
+	}
+	d := dtw.Distance(q, s)
+	if d <= eps {
+		return match{Start: 0, End: len(s), Distance: d}
+	}
+	return match{}
+}

@@ -1,0 +1,13 @@
+// Package ignored must pass boundscontract only because the deliberate
+// off-by-one prune carries an audited directive.
+package ignored
+
+import "twsearch/internal/dtw"
+
+// PruneStrict deliberately dismisses the eps boundary to measure how often
+// the off-by-one prune loses matches; audited below.
+func PruneStrict(t *dtw.Table, lo, hi, eps float64) bool {
+	_, minDist := t.AddRowInterval(lo, hi)
+	//lint:ignore boundscontract fixture: experiment quantifying the dismissal rate of a >= prune
+	return minDist >= eps
+}

@@ -1,0 +1,25 @@
+// Package bad must trigger deferinloop twice: a per-iteration resource
+// deferred in a range loop, and a defer in a counted loop.
+package bad
+
+type file struct{}
+
+func (f *file) Close() error { return nil }
+
+func open(string) *file { return &file{} }
+
+// Sweep defers one Close per iteration; every handle stays open until the
+// function returns.
+func Sweep(names []string) {
+	for _, n := range names {
+		f := open(n)
+		defer f.Close()
+	}
+}
+
+// Retry stacks one deferred print per attempt.
+func Retry(report func(int)) {
+	for i := 0; i < 3; i++ {
+		defer report(i)
+	}
+}

@@ -1,0 +1,32 @@
+// Package good must pass deferinloop: the iteration body is wrapped in a
+// closure so each defer runs per iteration, and a plain top-level defer is
+// the ordinary idiom.
+package good
+
+type file struct{}
+
+func (f *file) Close() error { return nil }
+
+func open(string) *file { return &file{} }
+
+// Sweep wraps the body in a function literal; the defer runs when the
+// literal returns, once per iteration.
+func Sweep(names []string, visit func(*file) error) error {
+	for _, n := range names {
+		if err := func() error {
+			f := open(n)
+			defer f.Close()
+			return visit(f)
+		}(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// One defers outside any loop.
+func One(n string, visit func(*file) error) error {
+	f := open(n)
+	defer f.Close()
+	return visit(f)
+}

@@ -1,0 +1,30 @@
+// Package bad must trigger goleak twice: workers abandoned on an early
+// return, and a fire-and-forget goroutine with no join at all.
+package bad
+
+import "sync"
+
+// Scatter launches one worker per job but returns without waiting when
+// the sink is nil — the workers outlive the function.
+func Scatter(jobs []int, sink func(int)) {
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sink(j)
+		}()
+	}
+	if sink == nil {
+		return
+	}
+	wg.Wait()
+}
+
+// Drain starts a consumer and never joins it.
+func Drain(ch chan string) {
+	go func() {
+		for range ch {
+		}
+	}()
+}

@@ -1,0 +1,25 @@
+// Package good must pass goleak: workers joined by WaitGroup on every
+// path, and a goroutine joined by receiving its result.
+package good
+
+import "sync"
+
+// Scatter joins the workers before returning on every path.
+func Scatter(jobs []int, sink func(int)) {
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sink(j)
+		}()
+	}
+	wg.Wait()
+}
+
+// Pipeline joins by receiving the goroutine's only result.
+func Pipeline(f func() int) int {
+	ch := make(chan int, 1)
+	go func() { ch <- f() }()
+	return <-ch
+}

@@ -1,0 +1,12 @@
+// Package ignored must pass goleak only because the process-lifetime
+// janitor is audited with a directive.
+package ignored
+
+// Background starts a janitor that lives until tick is closed, by design.
+func Background(tick chan struct{}) {
+	//lint:ignore goleak fixture: janitor is process-lifetime by design, stopped by closing tick
+	go func() {
+		for range tick {
+		}
+	}()
+}

@@ -1,0 +1,41 @@
+// Package bad must trigger lockbalance twice: a mutex leaked on an early
+// return and a read lock leaked on an error path.
+package bad
+
+import (
+	"errors"
+	"sync"
+)
+
+var errEmpty = errors.New("empty store")
+
+type store struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	data map[string]int
+}
+
+// Get returns early on a miss without unlocking s.mu.
+func (s *store) Get(k string) (int, bool) {
+	s.mu.Lock()
+	v, ok := s.data[k]
+	if !ok {
+		return 0, false
+	}
+	s.mu.Unlock()
+	return v, true
+}
+
+// Snapshot leaks the read lock when the store is empty.
+func (s *store) Snapshot() ([]int, error) {
+	s.rw.RLock()
+	if len(s.data) == 0 {
+		return nil, errEmpty
+	}
+	out := make([]int, 0, len(s.data))
+	for _, v := range s.data {
+		out = append(out, v)
+	}
+	s.rw.RUnlock()
+	return out, nil
+}

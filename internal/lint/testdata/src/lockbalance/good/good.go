@@ -1,0 +1,41 @@
+// Package good must pass lockbalance: deferred release, branch-balanced
+// release, and a panic path (which aborts the function and is not an exit).
+package good
+
+import "sync"
+
+type store struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	data map[string]int
+}
+
+// Get releases on every path with the defer-after-acquire idiom.
+func (s *store) Get(k string) (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.data[k]
+	return v, ok
+}
+
+// Put releases explicitly on both branches.
+func (s *store) Put(k string, v int) bool {
+	s.mu.Lock()
+	if s.data == nil {
+		s.mu.Unlock()
+		return false
+	}
+	s.data[k] = v
+	s.mu.Unlock()
+	return true
+}
+
+// Check panics while holding the lock: the panic aborts the function, so
+// there is no unlocked path to the exit.
+func (s *store) Check() {
+	s.rw.RLock()
+	if s.data == nil {
+		panic("store: nil map")
+	}
+	s.rw.RUnlock()
+}

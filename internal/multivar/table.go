@@ -48,12 +48,16 @@ func (t *Table) Truncate(depth int) {
 
 // AddRowPoint appends the row for a data point using the exact base
 // distance; returns the last column (prefix distance) and row minimum.
+//
+//twlint:bound-source results=1
 func (t *Table) AddRowPoint(p []float64) (dist, minDist float64) {
 	return t.addRow(func(q []float64) float64 { return Base(p, q) })
 }
 
 // AddRowBox appends the row for a cell symbol's bounding box using the
 // lower-bound base distance.
+//
+//twlint:bound-source results=0,1
 func (t *Table) AddRowBox(b Box) (dist, minDist float64) {
 	return t.addRow(func(q []float64) float64 { return BaseBox(q, b) })
 }

@@ -1,0 +1,120 @@
+package seqdb
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentSearches runs range searches, kNN searches, streaming
+// visits and metadata reads in parallel against one DB. Under -race this
+// exercises the db.mu / per-index locking; the answers must match a serial
+// run exactly.
+func TestConcurrentSearches(t *testing.T) {
+	db := newTestDB(t, 6, 50, 7)
+	if err := db.BuildIndex("c", IndexSpec{Method: MethodMaxEntropy, Categories: 10, Sparse: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(8))
+	queries := make([][]float64, 8)
+	for i := range queries {
+		queries[i] = testValues(rng, 8)
+	}
+	const eps = 12.0
+	want := make([][]Match, len(queries))
+	for i, q := range queries {
+		ms, _, err := db.Search("c", q, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = ms
+	}
+
+	var wg sync.WaitGroup
+	for i, q := range queries {
+		wg.Add(1)
+		go func(i int, q []float64) {
+			defer wg.Done()
+			ms, _, err := db.Search("c", q, eps)
+			if err != nil {
+				t.Errorf("query %d: %v", i, err)
+				return
+			}
+			if !reflect.DeepEqual(ms, want[i]) {
+				t.Errorf("query %d: concurrent answers differ from serial", i)
+			}
+		}(i, q)
+		wg.Add(1)
+		go func(q []float64) {
+			defer wg.Done()
+			if _, _, err := db.SearchKNN("c", q, 3); err != nil {
+				t.Errorf("knn: %v", err)
+			}
+		}(q)
+		wg.Add(1)
+		go func(q []float64) {
+			defer wg.Done()
+			n := 0
+			if _, err := db.SearchVisit("c", q, eps, func(Match) bool { n++; return true }); err != nil {
+				t.Errorf("visit: %v", err)
+			}
+		}(q)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = db.Len()
+			_ = db.SequenceIDs()
+			_ = db.Values("seq-0")
+			_ = db.Indexes()
+			if _, err := db.Index("c"); err != nil {
+				t.Errorf("index info: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestConcurrentBuildDrop interleaves searches through one index with
+// building and dropping another: mutations must serialize against the
+// readers without corrupting either index.
+func TestConcurrentBuildDrop(t *testing.T) {
+	db := newTestDB(t, 5, 40, 9)
+	if err := db.BuildIndex("stable", IndexSpec{Method: MethodMaxEntropy, Categories: 8}); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(10))
+	q := testValues(rng, 7)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for round := 0; round < 3; round++ {
+			name := fmt.Sprintf("tmp-%d", round)
+			if err := db.BuildIndex(name, IndexSpec{Method: MethodEqualLength, Categories: 6}); err != nil {
+				t.Errorf("build %s: %v", name, err)
+				return
+			}
+			if err := db.DropIndex(name); err != nil {
+				t.Errorf("drop %s: %v", name, err)
+				return
+			}
+		}
+	}()
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 5; round++ {
+				if _, _, err := db.Search("stable", q, 10); err != nil {
+					t.Errorf("search: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -16,10 +16,14 @@ import (
 // semantics; nearest-neighbor search expands the threshold until k answers
 // are certain.
 func (db *DB) SearchKNN(indexName string, q []float64, k int) ([]Match, SearchStats, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	oi, ok := db.indexes[indexName]
 	if !ok {
 		return nil, SearchStats{}, fmt.Errorf("seqdb: no index %q", indexName)
 	}
+	oi.mu.Lock()
+	defer oi.mu.Unlock()
 	ms, stats, err := oi.ix.SearchKNN(q, k)
 	if err != nil {
 		return nil, stats, err
@@ -32,6 +36,8 @@ func (db *DB) SearchKNN(indexName string, q []float64, k int) ([]Match, SearchSt
 // returned in query order. workers <= 0 means one worker per query, capped
 // at 8.
 func (db *DB) SearchParallel(indexName string, queries [][]float64, eps float64, workers int) ([][]Match, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	oi, ok := db.indexes[indexName]
 	if !ok {
 		return nil, fmt.Errorf("seqdb: no index %q", indexName)
@@ -54,7 +60,9 @@ func (db *DB) SearchParallel(indexName string, queries [][]float64, eps float64,
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
+		oi.mu.Lock()
 		dup, err := oi.ix.Dup(oi.spec.PoolPages)
+		oi.mu.Unlock()
 		if err != nil {
 			close(jobs)
 			wg.Wait()
@@ -101,7 +109,9 @@ type AlignmentStep struct {
 // match's Distance for an unconstrained index) and the path in forward
 // order.
 func (db *DB) Align(m Match, q []float64) (float64, []AlignmentStep, error) {
-	vals := db.Values(m.SeqID)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	vals := db.valuesByID(m.SeqID)
 	if vals == nil {
 		return 0, nil, fmt.Errorf("seqdb: no sequence %q", m.SeqID)
 	}
@@ -133,6 +143,8 @@ type CategoryMeasure = categorize.Measure
 // queries and the index size, and returns the count minimizing
 // model.Wt*seconds + model.Ws*KB, along with every measurement.
 func (db *DB) SelectCategories(spec IndexSpec, counts []int, queries [][]float64, eps float64, model CostModel) (int, []CategoryMeasure, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	spec = spec.withDefaults()
 	best, measures, err := core.SelectCategories(db.data, queries, eps, counts, model,
 		core.Options{
@@ -150,6 +162,8 @@ func (db *DB) SelectCategories(spec IndexSpec, counts []int, queries [][]float64
 // ExportCSV writes every sequence as an id,v1,v2,... line — a portable dump
 // readable by ImportCSV and by cmd/seqdbctl import.
 func (db *DB) ExportCSV(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return db.data.WriteCSV(w)
 }
 
@@ -157,6 +171,8 @@ func (db *DB) ExportCSV(w io.Writer) error {
 // and '#' comments skipped). Like Add, it is rejected while indexes exist.
 // On a malformed line nothing is imported.
 func (db *DB) ImportCSV(r io.Reader) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if len(db.indexes) > 0 {
 		return 0, fmt.Errorf("seqdb: cannot import while indexes exist; drop indexes first")
 	}
@@ -184,6 +200,8 @@ func (db *DB) ImportCSV(r io.Reader) (int, error) {
 // Use it when a permissive threshold would produce answer sets too large
 // to hold in memory.
 func (db *DB) SearchVisit(indexName string, q []float64, eps float64, fn func(Match) bool) (SearchStats, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	oi, ok := db.indexes[indexName]
 	if !ok {
 		return SearchStats{}, fmt.Errorf("seqdb: no index %q", indexName)
@@ -191,6 +209,8 @@ func (db *DB) SearchVisit(indexName string, q []float64, eps float64, fn func(Ma
 	if fn == nil {
 		return SearchStats{}, fmt.Errorf("seqdb: nil visitor")
 	}
+	oi.mu.Lock()
+	defer oi.mu.Unlock()
 	return oi.ix.SearchVisit(q, eps, func(m core.Match) bool {
 		return fn(Match{
 			SeqID:    db.data.Seq(m.Ref.Seq).ID,

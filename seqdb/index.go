@@ -90,11 +90,14 @@ func (db *DB) metaPath(name string) string {
 	return filepath.Join(db.dir, "idx-"+name+".meta")
 }
 
-// BuildIndex builds and persists a new index.
+// BuildIndex builds and persists a new index. The database is exclusively
+// locked for the duration of the build.
 func (db *DB) BuildIndex(name string, spec IndexSpec) error {
 	if err := validIndexName(name); err != nil {
 		return err
 	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if _, exists := db.indexes[name]; exists {
 		return fmt.Errorf("seqdb: index %q already exists", name)
 	}
@@ -192,6 +195,8 @@ func (db *DB) openIndexFiles(name string) error {
 
 // DropIndex closes and deletes an index.
 func (db *DB) DropIndex(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	oi, ok := db.indexes[name]
 	if !ok {
 		return fmt.Errorf("seqdb: no index %q", name)
@@ -207,6 +212,8 @@ func (db *DB) DropIndex(name string) error {
 
 // Indexes lists the open indexes' names.
 func (db *DB) Indexes() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	out := make([]string, 0, len(db.indexes))
 	for name := range db.indexes {
 		out = append(out, name)
@@ -225,10 +232,14 @@ type IndexInfo struct {
 
 // Index returns metadata for a named index.
 func (db *DB) Index(name string) (IndexInfo, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	oi, ok := db.indexes[name]
 	if !ok {
 		return IndexInfo{}, fmt.Errorf("seqdb: no index %q", name)
 	}
+	oi.mu.Lock()
+	defer oi.mu.Unlock()
 	return IndexInfo{
 		Name:      name,
 		Spec:      oi.spec,
@@ -240,12 +251,17 @@ func (db *DB) Index(name string) (IndexInfo, error) {
 
 // Search runs a similarity search through the named index: every
 // subsequence with time warping distance at most eps from q, sorted by
-// (sequence, start, end). No false dismissals.
+// (sequence, start, end). No false dismissals. Concurrent Search calls on
+// the same index serialize on its disk handle; see SearchParallel.
 func (db *DB) Search(indexName string, q []float64, eps float64) ([]Match, SearchStats, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	oi, ok := db.indexes[indexName]
 	if !ok {
 		return nil, SearchStats{}, fmt.Errorf("seqdb: no index %q", indexName)
 	}
+	oi.mu.Lock()
+	defer oi.mu.Unlock()
 	ms, stats, err := oi.ix.Search(q, eps)
 	if err != nil {
 		return nil, stats, err

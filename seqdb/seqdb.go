@@ -22,7 +22,11 @@
 // false dismissals: the answer set is identical to what the exhaustive
 // SeqScan returns, typically at a small fraction of the work.
 //
-// A DB is not safe for concurrent use.
+// A DB is safe for concurrent use: reads and searches may run in parallel
+// with each other, while mutations (Add, ImportCSV, BuildIndex, DropIndex,
+// Close) take exclusive ownership. Plain Search calls on the same index
+// serialize on that index's single disk handle; use SearchParallel to fan a
+// query batch out over independent handles.
 package seqdb
 
 import (
@@ -31,6 +35,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 
 	"twsearch/internal/core"
 	"twsearch/internal/sequence"
@@ -58,14 +63,23 @@ type Stats = sequence.Stats
 
 // DB is a sequence database bound to a directory.
 type DB struct {
-	dir     string
+	dir string
+
+	// mu guards data and the indexes map: readers and searches share it,
+	// mutations hold it exclusively. Methods never call other locking
+	// methods while holding it.
+	mu      sync.RWMutex
 	data    *sequence.Dataset
 	indexes map[string]*openIndex
 }
 
 type openIndex struct {
 	spec IndexSpec
-	ix   *core.Index
+	// mu serializes use of ix: one core.Index owns one buffer pool and one
+	// file handle, so concurrent traversals through it would corrupt page
+	// state. Workers needing parallelism duplicate the handle via Dup.
+	mu sync.Mutex
+	ix *core.Index
 }
 
 // Create initializes a new database in dir (creating the directory if
@@ -112,6 +126,8 @@ func Open(dir string) (*DB, error) {
 
 // Close releases every open index. The dataset is not implicitly saved.
 func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	var first error
 	for _, oi := range db.indexes {
 		if err := oi.ix.Close(); err != nil && first == nil {
@@ -128,6 +144,8 @@ func (db *DB) Dir() string { return db.dir }
 // Add appends a sequence. Adding is rejected while indexes exist, because
 // they would silently go stale; drop indexes first and rebuild after.
 func (db *DB) Add(id string, values []float64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if len(db.indexes) > 0 {
 		return errors.New("seqdb: cannot add sequences while indexes exist; drop indexes first")
 	}
@@ -138,14 +156,22 @@ func (db *DB) Add(id string, values []float64) error {
 
 // Save persists the dataset to disk.
 func (db *DB) Save() error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return db.data.SaveFile(filepath.Join(db.dir, dataFileName))
 }
 
 // Len returns the number of sequences.
-func (db *DB) Len() int { return db.data.Len() }
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.data.Len()
+}
 
 // SequenceIDs returns all sequence ids in insertion order.
 func (db *DB) SequenceIDs() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	out := make([]string, db.data.Len())
 	for i := range out {
 		out[i] = db.data.Seq(i).ID
@@ -156,6 +182,13 @@ func (db *DB) SequenceIDs() []string {
 // Values returns the elements of the sequence with the given id, or nil if
 // absent. The slice must not be mutated.
 func (db *DB) Values(id string) []float64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.valuesByID(id)
+}
+
+// valuesByID looks a sequence up by id. The caller holds db.mu.
+func (db *DB) valuesByID(id string) []float64 {
 	i := db.data.ByID(id)
 	if i < 0 {
 		return nil
@@ -164,10 +197,16 @@ func (db *DB) Values(id string) []float64 {
 }
 
 // Stats summarizes the dataset.
-func (db *DB) Stats() Stats { return db.data.ComputeStats() }
+func (db *DB) Stats() Stats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.data.ComputeStats()
+}
 
 // SeqScan runs the exhaustive baseline: exact answers with no index.
 func (db *DB) SeqScan(q []float64, eps float64) ([]Match, SearchStats, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	ms, stats, err := core.SeqScan(db.data, q, eps, -1)
 	if err != nil {
 		return nil, stats, err
@@ -175,6 +214,8 @@ func (db *DB) SeqScan(q []float64, eps float64) ([]Match, SearchStats, error) {
 	return db.publicMatches(ms), stats, nil
 }
 
+// publicMatches converts engine matches to the public form. The caller
+// holds db.mu.
 func (db *DB) publicMatches(ms []core.Match) []Match {
 	out := make([]Match, len(ms))
 	for i, m := range ms {
