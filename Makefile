@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench fuzz fuzz-ci tables examples check ci clean
+.PHONY: all build vet lint test race cover bench fuzz fuzz-ci smoke tables examples check ci clean
 
 all: build vet lint test
 
@@ -25,10 +25,17 @@ test:
 check: build vet lint test race
 
 # The full CI gate: the pre-PR gate, a bounded fuzz pass over the kernel
-# fuzz targets, and the machine-readable lint gate (any finding fails the
-# run; the JSON lines feed CI annotations).
-ci: check fuzz-ci
+# fuzz targets, the server smoke drill, and the machine-readable lint gate
+# (any finding fails the run; the JSON lines feed CI annotations).
+ci: check fuzz-ci smoke
 	$(GO) run ./cmd/twlint -json ./...
+
+# End-to-end server drill under the race detector: boot twsearchd on an
+# ephemeral port, stream matches over concurrent client connections,
+# deliver a real SIGTERM, and require a clean drain (zero leaked
+# goroutines — the same bar the seqdb/server integration tests enforce).
+smoke:
+	$(GO) test -race -count=1 -run 'TestDaemonSmoke|TestServer' ./cmd/twsearchd/ ./seqdb/server/
 
 # Bounded fuzzing for CI: the distance-kernel and engine-equivalence
 # targets, 10s each, seeds + corpus only.

@@ -8,20 +8,32 @@
 //	seqdbctl stats   -db DIR
 //	seqdbctl index   -db DIR -name NAME [-method me|el|kmeans|exact] [-cats N] [-sparse] [-window W]
 //	seqdbctl drop    -db DIR -name NAME
-//	seqdbctl query   -db DIR -name NAME -eps E (-q "v1,v2,..." | -from SEQID -start P -len L) [-limit N]
-//	seqdbctl scan    -db DIR -eps E (-q "v1,v2,..." | -from SEQID -start P -len L) [-limit N]
+//	seqdbctl query   -db DIR -name NAME -eps E (-q "v1,v2,..." | -from SEQID -start P -len L) [-limit N] [-timeout D]
+//	seqdbctl scan    -db DIR -eps E (-q "v1,v2,..." | -from SEQID -start P -len L) [-limit N] [-timeout D]
+//
+// query, scan, and knn also run against a twsearchd daemon instead of a
+// local directory: pass -addr host:port (with -q, since the server does
+// not expose raw sequence values for -from cuts).
+//
+// Exit codes: 0 success, 1 generic error, 2 usage, 3 deadline exceeded
+// (-timeout hit locally or on the server), 4 server overloaded.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
+	"twsearch/internal/wire"
 	"twsearch/internal/workload"
 	"twsearch/seqdb"
+	"twsearch/seqdb/client"
 )
 
 func main() {
@@ -58,8 +70,42 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "seqdbctl:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
+}
+
+// exitCode maps error classes onto distinct shell exit codes so scripts
+// can tell a slow query from a rejected one: 3 for deadline/timeout, 4
+// for a server-side overload fast-fail, 1 for everything else.
+func exitCode(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return 3
+	case errors.Is(err, wire.ErrOverloaded):
+		return 4
+	}
+	return 1
+}
+
+// queryContext honors -timeout; zero means no deadline.
+func queryContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout > 0 {
+		return context.WithTimeout(context.Background(), timeout)
+	}
+	return context.Background(), func() {}
+}
+
+// parseQueryValues parses the -q "v1,v2,..." form.
+func parseQueryValues(s string) ([]float64, error) {
+	var q []float64
+	for _, fld := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(fld), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q", fld)
+		}
+		q = append(q, v)
+	}
+	return q, nil
 }
 
 func usage() {
@@ -195,12 +241,44 @@ func cmdKNN(args []string) error {
 	db := fs.String("db", "", "database directory")
 	name := fs.String("name", "", "index name")
 	k := fs.Int("k", 10, "number of nearest subsequences")
+	qstr := fs.String("q", "", "query values: v1,v2,...")
 	from := fs.String("from", "", "take the query from this sequence id")
 	start := fs.Int("start", 0, "query start within -from (0-based)")
 	qlen := fs.Int("len", 20, "query length within -from")
+	timeout := fs.Duration("timeout", 0, "abort the search after this long (0 = none)")
+	addr := fs.String("addr", "", "twsearchd address for remote mode (requires -q)")
+	dbName := fs.String("dbname", "", "database name on the server (remote mode; empty = sole db)")
 	fs.Parse(args)
-	if *db == "" || *name == "" || *from == "" {
-		return fmt.Errorf("knn: -db, -name and -from required")
+	if *name == "" {
+		return fmt.Errorf("knn: -name required")
+	}
+	ctx, cancel := queryContext(*timeout)
+	defer cancel()
+
+	var matches []seqdb.Match
+	var stats seqdb.SearchStats
+	if *addr != "" {
+		if *qstr == "" {
+			return fmt.Errorf("knn: remote mode needs -q (the server does not expose -from cuts)")
+		}
+		q, err := parseQueryValues(*qstr)
+		if err != nil {
+			return fmt.Errorf("knn: %w", err)
+		}
+		c, err := client.Dial(*addr)
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		matches, stats, err = c.SearchKNN(ctx, *dbName, *name, q, *k)
+		if err != nil {
+			return err
+		}
+		return printKNN(matches, stats)
+	}
+
+	if *db == "" || *from == "" {
+		return fmt.Errorf("knn: -db and -from required (or -addr with -q)")
 	}
 	d, err := seqdb.Open(*db)
 	if err != nil {
@@ -215,10 +293,14 @@ func cmdKNN(args []string) error {
 		return fmt.Errorf("knn: query range out of bounds")
 	}
 	q := append([]float64(nil), vals[*start:*start+*qlen]...)
-	matches, stats, err := d.SearchKNN(*name, q, *k)
+	matches, stats, err = d.SearchKNNCtx(ctx, *name, q, *k)
 	if err != nil {
 		return err
 	}
+	return printKNN(matches, stats)
+}
+
+func printKNN(matches []seqdb.Match, stats seqdb.SearchStats) error {
 	fmt.Printf("%d nearest subsequences in %v (cells=%d)\n", len(matches), stats.Elapsed, stats.Cells())
 	sort.Slice(matches, func(i, j int) bool { return matches[i].Distance < matches[j].Distance })
 	for _, m := range matches {
@@ -420,7 +502,43 @@ func cmdQuery(args []string, useIndex bool) error {
 	start := fs.Int("start", 0, "query start within -from (0-based)")
 	qlen := fs.Int("len", 20, "query length within -from")
 	limit := fs.Int("limit", 20, "max matches to print")
+	timeout := fs.Duration("timeout", 0, "abort the search after this long (0 = none)")
+	addr := fs.String("addr", "", "twsearchd address for remote mode (requires -q)")
+	dbName := fs.String("dbname", "", "database name on the server (remote mode; empty = sole db)")
 	fs.Parse(args)
+	ctx, cancel := queryContext(*timeout)
+	defer cancel()
+
+	if useIndex && *name == "" {
+		return fmt.Errorf("query: -name required (or use the scan subcommand)")
+	}
+
+	var matches []seqdb.Match
+	var stats seqdb.SearchStats
+	if *addr != "" {
+		if *qstr == "" {
+			return fmt.Errorf("query: remote mode needs -q (the server does not expose -from cuts)")
+		}
+		q, err := parseQueryValues(*qstr)
+		if err != nil {
+			return fmt.Errorf("query: %w", err)
+		}
+		c, err := client.Dial(*addr)
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		if useIndex {
+			matches, stats, err = c.Search(ctx, *dbName, *name, q, *eps)
+		} else {
+			matches, stats, err = c.SeqScan(ctx, *dbName, q, *eps)
+		}
+		if err != nil {
+			return err
+		}
+		return printMatches(matches, stats, *limit)
+	}
+
 	d, err := seqdb.Open(*db)
 	if err != nil {
 		return err
@@ -430,12 +548,9 @@ func cmdQuery(args []string, useIndex bool) error {
 	var q []float64
 	switch {
 	case *qstr != "":
-		for _, fld := range strings.Split(*qstr, ",") {
-			v, err := strconv.ParseFloat(strings.TrimSpace(fld), 64)
-			if err != nil {
-				return fmt.Errorf("query: bad value %q", fld)
-			}
-			q = append(q, v)
+		q, err = parseQueryValues(*qstr)
+		if err != nil {
+			return fmt.Errorf("query: %w", err)
 		}
 	case *from != "":
 		vals := d.Values(*from)
@@ -450,25 +565,24 @@ func cmdQuery(args []string, useIndex bool) error {
 		return fmt.Errorf("query: need -q or -from")
 	}
 
-	var matches []seqdb.Match
-	var stats seqdb.SearchStats
 	if useIndex {
-		if *name == "" {
-			return fmt.Errorf("query: -name required (or use the scan subcommand)")
-		}
-		matches, stats, err = d.Search(*name, q, *eps)
+		matches, stats, err = d.SearchCtx(ctx, *name, q, *eps)
 	} else {
-		matches, stats, err = d.SeqScan(q, *eps)
+		matches, stats, err = d.SeqScanCtx(ctx, q, *eps)
 	}
 	if err != nil {
 		return err
 	}
+	return printMatches(matches, stats, *limit)
+}
+
+func printMatches(matches []seqdb.Match, stats seqdb.SearchStats, limit int) error {
 	fmt.Printf("%d matches in %v (cells=%d, candidates=%d, nodes=%d, pages=%d)\n",
 		len(matches), stats.Elapsed, stats.Cells(), stats.Candidates, stats.NodesVisited, stats.PagesRead)
 	sort.Slice(matches, func(i, j int) bool { return matches[i].Distance < matches[j].Distance })
 	for i, m := range matches {
-		if i >= *limit {
-			fmt.Printf("... and %d more\n", len(matches)-*limit)
+		if i >= limit {
+			fmt.Printf("... and %d more\n", len(matches)-limit)
 			break
 		}
 		fmt.Printf("  %-12s [%4d:%4d) dist=%.3f\n", m.SeqID, m.Start, m.End, m.Distance)

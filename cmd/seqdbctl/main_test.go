@@ -1,10 +1,20 @@
 package main
 
 import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
+	"time"
+
+	"twsearch/internal/wire"
+	"twsearch/seqdb"
+	"twsearch/seqdb/server"
 )
 
 // captureStdout runs fn with os.Stdout redirected and returns what it
@@ -156,5 +166,157 @@ func TestCLIErrors(t *testing.T) {
 	}
 	if err := cmdTune([]string{"-db", "nowhere", "-counts", "zero"}); err == nil {
 		t.Error("bad counts accepted")
+	}
+}
+
+func TestExitCodes(t *testing.T) {
+	if got := exitCode(errors.New("boom")); got != 1 {
+		t.Errorf("generic error -> %d, want 1", got)
+	}
+	if got := exitCode(fmt.Errorf("search: %w", context.DeadlineExceeded)); got != 3 {
+		t.Errorf("deadline -> %d, want 3", got)
+	}
+	if got := exitCode(&wire.Error{Code: wire.CodeDeadline, Msg: "deadline exceeded"}); got != 3 {
+		t.Errorf("wire deadline -> %d, want 3", got)
+	}
+	if got := exitCode(fmt.Errorf("search: %w", wire.ErrOverloaded)); got != 4 {
+		t.Errorf("overloaded -> %d, want 4", got)
+	}
+	if got := exitCode(&wire.Error{Code: wire.CodeOverloaded, Msg: "server overloaded"}); got != 4 {
+		t.Errorf("wire overloaded -> %d, want 4", got)
+	}
+}
+
+// TestCLITimeout drives -timeout through the context plumbing: a deadline
+// that has already expired must surface as context.DeadlineExceeded (exit
+// code 3), not as a partial answer.
+func TestCLITimeout(t *testing.T) {
+	db := filepath.Join(t.TempDir(), "db")
+	if _, err := captureStdout(t, func() error {
+		return cmdGen([]string{"-db", db, "-kind", "stocks", "-n", "10", "-seed", "3"})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := captureStdout(t, func() error {
+		return cmdIndex([]string{"-db", db, "-name", "fast", "-method", "me", "-cats", "8", "-sparse"})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := captureStdout(t, func() error {
+		return cmdQuery([]string{"-db", db, "-name", "fast", "-eps", "5",
+			"-from", "stock-0001", "-start", "0", "-len", "10", "-timeout", "1ns"}, true)
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline", err)
+	}
+	if exitCode(err) != 3 {
+		t.Fatalf("exit code %d, want 3", exitCode(err))
+	}
+	// Scan and knn honor the flag the same way.
+	_, err = captureStdout(t, func() error {
+		return cmdQuery([]string{"-db", db, "-eps", "5",
+			"-from", "stock-0001", "-len", "10", "-timeout", "1ns"}, false)
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("scan err = %v, want deadline", err)
+	}
+	_, err = captureStdout(t, func() error {
+		return cmdKNN([]string{"-db", db, "-name", "fast", "-k", "3",
+			"-from", "stock-0001", "-len", "10", "-timeout", "1ns"})
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("knn err = %v, want deadline", err)
+	}
+}
+
+// TestCLIRemote points query/scan/knn at a live twsearchd-style server
+// and checks the remote answers match the local ones.
+func TestCLIRemote(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	if _, err := captureStdout(t, func() error {
+		return cmdGen([]string{"-db", dir, "-kind", "stocks", "-n", "10", "-seed", "5"})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := captureStdout(t, func() error {
+		return cmdIndex([]string{"-db", dir, "-name", "fast", "-method", "me", "-cats", "8", "-sparse"})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := seqdb.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	qvals := d.Values("stock-0003")[5:17]
+	var qparts []string
+	for _, v := range qvals {
+		qparts = append(qparts, strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	qarg := strings.Join(qparts, ",")
+
+	s := server.New(server.Config{})
+	if err := s.AddDB("main", d); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Error(err)
+		}
+		<-serveErr
+	}()
+	addr := ln.Addr().String()
+
+	local, err := captureStdout(t, func() error {
+		return cmdQuery([]string{"-db", dir, "-name", "fast", "-eps", "6", "-q", qarg}, true)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := captureStdout(t, func() error {
+		return cmdQuery([]string{"-addr", addr, "-dbname", "main", "-name", "fast", "-eps", "6", "-q", qarg}, true)
+	})
+	if err != nil {
+		t.Fatalf("remote query: %v", err)
+	}
+	// Identical matches modulo the timing line: compare from the first
+	// match row on, and the match counts up front.
+	if strings.Fields(local)[0] != strings.Fields(remote)[0] {
+		t.Fatalf("local found %s matches, remote %s", strings.Fields(local)[0], strings.Fields(remote)[0])
+	}
+	trim := func(s string) string {
+		_, rest, _ := strings.Cut(s, "\n")
+		return rest
+	}
+	if trim(local) != trim(remote) {
+		t.Fatalf("remote matches differ:\nlocal:\n%s\nremote:\n%s", local, remote)
+	}
+
+	remoteScan, err := captureStdout(t, func() error {
+		return cmdQuery([]string{"-addr", addr, "-eps", "6", "-q", qarg}, false)
+	})
+	if err != nil {
+		t.Fatalf("remote scan: %v", err)
+	}
+	if trim(local) != trim(remoteScan) {
+		t.Fatalf("remote scan differs from local query:\n%s\nvs\n%s", local, remoteScan)
+	}
+	if out, err := captureStdout(t, func() error {
+		return cmdKNN([]string{"-addr", addr, "-name", "fast", "-k", "3", "-q", qarg})
+	}); err != nil || !strings.Contains(out, "3 nearest subsequences") {
+		t.Fatalf("remote knn: %v\n%s", err, out)
+	}
+
+	// Remote mode without -q is a usage error, not a hang.
+	if err := cmdQuery([]string{"-addr", addr, "-name", "fast", "-eps", "1", "-from", "stock-0001"}, true); err == nil {
+		t.Fatal("remote -from accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sort"
@@ -19,6 +20,13 @@ import (
 // (a narrow band can make every distance infinite), the reachable ones are
 // returned.
 func (ix *Index) SearchKNN(q []float64, k int) ([]Match, SearchStats, error) {
+	return ix.SearchKNNCtx(context.Background(), q, k)
+}
+
+// SearchKNNCtx is SearchKNN with cancellation: each expansion round runs
+// under ctx, so a cancellation aborts mid-round through the range search's
+// early-stop path and returns ctx.Err().
+func (ix *Index) SearchKNNCtx(ctx context.Context, q []float64, k int) ([]Match, SearchStats, error) {
 	if k <= 0 {
 		return nil, SearchStats{}, errors.New("core: k must be positive")
 	}
@@ -36,7 +44,7 @@ func (ix *Index) SearchKNN(q []float64, k int) ([]Match, SearchStats, error) {
 
 	var total SearchStats
 	for {
-		matches, stats, err := ix.Search(q, eps)
+		matches, stats, err := ix.SearchCtx(ctx, q, eps)
 		total.Add(stats)
 		if err != nil {
 			return nil, total, err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"time"
 
@@ -17,7 +18,16 @@ import (
 // start, end). The guarantee is no false dismissals: the returned set is
 // exactly what SeqScan returns.
 func (ix *Index) Search(q []float64, eps float64) ([]Match, SearchStats, error) {
-	return ix.search(q, eps, nil)
+	return ix.search(context.Background(), q, eps, nil)
+}
+
+// SearchCtx is Search with cancellation: when ctx is canceled or its
+// deadline passes, the traversal aborts through the same early-stop path a
+// visitor uses and ctx.Err() is returned. Cancellation is checked every few
+// tree nodes and once per post-processing group, so an abort costs at most
+// one group's verification scan.
+func (ix *Index) SearchCtx(ctx context.Context, q []float64, eps float64) ([]Match, SearchStats, error) {
+	return ix.search(ctx, q, eps, nil)
 }
 
 // SearchVisit streams answers to fn instead of materializing them: fn is
@@ -25,19 +35,28 @@ func (ix *Index) Search(q []float64, eps float64) ([]Match, SearchStats, error) 
 // search early. Use it when a permissive threshold would produce answer
 // sets too large to hold in memory.
 func (ix *Index) SearchVisit(q []float64, eps float64, fn func(Match) bool) (SearchStats, error) {
+	return ix.SearchVisitCtx(context.Background(), q, eps, fn)
+}
+
+// SearchVisitCtx is SearchVisit with cancellation; see SearchCtx. After a
+// cancellation no further answers are delivered to fn.
+func (ix *Index) SearchVisitCtx(ctx context.Context, q []float64, eps float64, fn func(Match) bool) (SearchStats, error) {
 	if fn == nil {
 		return SearchStats{}, errors.New("core: nil visitor")
 	}
-	_, stats, err := ix.search(q, eps, fn)
+	_, stats, err := ix.search(ctx, q, eps, fn)
 	return stats, err
 }
 
-func (ix *Index) search(q []float64, eps float64, visit func(Match) bool) ([]Match, SearchStats, error) {
+func (ix *Index) search(ctx context.Context, q []float64, eps float64, visit func(Match) bool) ([]Match, SearchStats, error) {
 	if len(q) == 0 {
 		return nil, SearchStats{}, errors.New("core: empty query")
 	}
 	if eps < 0 {
 		return nil, SearchStats{}, errors.New("core: negative distance threshold")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, SearchStats{}, err
 	}
 	started := time.Now()
 	poolBefore := ix.Tree.PoolStats()
@@ -59,6 +78,7 @@ func (ix *Index) search(q []float64, eps float64, visit func(Match) bool) ([]Mat
 	}
 	s := &searcher{
 		ix:          ix,
+		ctx:         ctx,
 		q:           q,
 		eps:         eps,
 		table:       dtw.NewTableWindow(q, filterWindow),
@@ -97,6 +117,9 @@ func (ix *Index) search(q []float64, eps float64, visit func(Match) bool) ([]Mat
 	s.stats.PoolMisses = poolAfter.Misses - poolBefore.Misses
 	s.stats.PagesRead = ix.Tree.PagesRead() - pagesBefore
 	s.stats.Elapsed = time.Since(started)
+	if s.ctxErr != nil {
+		return nil, s.stats, s.ctxErr
+	}
 	sortMatches(s.matches)
 	return s.matches, s.stats, nil
 }
@@ -105,7 +128,12 @@ func (ix *Index) search(q []float64, eps float64, visit func(Match) bool) ([]Mat
 // distance table is shared by the whole traversal: descend = AddRow,
 // backtrack = Pop — the paper's R_d table-sharing.
 type searcher struct {
-	ix     *Index
+	ix *Index
+	// ctx carries the caller's cancellation; checkCancel folds it into the
+	// stopped flag so aborts flow through the one early-stop path shared
+	// with visitors. ctxErr records the reason for the final error return.
+	ctx    context.Context
+	ctxErr error
 	q      []float64
 	eps    float64
 	table  *dtw.Table
@@ -146,6 +174,23 @@ type searcher struct {
 	visit   func(Match) bool
 	stopped bool
 }
+
+// checkCancel polls the context and converts a cancellation into the
+// early-stop flag. The traversal calls it every few nodes (cancelMask), the
+// post-processing scan once per pending group; both are frequent enough to
+// bound abort latency and rare enough to keep ctx.Err off the hot path.
+func (s *searcher) checkCancel() {
+	if s.ctxErr != nil {
+		return
+	}
+	if err := s.ctx.Err(); err != nil {
+		s.ctxErr = err
+		s.stopped = true
+	}
+}
+
+// cancelMask thins traversal-side cancellation checks to one per 64 nodes.
+const cancelMask = 63
 
 // emit delivers one verified answer, either into the result slice or to the
 // streaming visitor. After an early stop nothing further is delivered.
@@ -188,6 +233,9 @@ func (s *searcher) processEdge(ptr disktree.Ptr, level int, runBroken bool, firs
 		return err
 	}
 	s.stats.NodesVisited++
+	if s.stats.NodesVisited&cancelMask == 0 {
+		s.checkCancel()
+	}
 
 	entryDepth := s.table.Depth()
 	descend := true
@@ -395,6 +443,10 @@ func (s *searcher) postProcess() {
 			maxEnd := int(s.pending[base+start])
 			if maxEnd == 0 {
 				continue
+			}
+			s.checkCancel()
+			if s.stopped {
+				break
 			}
 			s.post.Truncate(0)
 			for e := start; e < maxEnd && !s.stopped; e++ {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"time"
 
@@ -15,7 +16,14 @@ import (
 // Its exact answers double as the ground truth the index searches are
 // verified against. window < 0 disables the warping-window constraint.
 func SeqScan(data *sequence.Dataset, q []float64, eps float64, window int) ([]Match, SearchStats, error) {
-	return seqScan(data, q, eps, window, true)
+	return seqScan(context.Background(), data, q, eps, window, true)
+}
+
+// SeqScanCtx is SeqScan with cancellation: ctx is polled once per suffix
+// start, so an abort costs at most one cumulative-table scan and returns
+// ctx.Err().
+func SeqScanCtx(ctx context.Context, data *sequence.Dataset, q []float64, eps float64, window int) ([]Match, SearchStats, error) {
+	return seqScan(ctx, data, q, eps, window, true)
 }
 
 // SeqScanFull is the paper's own baseline (Section 4.3): one full
@@ -23,10 +31,10 @@ func SeqScan(data *sequence.Dataset, q []float64, eps float64, window int) ([]Ma
 // abandon, which is why the paper's measured scan times barely vary with
 // the threshold. Table 3's speedup factors are quoted against this.
 func SeqScanFull(data *sequence.Dataset, q []float64, eps float64, window int) ([]Match, SearchStats, error) {
-	return seqScan(data, q, eps, window, false)
+	return seqScan(context.Background(), data, q, eps, window, false)
 }
 
-func seqScan(data *sequence.Dataset, q []float64, eps float64, window int, abandon bool) ([]Match, SearchStats, error) {
+func seqScan(ctx context.Context, data *sequence.Dataset, q []float64, eps float64, window int, abandon bool) ([]Match, SearchStats, error) {
 	if len(q) == 0 {
 		return nil, SearchStats{}, errors.New("core: empty query")
 	}
@@ -40,6 +48,10 @@ func seqScan(data *sequence.Dataset, q []float64, eps float64, window int, aband
 	for seq := 0; seq < data.Len(); seq++ {
 		vals := data.Values(seq)
 		for p := 0; p < len(vals); p++ {
+			if err := ctx.Err(); err != nil {
+				stats.Elapsed = time.Since(started)
+				return nil, stats, err
+			}
 			table.Truncate(0)
 			for r, v := range vals[p:] {
 				dist, minDist := table.AddRowValue(v)

@@ -1,0 +1,308 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"time"
+
+	"twsearch/internal/core"
+	"twsearch/internal/sequence"
+)
+
+// SearchReq asks for a range search through an index of the named DB.
+// Timeout, when positive, is the client's deadline hint; the server applies
+// the tighter of this and its own per-search ceiling.
+type SearchReq struct {
+	DB      string
+	Index   string
+	Eps     float64
+	Timeout time.Duration
+	Query   []float64
+}
+
+// Encode appends the request body to b.
+func (m *SearchReq) Encode(b []byte) []byte {
+	b = appendString(b, m.DB)
+	b = appendString(b, m.Index)
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(m.Eps))
+	b = binary.LittleEndian.AppendUint64(b, uint64(m.Timeout))
+	return appendFloats(b, m.Query)
+}
+
+// DecodeSearchReq parses a TSearch body.
+func DecodeSearchReq(body []byte) (SearchReq, error) {
+	r := NewReader(body)
+	m := SearchReq{
+		DB:      r.String(),
+		Index:   r.String(),
+		Eps:     r.F64(),
+		Timeout: time.Duration(r.I64()),
+	}
+	m.Query = r.Floats()
+	return m, r.Err()
+}
+
+// KNNReq asks for the K nearest subsequences through an index.
+type KNNReq struct {
+	DB      string
+	Index   string
+	K       int
+	Timeout time.Duration
+	Query   []float64
+}
+
+// Encode appends the request body to b.
+func (m *KNNReq) Encode(b []byte) []byte {
+	b = appendString(b, m.DB)
+	b = appendString(b, m.Index)
+	b = binary.LittleEndian.AppendUint32(b, uint32(m.K))
+	b = binary.LittleEndian.AppendUint64(b, uint64(m.Timeout))
+	return appendFloats(b, m.Query)
+}
+
+// DecodeKNNReq parses a TKNN body.
+func DecodeKNNReq(body []byte) (KNNReq, error) {
+	r := NewReader(body)
+	m := KNNReq{
+		DB:      r.String(),
+		Index:   r.String(),
+		K:       int(r.U32()),
+		Timeout: time.Duration(r.I64()),
+	}
+	m.Query = r.Floats()
+	return m, r.Err()
+}
+
+// ScanReq asks for the exhaustive sequential-scan baseline.
+type ScanReq struct {
+	DB      string
+	Eps     float64
+	Timeout time.Duration
+	Query   []float64
+}
+
+// Encode appends the request body to b.
+func (m *ScanReq) Encode(b []byte) []byte {
+	b = appendString(b, m.DB)
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(m.Eps))
+	b = binary.LittleEndian.AppendUint64(b, uint64(m.Timeout))
+	return appendFloats(b, m.Query)
+}
+
+// DecodeScanReq parses a TScan body.
+func DecodeScanReq(body []byte) (ScanReq, error) {
+	r := NewReader(body)
+	m := ScanReq{
+		DB:      r.String(),
+		Eps:     r.F64(),
+		Timeout: time.Duration(r.I64()),
+	}
+	m.Query = r.Floats()
+	return m, r.Err()
+}
+
+// StatsReq asks for a DB's dataset summary; ListIndexesReq for its open
+// indexes. Both carry only the DB name.
+type StatsReq struct{ DB string }
+
+// Encode appends the request body to b.
+func (m *StatsReq) Encode(b []byte) []byte { return appendString(b, m.DB) }
+
+// DecodeStatsReq parses a TStats body.
+func DecodeStatsReq(body []byte) (StatsReq, error) {
+	r := NewReader(body)
+	m := StatsReq{DB: r.String()}
+	return m, r.Err()
+}
+
+// ListIndexesReq asks for the open indexes of a DB.
+type ListIndexesReq struct{ DB string }
+
+// Encode appends the request body to b.
+func (m *ListIndexesReq) Encode(b []byte) []byte { return appendString(b, m.DB) }
+
+// DecodeListIndexesReq parses a TListIndexes body.
+func DecodeListIndexesReq(body []byte) (ListIndexesReq, error) {
+	r := NewReader(body)
+	m := ListIndexesReq{DB: r.String()}
+	return m, r.Err()
+}
+
+// Match is one streamed answer. The float64 distance travels as bits, so a
+// streamed answer set is byte-identical to the in-process one.
+type Match struct {
+	SeqID    string
+	Seq      int
+	Start    int
+	End      int
+	Distance float64
+}
+
+// Encode appends the match body to b.
+func (m *Match) Encode(b []byte) []byte {
+	b = appendString(b, m.SeqID)
+	b = binary.LittleEndian.AppendUint32(b, uint32(m.Seq))
+	b = binary.LittleEndian.AppendUint32(b, uint32(m.Start))
+	b = binary.LittleEndian.AppendUint32(b, uint32(m.End))
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(m.Distance))
+}
+
+// DecodeMatch parses a TMatch body.
+func DecodeMatch(body []byte) (Match, error) {
+	r := NewReader(body)
+	m := Match{
+		SeqID: r.String(),
+		Seq:   int(r.U32()),
+		Start: int(r.U32()),
+		End:   int(r.U32()),
+	}
+	m.Distance = r.F64()
+	return m, r.Err()
+}
+
+// Done terminates a match stream, carrying the search's work counters.
+type Done struct{ Stats core.SearchStats }
+
+// Encode appends the done body to b.
+func (m *Done) Encode(b []byte) []byte {
+	s := m.Stats
+	for _, v := range []uint64{
+		s.NodesVisited, s.FilterCells, s.PostCells, s.Candidates,
+		s.FalseAlarms, s.Answers, s.PagesRead, s.PoolHits, s.PoolMisses,
+	} {
+		b = binary.LittleEndian.AppendUint64(b, v)
+	}
+	return binary.LittleEndian.AppendUint64(b, uint64(s.Elapsed))
+}
+
+// DecodeDone parses a TDone body.
+func DecodeDone(body []byte) (Done, error) {
+	r := NewReader(body)
+	var m Done
+	m.Stats.NodesVisited = r.U64()
+	m.Stats.FilterCells = r.U64()
+	m.Stats.PostCells = r.U64()
+	m.Stats.Candidates = r.U64()
+	m.Stats.FalseAlarms = r.U64()
+	m.Stats.Answers = r.U64()
+	m.Stats.PagesRead = r.U64()
+	m.Stats.PoolHits = r.U64()
+	m.Stats.PoolMisses = r.U64()
+	m.Stats.Elapsed = time.Duration(r.I64())
+	return m, r.Err()
+}
+
+// EncodeError appends a TError body for err to b.
+func EncodeError(b []byte, err error) []byte {
+	b = append(b, byte(CodeOf(err)))
+	// A typed *Error ships its bare message: Error() adds the daemon
+	// prefix and code suffix, which the receiving side adds again.
+	var we *Error
+	if errors.As(err, &we) {
+		return appendString(b, we.Msg)
+	}
+	return appendString(b, err.Error())
+}
+
+// DecodeError parses a TError body into the typed *Error.
+func DecodeError(body []byte) (*Error, error) {
+	r := NewReader(body)
+	e := &Error{Code: Code(r.U8()), Msg: r.String()}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// StatsResp answers TStats with the dataset's summary statistics.
+type StatsResp struct{ Stats sequence.Stats }
+
+// Encode appends the stats body to b.
+func (m *StatsResp) Encode(b []byte) []byte {
+	s := m.Stats
+	b = binary.LittleEndian.AppendUint64(b, uint64(s.Sequences))
+	b = binary.LittleEndian.AppendUint64(b, uint64(s.TotalElements))
+	b = binary.LittleEndian.AppendUint64(b, uint64(s.MinLen))
+	b = binary.LittleEndian.AppendUint64(b, uint64(s.MaxLen))
+	for _, v := range []float64{s.AvgLen, s.MinValue, s.MaxValue, s.MeanValue, s.StdDev} {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+	}
+	return b
+}
+
+// DecodeStatsResp parses a TStatsResp body.
+func DecodeStatsResp(body []byte) (StatsResp, error) {
+	r := NewReader(body)
+	var m StatsResp
+	m.Stats.Sequences = int(r.I64())
+	m.Stats.TotalElements = int(r.I64())
+	m.Stats.MinLen = int(r.I64())
+	m.Stats.MaxLen = int(r.I64())
+	m.Stats.AvgLen = r.F64()
+	m.Stats.MinValue = r.F64()
+	m.Stats.MaxValue = r.F64()
+	m.Stats.MeanValue = r.F64()
+	m.Stats.StdDev = r.F64()
+	return m, r.Err()
+}
+
+// IndexInfo describes one open index in an IndexesResp. It mirrors
+// seqdb.IndexInfo flattened to wire-stable fields.
+type IndexInfo struct {
+	Name         string
+	Method       string
+	Categories   int
+	Sparse       bool
+	Window       int
+	MinAnswerLen int
+	SizeBytes    int64
+	Leaves       uint64
+	Nodes        uint64
+}
+
+// IndexesResp answers TListIndexes.
+type IndexesResp struct{ Indexes []IndexInfo }
+
+// Encode appends the indexes body to b.
+func (m *IndexesResp) Encode(b []byte) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(m.Indexes)))
+	for _, ix := range m.Indexes {
+		b = appendString(b, ix.Name)
+		b = appendString(b, ix.Method)
+		b = binary.LittleEndian.AppendUint32(b, uint32(ix.Categories))
+		if ix.Sparse {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		b = binary.LittleEndian.AppendUint64(b, uint64(int64(ix.Window)))
+		b = binary.LittleEndian.AppendUint32(b, uint32(ix.MinAnswerLen))
+		b = binary.LittleEndian.AppendUint64(b, uint64(ix.SizeBytes))
+		b = binary.LittleEndian.AppendUint64(b, ix.Leaves)
+		b = binary.LittleEndian.AppendUint64(b, ix.Nodes)
+	}
+	return b
+}
+
+// DecodeIndexesResp parses a TIndexes body.
+func DecodeIndexesResp(body []byte) (IndexesResp, error) {
+	r := NewReader(body)
+	n := r.U32()
+	var m IndexesResp
+	for i := uint32(0); i < n && r.err == nil; i++ {
+		ix := IndexInfo{
+			Name:       r.String(),
+			Method:     r.String(),
+			Categories: int(r.U32()),
+			Sparse:     r.Bool(),
+			Window:     int(r.I64()),
+		}
+		ix.MinAnswerLen = int(r.U32())
+		ix.SizeBytes = r.I64()
+		ix.Leaves = r.U64()
+		ix.Nodes = r.U64()
+		m.Indexes = append(m.Indexes, ix)
+	}
+	return m, r.Err()
+}

@@ -1,0 +1,265 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"twsearch/internal/core"
+	"twsearch/internal/sequence"
+)
+
+func TestHelloRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHello(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v, err := ReadHello(&buf)
+	if err != nil {
+		t.Fatalf("ReadHello: %v", err)
+	}
+	if v != Version {
+		t.Fatalf("version %d, want %d", v, Version)
+	}
+}
+
+func TestHelloBadMagic(t *testing.T) {
+	if _, err := ReadHello(strings.NewReader("HTTP/1.1")); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestHelloBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHello(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[4], b[5] = 0xFF, 0xFF
+	if _, err := ReadHello(bytes.NewReader(b)); !errors.Is(err, ErrVersion) {
+		t.Fatalf("err = %v, want ErrVersion", err)
+	}
+}
+
+func TestHelloTruncated(t *testing.T) {
+	if _, err := ReadHello(strings.NewReader("TWS")); err == nil {
+		t.Fatal("want error on truncated hello")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, TMatch, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, TDone, nil); err != nil {
+		t.Fatal(err)
+	}
+	typ, body, err := ReadFrame(&buf)
+	if err != nil || typ != TMatch || string(body) != "hello" {
+		t.Fatalf("frame 1 = (%#x, %q, %v)", typ, body, err)
+	}
+	typ, body, err = ReadFrame(&buf)
+	if err != nil || typ != TDone || len(body) != 0 {
+		t.Fatalf("frame 2 = (%#x, %q, %v)", typ, body, err)
+	}
+	if _, _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("at end: %v, want io.EOF", err)
+	}
+}
+
+func TestFrameLengthBounds(t *testing.T) {
+	// Zero-length frames are invalid: the type byte is part of the payload.
+	if _, _, err := ReadFrame(bytes.NewReader([]byte{0, 0, 0, 0})); err == nil {
+		t.Fatal("want error on zero-length frame")
+	}
+	// A hostile length prefix must fail before allocating.
+	if _, _, err := ReadFrame(bytes.NewReader([]byte{0xFF, 0xFF, 0xFF, 0xFF})); err == nil {
+		t.Fatal("want error on oversized frame")
+	}
+	// Truncated body.
+	if _, _, err := ReadFrame(bytes.NewReader([]byte{5, 0, 0, 0, TMatch, 'x'})); err == nil {
+		t.Fatal("want error on truncated body")
+	}
+}
+
+func TestSearchReqRoundTrip(t *testing.T) {
+	in := SearchReq{
+		DB:      "default",
+		Index:   "fast",
+		Eps:     3.75,
+		Timeout: 1500 * time.Millisecond,
+		Query:   []float64{1, -2.5, math.Pi, 0},
+	}
+	out, err := DecodeSearchReq(in.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestKNNReqRoundTrip(t *testing.T) {
+	in := KNNReq{DB: "d", Index: "i", K: 7, Query: []float64{42}}
+	out, err := DecodeKNNReq(in.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestScanReqRoundTrip(t *testing.T) {
+	in := ScanReq{DB: "d", Eps: 0.5, Timeout: time.Second, Query: []float64{1, 2}}
+	out, err := DecodeScanReq(in.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestSmallReqsRoundTrip(t *testing.T) {
+	s, err := DecodeStatsReq((&StatsReq{DB: "x"}).Encode(nil))
+	if err != nil || s.DB != "x" {
+		t.Fatalf("stats req: %+v, %v", s, err)
+	}
+	l, err := DecodeListIndexesReq((&ListIndexesReq{DB: "y"}).Encode(nil))
+	if err != nil || l.DB != "y" {
+		t.Fatalf("list req: %+v, %v", l, err)
+	}
+}
+
+func TestMatchRoundTripExactBits(t *testing.T) {
+	// The distance must survive bit-exactly, including a signaling-ish NaN
+	// payload: byte-identity over the wire is the acceptance bar.
+	d := math.Float64frombits(0x7FF8_0000_DEAD_BEEF)
+	in := Match{SeqID: "stock-0001", Seq: 1, Start: 10, End: 25, Distance: d}
+	out, err := DecodeMatch(in.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.SeqID != in.SeqID || out.Seq != in.Seq || out.Start != in.Start || out.End != in.End {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+	if math.Float64bits(out.Distance) != math.Float64bits(in.Distance) {
+		t.Fatalf("distance bits changed: %x != %x",
+			math.Float64bits(out.Distance), math.Float64bits(in.Distance))
+	}
+}
+
+func TestDoneRoundTrip(t *testing.T) {
+	in := Done{Stats: core.SearchStats{
+		NodesVisited: 1, FilterCells: 2, PostCells: 3, Candidates: 4,
+		FalseAlarms: 5, Answers: 6, PagesRead: 7, PoolHits: 8, PoolMisses: 9,
+		Elapsed: 10 * time.Millisecond,
+	}}
+	out, err := DecodeDone(in.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestErrorRoundTripAndIs(t *testing.T) {
+	body := EncodeError(nil, ErrOverloaded)
+	e, err := DecodeError(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(e, ErrOverloaded) {
+		t.Fatalf("decoded error %v does not match ErrOverloaded", e)
+	}
+	if errors.Is(e, ErrShutdown) {
+		t.Fatal("overloaded must not match shutdown")
+	}
+
+	// Deadline and shutdown codes stand in for their context sentinels.
+	de, err := DecodeError(EncodeError(nil, context.DeadlineExceeded))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if de.Code != CodeDeadline || !errors.Is(de, context.DeadlineExceeded) {
+		t.Fatalf("deadline mapping broken: %+v", de)
+	}
+	ce, err := DecodeError(EncodeError(nil, context.Canceled))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce.Code != CodeShutdown || !errors.Is(ce, context.Canceled) {
+		t.Fatalf("canceled mapping broken: %+v", ce)
+	}
+	if got := CodeOf(errors.New("boom")); got != CodeInternal {
+		t.Fatalf("CodeOf(plain) = %v, want internal", got)
+	}
+}
+
+func TestStatsRespRoundTrip(t *testing.T) {
+	in := StatsResp{Stats: sequence.Stats{
+		Sequences: 3, TotalElements: 99, AvgLen: 33, MinLen: 10, MaxLen: 50,
+		MinValue: -1.5, MaxValue: 9.75, MeanValue: 2.25, StdDev: 1.125,
+	}}
+	out, err := DecodeStatsResp(in.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestIndexesRespRoundTrip(t *testing.T) {
+	in := IndexesResp{Indexes: []IndexInfo{
+		{Name: "fast", Method: "max-entropy", Categories: 20, Sparse: true,
+			Window: -1, MinAnswerLen: 0, SizeBytes: 1 << 20, Leaves: 100, Nodes: 130},
+		{Name: "exact", Method: "identity", Window: 8},
+	}}
+	out, err := DecodeIndexesResp(in.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+	empty, err := DecodeIndexesResp((&IndexesResp{}).Encode(nil))
+	if err != nil || len(empty.Indexes) != 0 {
+		t.Fatalf("empty round trip: %+v, %v", empty, err)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	good := (&SearchReq{DB: "d", Index: "i", Eps: 1, Query: []float64{1, 2, 3}}).Encode(nil)
+	// Every truncation of a valid body must fail cleanly, never panic.
+	for n := 0; n < len(good); n++ {
+		if _, err := DecodeSearchReq(good[:n]); err == nil {
+			t.Fatalf("truncation at %d decoded successfully", n)
+		}
+	}
+	// Trailing garbage is rejected too: frames are consumed exactly.
+	if _, err := DecodeSearchReq(append(append([]byte{}, good...), 0xAA)); err == nil {
+		t.Fatal("trailing bytes decoded successfully")
+	}
+	// A string length that overruns the body must not allocate or read OOB.
+	bad := append([]byte{0xFF, 0xFF, 0xFF, 0x7F}, "tiny"...)
+	if _, err := DecodeSearchReq(bad); err == nil {
+		t.Fatal("oversized string length decoded successfully")
+	}
+	// A float count that overruns the body must fail before allocating.
+	badFloats := (&ScanReq{DB: "d", Eps: 1}).Encode(nil)
+	badFloats = badFloats[:len(badFloats)-4]
+	badFloats = append(badFloats, 0xFF, 0xFF, 0xFF, 0x7F)
+	if _, err := DecodeScanReq(badFloats); err == nil {
+		t.Fatal("oversized float count decoded successfully")
+	}
+}

@@ -1,0 +1,388 @@
+// Package client is the reconnecting twsearchd client: the network-side
+// mirror of the seqdb search API. A Client owns one connection, redials
+// transparently on the next call after any transport failure, and maps
+// context deadlines onto both the socket and the server's own per-request
+// deadline, so a timeout fires on whichever side notices first.
+//
+// A Client serializes its calls (the protocol is one request at a time per
+// connection); for concurrent query streams, use one Client per goroutine
+// — the server side is built for many connections.
+package client
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"twsearch/internal/wire"
+	"twsearch/seqdb"
+)
+
+// Options tunes a Client.
+type Options struct {
+	// DialTimeout bounds connection establishment (including the
+	// handshake); <= 0 means 5 seconds.
+	DialTimeout time.Duration
+}
+
+const defaultDialTimeout = 5 * time.Second
+
+// Client is a twsearchd connection handle. Safe for concurrent use;
+// requests serialize on the single underlying connection.
+type Client struct {
+	addr string
+	opts Options
+
+	// mu serializes requests and guards the connection state below.
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// Dial connects to a twsearchd server and validates the handshake. The
+// returned client redials automatically if the connection later fails.
+func Dial(addr string) (*Client, error) {
+	return DialOptions(addr, Options{})
+}
+
+// DialOptions is Dial with explicit options.
+func DialOptions(addr string, opts Options) (*Client, error) {
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = defaultDialTimeout
+	}
+	c := &Client{addr: addr, opts: opts}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.ensureConn(context.Background()); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close releases the connection. The client is not usable afterwards
+// except by the zero-cost guarantee that a later call simply redials.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropLocked()
+}
+
+// ensureConn dials and performs the handshake if no live connection
+// exists. Caller holds c.mu.
+func (c *Client) ensureConn(ctx context.Context) error {
+	if c.conn != nil {
+		return nil
+	}
+	d := net.Dialer{Timeout: c.opts.DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		return fmt.Errorf("client: dialing %s: %w", c.addr, err)
+	}
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	if err := conn.SetDeadline(time.Now().Add(c.opts.DialTimeout)); err != nil {
+		conn.Close()
+		return err
+	}
+	if err := wire.WriteHello(bw); err != nil {
+		conn.Close()
+		return fmt.Errorf("client: handshake: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		conn.Close()
+		return fmt.Errorf("client: handshake: %w", err)
+	}
+	if _, err := wire.ReadHello(br); err != nil {
+		conn.Close()
+		return fmt.Errorf("client: handshake: %w", err)
+	}
+	if err := conn.SetDeadline(time.Time{}); err != nil {
+		conn.Close()
+		return err
+	}
+	c.conn, c.br, c.bw = conn, br, bw
+	return nil
+}
+
+// dropLocked closes and forgets the connection; the next call redials.
+// Caller holds c.mu.
+func (c *Client) dropLocked() error {
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn, c.br, c.bw = nil, nil, nil
+	return err
+}
+
+// fail drops the connection after a transport error and shapes the
+// returned error: if the caller's context expired, that is the cause worth
+// reporting, not the socket-level symptom. Caller holds c.mu.
+func (c *Client) fail(ctx context.Context, err error) error {
+	c.dropLocked()
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return fmt.Errorf("client: %w: %w", err, ctxErr)
+	}
+	return fmt.Errorf("client: %w", err)
+}
+
+// begin readies the connection for one request under ctx: redial if
+// needed, mirror the context deadline onto the socket, and return the
+// remaining budget as the server-side timeout hint. Caller holds c.mu.
+func (c *Client) begin(ctx context.Context) (time.Duration, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if err := c.ensureConn(ctx); err != nil {
+		return 0, err
+	}
+	var hint time.Duration
+	deadline, ok := ctx.Deadline()
+	if ok {
+		hint = time.Until(deadline)
+		if hint <= 0 {
+			return 0, context.DeadlineExceeded
+		}
+	}
+	if err := c.conn.SetDeadline(deadline); err != nil { // zero time clears
+		return 0, c.fail(ctx, err)
+	}
+	return hint, nil
+}
+
+// send writes one request frame. Caller holds c.mu.
+func (c *Client) send(ctx context.Context, t byte, body []byte) error {
+	if err := wire.WriteFrame(c.bw, t, body); err != nil {
+		return c.fail(ctx, err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return c.fail(ctx, err)
+	}
+	return nil
+}
+
+// finish clears the per-request socket deadline. Caller holds c.mu.
+func (c *Client) finish() {
+	if c.conn != nil {
+		c.conn.SetDeadline(time.Time{})
+	}
+}
+
+// SearchVisit streams a range search's answers to fn as they arrive from
+// the server; returning false stops the stream. Stopping early drops the
+// connection — that is the wire's cancellation signal; the server aborts
+// the search when its next write fails — and the client redials on the
+// next call.
+func (c *Client) SearchVisit(ctx context.Context, db, index string, q []float64, eps float64, fn func(seqdb.Match) bool) (seqdb.SearchStats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var stats seqdb.SearchStats
+	hint, err := c.begin(ctx)
+	if err != nil {
+		return stats, err
+	}
+	req := wire.SearchReq{DB: db, Index: index, Eps: eps, Timeout: hint, Query: q}
+	if err := c.send(ctx, wire.TSearch, req.Encode(nil)); err != nil {
+		return stats, err
+	}
+	return c.readMatchStream(ctx, fn)
+}
+
+// readMatchStream consumes TMatch frames until TDone or TError. Caller
+// holds c.mu and has sent a search-shaped request.
+func (c *Client) readMatchStream(ctx context.Context, fn func(seqdb.Match) bool) (seqdb.SearchStats, error) {
+	var stats seqdb.SearchStats
+	for {
+		t, body, err := wire.ReadFrame(c.br)
+		if err != nil {
+			return stats, c.fail(ctx, err)
+		}
+		switch t {
+		case wire.TMatch:
+			wm, err := wire.DecodeMatch(body)
+			if err != nil {
+				return stats, c.fail(ctx, err)
+			}
+			m := seqdb.Match{SeqID: wm.SeqID, Seq: wm.Seq, Start: wm.Start, End: wm.End, Distance: wm.Distance}
+			if !fn(m) {
+				c.dropLocked()
+				return stats, nil
+			}
+		case wire.TDone:
+			d, err := wire.DecodeDone(body)
+			if err != nil {
+				return stats, c.fail(ctx, err)
+			}
+			c.finish()
+			return d.Stats, nil
+		case wire.TError:
+			e, err := wire.DecodeError(body)
+			if err != nil {
+				return stats, c.fail(ctx, err)
+			}
+			c.finish()
+			return stats, e
+		default:
+			return stats, c.fail(ctx, fmt.Errorf("unexpected frame type %#x in match stream", t))
+		}
+	}
+}
+
+// Search runs a range search and returns the full answer set sorted by
+// (sequence, start, end) — the same order, distances and stats the
+// in-process seqdb.DB.Search produces.
+func (c *Client) Search(ctx context.Context, db, index string, q []float64, eps float64) ([]seqdb.Match, seqdb.SearchStats, error) {
+	var ms []seqdb.Match
+	stats, err := c.SearchVisit(ctx, db, index, q, eps, func(m seqdb.Match) bool {
+		ms = append(ms, m)
+		return true
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	sort.Slice(ms, func(i, j int) bool {
+		a, b := ms[i], ms[j]
+		if a.Seq != b.Seq {
+			return a.Seq < b.Seq
+		}
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		return a.End < b.End
+	})
+	return ms, stats, nil
+}
+
+// SearchKNN returns the k nearest subsequences; order mirrors the
+// in-process SearchKNN (position order).
+func (c *Client) SearchKNN(ctx context.Context, db, index string, q []float64, k int) ([]seqdb.Match, seqdb.SearchStats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	hint, err := c.begin(ctx)
+	if err != nil {
+		return nil, seqdb.SearchStats{}, err
+	}
+	req := wire.KNNReq{DB: db, Index: index, K: k, Timeout: hint, Query: q}
+	if err := c.send(ctx, wire.TKNN, req.Encode(nil)); err != nil {
+		return nil, seqdb.SearchStats{}, err
+	}
+	return c.collectMatchStream(ctx)
+}
+
+// SeqScan runs the exhaustive baseline server-side.
+func (c *Client) SeqScan(ctx context.Context, db string, q []float64, eps float64) ([]seqdb.Match, seqdb.SearchStats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	hint, err := c.begin(ctx)
+	if err != nil {
+		return nil, seqdb.SearchStats{}, err
+	}
+	req := wire.ScanReq{DB: db, Eps: eps, Timeout: hint, Query: q}
+	if err := c.send(ctx, wire.TScan, req.Encode(nil)); err != nil {
+		return nil, seqdb.SearchStats{}, err
+	}
+	return c.collectMatchStream(ctx)
+}
+
+// collectMatchStream materializes a match stream in server order. Caller
+// holds c.mu.
+func (c *Client) collectMatchStream(ctx context.Context) ([]seqdb.Match, seqdb.SearchStats, error) {
+	var ms []seqdb.Match
+	stats, err := c.readMatchStream(ctx, func(m seqdb.Match) bool {
+		ms = append(ms, m)
+		return true
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	return ms, stats, nil
+}
+
+// Stats returns the dataset summary of a mounted DB.
+func (c *Client) Stats(ctx context.Context, db string) (seqdb.Stats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.begin(ctx); err != nil {
+		return seqdb.Stats{}, err
+	}
+	req := wire.StatsReq{DB: db}
+	if err := c.send(ctx, wire.TStats, req.Encode(nil)); err != nil {
+		return seqdb.Stats{}, err
+	}
+	t, body, err := wire.ReadFrame(c.br)
+	if err != nil {
+		return seqdb.Stats{}, c.fail(ctx, err)
+	}
+	switch t {
+	case wire.TStatsResp:
+		resp, err := wire.DecodeStatsResp(body)
+		if err != nil {
+			return seqdb.Stats{}, c.fail(ctx, err)
+		}
+		c.finish()
+		return resp.Stats, nil
+	case wire.TError:
+		e, err := wire.DecodeError(body)
+		if err != nil {
+			return seqdb.Stats{}, c.fail(ctx, err)
+		}
+		c.finish()
+		return seqdb.Stats{}, e
+	}
+	return seqdb.Stats{}, c.fail(ctx, fmt.Errorf("unexpected frame type %#x", t))
+}
+
+// ListIndexes returns the open indexes of a mounted DB, sorted by name.
+func (c *Client) ListIndexes(ctx context.Context, db string) ([]seqdb.IndexInfo, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.begin(ctx); err != nil {
+		return nil, err
+	}
+	req := wire.ListIndexesReq{DB: db}
+	if err := c.send(ctx, wire.TListIndexes, req.Encode(nil)); err != nil {
+		return nil, err
+	}
+	t, body, err := wire.ReadFrame(c.br)
+	if err != nil {
+		return nil, c.fail(ctx, err)
+	}
+	switch t {
+	case wire.TIndexes:
+		resp, err := wire.DecodeIndexesResp(body)
+		if err != nil {
+			return nil, c.fail(ctx, err)
+		}
+		c.finish()
+		out := make([]seqdb.IndexInfo, len(resp.Indexes))
+		for i, ix := range resp.Indexes {
+			out[i] = seqdb.IndexInfo{
+				Name: ix.Name,
+				Spec: seqdb.IndexSpec{
+					Method:       seqdb.Method(ix.Method),
+					Categories:   ix.Categories,
+					Sparse:       ix.Sparse,
+					Window:       ix.Window,
+					MinAnswerLen: ix.MinAnswerLen,
+				},
+				SizeBytes: ix.SizeBytes,
+				Leaves:    ix.Leaves,
+				Nodes:     ix.Nodes,
+			}
+		}
+		return out, nil
+	case wire.TError:
+		e, err := wire.DecodeError(body)
+		if err != nil {
+			return nil, c.fail(ctx, err)
+		}
+		c.finish()
+		return nil, e
+	}
+	return nil, c.fail(ctx, fmt.Errorf("unexpected frame type %#x", t))
+}

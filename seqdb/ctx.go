@@ -1,0 +1,93 @@
+package seqdb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"twsearch/internal/core"
+)
+
+// ErrNoIndex reports a search against an index name the database does not
+// have. Errors returned by Search and friends wrap it, so callers (and the
+// network server) can classify lookup failures with errors.Is.
+var ErrNoIndex = errors.New("no such index")
+
+func errNoIndex(name string) error {
+	return fmt.Errorf("seqdb: no index %q: %w", name, ErrNoIndex)
+}
+
+// SearchCtx is Search with cancellation: when ctx is canceled or its
+// deadline passes the traversal aborts through the engine's early-stop path
+// and ctx.Err() is returned. The no-false-dismissal guarantee is unaffected
+// — a canceled search returns an error, never a silently truncated answer
+// set.
+func (db *DB) SearchCtx(ctx context.Context, indexName string, q []float64, eps float64) ([]Match, SearchStats, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	oi, ok := db.indexes[indexName]
+	if !ok {
+		return nil, SearchStats{}, errNoIndex(indexName)
+	}
+	oi.mu.Lock()
+	defer oi.mu.Unlock()
+	ms, stats, err := oi.ix.SearchCtx(ctx, q, eps)
+	if err != nil {
+		return nil, stats, err
+	}
+	return db.publicMatches(ms), stats, nil
+}
+
+// SearchVisitCtx is SearchVisit with cancellation; see SearchCtx. After a
+// cancellation no further answers are delivered to fn.
+func (db *DB) SearchVisitCtx(ctx context.Context, indexName string, q []float64, eps float64, fn func(Match) bool) (SearchStats, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	oi, ok := db.indexes[indexName]
+	if !ok {
+		return SearchStats{}, errNoIndex(indexName)
+	}
+	if fn == nil {
+		return SearchStats{}, fmt.Errorf("seqdb: nil visitor")
+	}
+	oi.mu.Lock()
+	defer oi.mu.Unlock()
+	return oi.ix.SearchVisitCtx(ctx, q, eps, func(m core.Match) bool {
+		return fn(Match{
+			SeqID:    db.data.Seq(m.Ref.Seq).ID,
+			Seq:      m.Ref.Seq,
+			Start:    m.Ref.Start,
+			End:      m.Ref.End,
+			Distance: m.Distance,
+		})
+	})
+}
+
+// SearchKNNCtx is SearchKNN with cancellation; each threshold-expansion
+// round runs under ctx.
+func (db *DB) SearchKNNCtx(ctx context.Context, indexName string, q []float64, k int) ([]Match, SearchStats, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	oi, ok := db.indexes[indexName]
+	if !ok {
+		return nil, SearchStats{}, errNoIndex(indexName)
+	}
+	oi.mu.Lock()
+	defer oi.mu.Unlock()
+	ms, stats, err := oi.ix.SearchKNNCtx(ctx, q, k)
+	if err != nil {
+		return nil, stats, err
+	}
+	return db.publicMatches(ms), stats, nil
+}
+
+// SeqScanCtx is SeqScan with cancellation, polled once per suffix start.
+func (db *DB) SeqScanCtx(ctx context.Context, q []float64, eps float64) ([]Match, SearchStats, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	ms, stats, err := core.SeqScanCtx(ctx, db.data, q, eps, -1)
+	if err != nil {
+		return nil, stats, err
+	}
+	return db.publicMatches(ms), stats, nil
+}

@@ -1,0 +1,189 @@
+package seqdb
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestContextVariantsMatchPlainAPI pins that the Ctx entry points with a
+// background context return exactly what the historical signatures do.
+func TestContextVariantsMatchPlainAPI(t *testing.T) {
+	db := newTestDB(t, 10, 60, 11)
+	if err := db.BuildIndex("fast", IndexSpec{Method: MethodMaxEntropy, Categories: 10, Sparse: true}); err != nil {
+		t.Fatal(err)
+	}
+	q := append([]float64(nil), db.Values("seq-2")[5:20]...)
+	ctx := context.Background()
+
+	want, _, err := db.Search("fast", q, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := db.SearchCtx(ctx, "fast", q, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("SearchCtx(background) differs from Search")
+	}
+
+	wantScan, _, err := db.SeqScan(q, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotScan, _, err := db.SeqScanCtx(ctx, q, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wantScan, gotScan) {
+		t.Fatal("SeqScanCtx(background) differs from SeqScan")
+	}
+
+	wantKNN, _, err := db.SearchKNN("fast", q, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotKNN, _, err := db.SearchKNNCtx(ctx, "fast", q, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wantKNN, gotKNN) {
+		t.Fatal("SearchKNNCtx(background) differs from SearchKNN")
+	}
+}
+
+// TestContextCancellationAborts checks every Ctx entry point honors an
+// already-canceled context and reports the context's error.
+func TestContextCancellationAborts(t *testing.T) {
+	db := newTestDB(t, 10, 60, 12)
+	if err := db.BuildIndex("fast", IndexSpec{Method: MethodMaxEntropy, Categories: 10, Sparse: true}); err != nil {
+		t.Fatal(err)
+	}
+	q := append([]float64(nil), db.Values("seq-1")[0:15]...)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, _, err := db.SearchCtx(ctx, "fast", q, 5); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SearchCtx err = %v, want Canceled", err)
+	}
+	if _, err := db.SearchVisitCtx(ctx, "fast", q, 5, func(Match) bool { return true }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SearchVisitCtx err = %v, want Canceled", err)
+	}
+	if _, _, err := db.SearchKNNCtx(ctx, "fast", q, 3); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SearchKNNCtx err = %v, want Canceled", err)
+	}
+	if _, _, err := db.SeqScanCtx(ctx, q, 5); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SeqScanCtx err = %v, want Canceled", err)
+	}
+
+	// Unknown indexes are reported with the typed sentinel regardless of
+	// context state.
+	if _, _, err := db.SearchCtx(context.Background(), "nope", q, 5); !errors.Is(err, ErrNoIndex) {
+		t.Fatalf("unknown index err = %v, want ErrNoIndex", err)
+	}
+}
+
+func TestImportCSVErrorPaths(t *testing.T) {
+	db := newTestDB(t, 3, 20, 13)
+	before := db.Len()
+
+	// A malformed value must fail the whole import, importing nothing.
+	if _, err := db.ImportCSV(strings.NewReader("x,1,2\ny,3,banana\n")); err == nil {
+		t.Fatal("malformed value accepted")
+	}
+	if db.Len() != before {
+		t.Fatalf("partial import after malformed value: %d -> %d", before, db.Len())
+	}
+
+	// A line with an id but no values is rejected with a line number.
+	_, err := db.ImportCSV(strings.NewReader("x,1,2\nlonely\n"))
+	if err == nil || !strings.Contains(err.Error(), "need id and at least one value") {
+		t.Fatalf("short line err = %v", err)
+	}
+	if db.Len() != before {
+		t.Fatal("partial import after short line")
+	}
+
+	// An id colliding with an existing sequence aborts before any rows land.
+	if _, err := db.ImportCSV(strings.NewReader("fresh,1,2\nseq-1,3,4\n")); err == nil {
+		t.Fatal("duplicate of stored sequence accepted")
+	}
+	if db.Len() != before || db.Values("fresh") != nil {
+		t.Fatal("rows imported despite duplicate id")
+	}
+
+	// Duplicates within the CSV itself are caught too.
+	if _, err := db.ImportCSV(strings.NewReader("twin,1,2\ntwin,3,4\n")); err == nil {
+		t.Fatal("duplicate within CSV accepted")
+	}
+	if db.Len() != before {
+		t.Fatal("rows imported despite in-file duplicate")
+	}
+
+	// Importing with indexes present is refused (they would go stale).
+	if err := db.BuildIndex("fast", IndexSpec{Method: MethodMaxEntropy, Categories: 5, Sparse: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.ImportCSV(strings.NewReader("z,1,2\n")); err == nil {
+		t.Fatal("import with live index accepted")
+	}
+
+	// After all the failures, a clean import still works once indexes drop.
+	if err := db.DropIndex("fast"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := db.ImportCSV(strings.NewReader("z,1,2\n"))
+	if err != nil || n != 1 {
+		t.Fatalf("clean import after failures: n=%d err=%v", n, err)
+	}
+}
+
+func TestSearchParallelEdgeCases(t *testing.T) {
+	db := newTestDB(t, 8, 50, 14)
+	if err := db.BuildIndex("fast", IndexSpec{Method: MethodMaxEntropy, Categories: 8, Sparse: true}); err != nil {
+		t.Fatal(err)
+	}
+	queries := [][]float64{
+		db.Values("seq-0")[0:12],
+		db.Values("seq-3")[10:25],
+		db.Values("seq-5")[5:18],
+	}
+	want := make([][]Match, len(queries))
+	for i, q := range queries {
+		ms, _, err := db.Search("fast", q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = ms
+	}
+
+	// workers <= 0 means "pick a sensible default", not "do nothing".
+	for _, workers := range []int{0, -1, 1, 2} {
+		got, err := db.SearchParallel("fast", queries, 5, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("workers=%d: parallel results differ from serial", workers)
+		}
+	}
+
+	// An empty batch is a no-op.
+	if got, err := db.SearchParallel("fast", nil, 5, 4); err != nil || got != nil {
+		t.Fatalf("empty batch: %v, %v", got, err)
+	}
+
+	// A bad query mid-batch fails the whole call rather than returning a
+	// silently incomplete result set.
+	bad := [][]float64{queries[0], {}, queries[2]}
+	if _, err := db.SearchParallel("fast", bad, 5, 2); err == nil {
+		t.Fatal("empty query mid-batch accepted")
+	}
+
+	if _, err := db.SearchParallel("nope", queries, 5, 2); !errors.Is(err, ErrNoIndex) {
+		t.Fatalf("unknown index err = %v, want ErrNoIndex", err)
+	}
+}

@@ -1,6 +1,7 @@
 package seqdb
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -16,19 +17,7 @@ import (
 // semantics; nearest-neighbor search expands the threshold until k answers
 // are certain.
 func (db *DB) SearchKNN(indexName string, q []float64, k int) ([]Match, SearchStats, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	oi, ok := db.indexes[indexName]
-	if !ok {
-		return nil, SearchStats{}, fmt.Errorf("seqdb: no index %q", indexName)
-	}
-	oi.mu.Lock()
-	defer oi.mu.Unlock()
-	ms, stats, err := oi.ix.SearchKNN(q, k)
-	if err != nil {
-		return nil, stats, err
-	}
-	return db.publicMatches(ms), stats, nil
+	return db.SearchKNNCtx(context.Background(), indexName, q, k)
 }
 
 // SearchParallel runs one range search per query concurrently, each worker
@@ -40,7 +29,7 @@ func (db *DB) SearchParallel(indexName string, queries [][]float64, eps float64,
 	defer db.mu.RUnlock()
 	oi, ok := db.indexes[indexName]
 	if !ok {
-		return nil, fmt.Errorf("seqdb: no index %q", indexName)
+		return nil, errNoIndex(indexName)
 	}
 	if workers <= 0 {
 		workers = len(queries)
@@ -200,24 +189,5 @@ func (db *DB) ImportCSV(r io.Reader) (int, error) {
 // Use it when a permissive threshold would produce answer sets too large
 // to hold in memory.
 func (db *DB) SearchVisit(indexName string, q []float64, eps float64, fn func(Match) bool) (SearchStats, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	oi, ok := db.indexes[indexName]
-	if !ok {
-		return SearchStats{}, fmt.Errorf("seqdb: no index %q", indexName)
-	}
-	if fn == nil {
-		return SearchStats{}, fmt.Errorf("seqdb: nil visitor")
-	}
-	oi.mu.Lock()
-	defer oi.mu.Unlock()
-	return oi.ix.SearchVisit(q, eps, func(m core.Match) bool {
-		return fn(Match{
-			SeqID:    db.data.Seq(m.Ref.Seq).ID,
-			Seq:      m.Ref.Seq,
-			Start:    m.Ref.Start,
-			End:      m.Ref.End,
-			Distance: m.Distance,
-		})
-	})
+	return db.SearchVisitCtx(context.Background(), indexName, q, eps, fn)
 }

@@ -2,6 +2,7 @@ package seqdb
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -199,7 +200,7 @@ func (db *DB) DropIndex(name string) error {
 	defer db.mu.Unlock()
 	oi, ok := db.indexes[name]
 	if !ok {
-		return fmt.Errorf("seqdb: no index %q", name)
+		return errNoIndex(name)
 	}
 	delete(db.indexes, name)
 	if err := oi.ix.Close(); err != nil {
@@ -236,7 +237,7 @@ func (db *DB) Index(name string) (IndexInfo, error) {
 	defer db.mu.RUnlock()
 	oi, ok := db.indexes[name]
 	if !ok {
-		return IndexInfo{}, fmt.Errorf("seqdb: no index %q", name)
+		return IndexInfo{}, errNoIndex(name)
 	}
 	oi.mu.Lock()
 	defer oi.mu.Unlock()
@@ -254,17 +255,5 @@ func (db *DB) Index(name string) (IndexInfo, error) {
 // (sequence, start, end). No false dismissals. Concurrent Search calls on
 // the same index serialize on its disk handle; see SearchParallel.
 func (db *DB) Search(indexName string, q []float64, eps float64) ([]Match, SearchStats, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	oi, ok := db.indexes[indexName]
-	if !ok {
-		return nil, SearchStats{}, fmt.Errorf("seqdb: no index %q", indexName)
-	}
-	oi.mu.Lock()
-	defer oi.mu.Unlock()
-	ms, stats, err := oi.ix.Search(q, eps)
-	if err != nil {
-		return nil, stats, err
-	}
-	return db.publicMatches(ms), stats, nil
+	return db.SearchCtx(context.Background(), indexName, q, eps)
 }

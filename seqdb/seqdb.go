@@ -30,6 +30,7 @@
 package seqdb
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -205,13 +206,7 @@ func (db *DB) Stats() Stats {
 
 // SeqScan runs the exhaustive baseline: exact answers with no index.
 func (db *DB) SeqScan(q []float64, eps float64) ([]Match, SearchStats, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	ms, stats, err := core.SeqScan(db.data, q, eps, -1)
-	if err != nil {
-		return nil, stats, err
-	}
-	return db.publicMatches(ms), stats, nil
+	return db.SeqScanCtx(context.Background(), q, eps)
 }
 
 // publicMatches converts engine matches to the public form. The caller

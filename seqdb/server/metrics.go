@@ -1,0 +1,136 @@
+package server
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"twsearch/internal/wire"
+	"twsearch/seqdb"
+)
+
+// latWindow is how many recent request latencies feed the percentile
+// estimates: a fixed ring, so the snapshot reflects current behavior and
+// the server's memory stays constant under any request volume.
+const latWindow = 1024
+
+// Metrics is an expvar-style snapshot of the server's counters since
+// start. Percentiles are over the last latWindow requests.
+type Metrics struct {
+	// ConnsAccepted counts accepted connections; ActiveConns is the number
+	// currently open.
+	ConnsAccepted uint64
+	ActiveConns   int
+	// Requests counts every request frame; PerOp splits it by operation
+	// ("search", "knn", "scan", "stats", "list-indexes", "frame-0x??").
+	Requests uint64
+	PerOp    map[string]uint64
+	// MatchesStreamed counts answer frames sent across all requests.
+	MatchesStreamed uint64
+	// Errors counts requests answered with an error frame; Overloaded and
+	// Deadlines break out the two admission/deadline outcomes.
+	Errors     uint64
+	Overloaded uint64
+	Deadlines  uint64
+	// P50/P99 are request latency percentiles over the recent window
+	// (zero until the first request completes).
+	P50, P99 time.Duration
+	// SearchStats aggregates the engine's work counters (nodes visited,
+	// table cells, candidates, ...) over every counted search.
+	SearchStats seqdb.SearchStats
+}
+
+// metrics is the server's internal accumulator.
+type metrics struct {
+	mu         sync.Mutex
+	accepted   uint64
+	active     int
+	requests   uint64
+	perOp      map[string]uint64
+	matches    uint64
+	errCount   uint64
+	overloaded uint64
+	deadlines  uint64
+	agg        seqdb.SearchStats
+	lat        [latWindow]time.Duration
+	latTotal   uint64 // latencies ever recorded; ring index = latTotal % latWindow
+}
+
+func (m *metrics) connAccepted() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.accepted++
+	m.active++
+}
+
+func (m *metrics) connClosed() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.active--
+}
+
+// record accumulates one finished request.
+func (m *metrics) record(res reqResult, dur time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests++
+	if m.perOp == nil {
+		m.perOp = map[string]uint64{}
+	}
+	m.perOp[res.op]++
+	m.matches += uint64(res.matches)
+	if res.counted {
+		m.agg.Add(res.stats)
+	}
+	if res.err != nil {
+		m.errCount++
+		if errors.Is(res.err, wire.ErrOverloaded) {
+			m.overloaded++
+		}
+		var we *wire.Error
+		if errors.As(res.err, &we) && we.Code == wire.CodeDeadline {
+			m.deadlines++
+		}
+	}
+	m.lat[m.latTotal%latWindow] = dur
+	m.latTotal++
+}
+
+// snapshot copies the counters out under the lock and derives the
+// percentiles from the latency ring.
+func (m *metrics) snapshot() Metrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := Metrics{
+		ConnsAccepted:   m.accepted,
+		ActiveConns:     m.active,
+		Requests:        m.requests,
+		PerOp:           make(map[string]uint64, len(m.perOp)),
+		MatchesStreamed: m.matches,
+		Errors:          m.errCount,
+		Overloaded:      m.overloaded,
+		Deadlines:       m.deadlines,
+		SearchStats:     m.agg,
+	}
+	for op, n := range m.perOp {
+		out.PerOp[op] = n
+	}
+	n := int(m.latTotal)
+	if n > latWindow {
+		n = latWindow
+	}
+	if n > 0 {
+		window := make([]time.Duration, n)
+		copy(window, m.lat[:n])
+		sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+		out.P50 = window[(n-1)*50/100]
+		out.P99 = window[(n-1)*99/100]
+	}
+	return out
+}
+
+// Metrics returns the server's current counters.
+func (s *Server) Metrics() Metrics {
+	return s.met.snapshot()
+}

@@ -1,0 +1,508 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"twsearch/internal/wire"
+	"twsearch/seqdb"
+	"twsearch/seqdb/client"
+)
+
+// leakCheck snapshots the goroutine count and registers a cleanup that
+// fails the test if, after everything else tears down, more goroutines
+// remain than before. Registered first so it runs last.
+func leakCheck(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			n := runtime.NumGoroutine()
+			if n <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<16)
+				t.Fatalf("goroutine leak: %d before, %d after\n%s",
+					before, n, buf[:runtime.Stack(buf, true)])
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	})
+}
+
+// newTestDB builds a deterministic database with one sparse max-entropy
+// index, the configuration the paper recommends.
+func newTestDB(t *testing.T) *seqdb.DB {
+	t.Helper()
+	db, err := seqdb.Create(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		vals := make([]float64, 80)
+		for j := range vals {
+			vals[j] = 5*math.Sin(float64(j)/7+float64(i)) + float64(i%5)
+		}
+		if err := db.Add(fmt.Sprintf("seq-%02d", i), vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.BuildIndex("fast", seqdb.IndexSpec{
+		Method: seqdb.MethodMaxEntropy, Categories: 10, Sparse: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+// start runs the server on a loopback port and tears it down at test end,
+// asserting the drain is clean.
+func start(t *testing.T, s *Server) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- s.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+		if err := <-errCh; !errors.Is(err, ErrServerClosed) {
+			t.Errorf("Serve returned %v, want ErrServerClosed", err)
+		}
+	})
+	return ln.Addr().String()
+}
+
+func testQuery(db *seqdb.DB, seq string, lo, hi int) []float64 {
+	vals := db.Values(seq)
+	return append([]float64(nil), vals[lo:hi]...)
+}
+
+// matchesBitIdentical reports whether two answer sets are byte-identical:
+// same order, same positions, same float64 bits.
+func matchesBitIdentical(a, b []seqdb.Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].SeqID != b[i].SeqID || a[i].Seq != b[i].Seq ||
+			a[i].Start != b[i].Start || a[i].End != b[i].End ||
+			math.Float64bits(a[i].Distance) != math.Float64bits(b[i].Distance) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestServerSearchMatchesInProcess(t *testing.T) {
+	leakCheck(t)
+	db := newTestDB(t)
+	s := New(Config{})
+	if err := s.AddDB("main", db); err != nil {
+		t.Fatal(err)
+	}
+	addr := start(t, s)
+
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx := context.Background()
+	q := testQuery(db, "seq-03", 10, 30)
+	const eps = 4.0
+
+	want, wantStats, err := db.Search("fast", q, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("test query found no matches; pick a better query")
+	}
+	got, gotStats, err := c.Search(ctx, "main", "fast", q, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matchesBitIdentical(want, got) {
+		t.Fatalf("server answers differ from in-process:\n got %v\nwant %v", got, want)
+	}
+	if gotStats.Answers != wantStats.Answers {
+		t.Fatalf("answer counts differ: %d != %d", gotStats.Answers, wantStats.Answers)
+	}
+
+	// The empty DB name resolves to the single mounted database.
+	got2, _, err := c.Search(ctx, "", "fast", q, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matchesBitIdentical(want, got2) {
+		t.Fatal("empty-db-name search differs")
+	}
+
+	// Scan and KNN mirror their in-process counterparts too.
+	wantScan, _, err := db.SeqScan(q, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotScan, _, err := c.SeqScan(ctx, "main", q, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matchesBitIdentical(wantScan, gotScan) {
+		t.Fatal("server scan differs from in-process scan")
+	}
+	wantKNN, _, err := db.SearchKNN("fast", q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotKNN, _, err := c.SearchKNN(ctx, "main", "fast", q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matchesBitIdentical(wantKNN, gotKNN) {
+		t.Fatal("server knn differs from in-process knn")
+	}
+
+	// Stats and index listings round-trip.
+	st, err := c.Stats(ctx, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st, db.Stats()) {
+		t.Fatalf("stats differ: %+v != %+v", st, db.Stats())
+	}
+	infos, err := c.ListIndexes(ctx, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Name != "fast" || !infos[0].Spec.Sparse {
+		t.Fatalf("index listing wrong: %+v", infos)
+	}
+
+	m := s.Metrics()
+	if m.Requests == 0 || m.PerOp["search"] != 2 || m.MatchesStreamed == 0 {
+		t.Fatalf("metrics not recording: %+v", m)
+	}
+	if m.P50 <= 0 || m.P99 < m.P50 {
+		t.Fatalf("latency percentiles wrong: p50=%v p99=%v", m.P50, m.P99)
+	}
+}
+
+func TestServerErrorsAreTyped(t *testing.T) {
+	leakCheck(t)
+	db := newTestDB(t)
+	s := New(Config{})
+	if err := s.AddDB("main", db); err != nil {
+		t.Fatal(err)
+	}
+	addr := start(t, s)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	q := testQuery(db, "seq-00", 0, 10)
+
+	_, _, err = c.Search(ctx, "nope", "fast", q, 1)
+	var we *wire.Error
+	if !errors.As(err, &we) || we.Code != wire.CodeNotFound {
+		t.Fatalf("unknown db error = %v, want not-found", err)
+	}
+	_, _, err = c.Search(ctx, "main", "nope", q, 1)
+	if !errors.As(err, &we) || we.Code != wire.CodeNotFound {
+		t.Fatalf("unknown index error = %v, want not-found", err)
+	}
+	// An invalid query is a bad request, and the connection survives it.
+	_, _, err = c.Search(ctx, "main", "fast", nil, 1)
+	if !errors.As(err, &we) || we.Code != wire.CodeBadRequest {
+		t.Fatalf("empty query error = %v, want bad-request", err)
+	}
+	if _, _, err := c.Search(ctx, "main", "fast", q, 1); err != nil {
+		t.Fatalf("connection did not survive request errors: %v", err)
+	}
+}
+
+func TestServerDeadline(t *testing.T) {
+	leakCheck(t)
+	db := newTestDB(t)
+	s := New(Config{SearchTimeout: time.Nanosecond})
+	if err := s.AddDB("main", db); err != nil {
+		t.Fatal(err)
+	}
+	addr := start(t, s)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	q := testQuery(db, "seq-01", 0, 20)
+	_, _, err = c.Search(context.Background(), "main", "fast", q, 2)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline", err)
+	}
+	var we *wire.Error
+	if !errors.As(err, &we) || we.Code != wire.CodeDeadline {
+		t.Fatalf("err = %v, want typed wire deadline error", err)
+	}
+	if m := s.Metrics(); m.Deadlines != 1 {
+		t.Fatalf("deadline not counted: %+v", m)
+	}
+
+	// A client-side deadline that has already passed fails before sending.
+	expired, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	if _, _, err := c.Search(expired, "main", "fast", q, 2); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("client-side deadline err = %v", err)
+	}
+}
+
+func TestServerOverloadFastFail(t *testing.T) {
+	leakCheck(t)
+	db := newTestDB(t)
+	s := New(Config{MaxInFlight: 1})
+	if err := s.AddDB("main", db); err != nil {
+		t.Fatal(err)
+	}
+	admitted := make(chan struct{}, 1)
+	release := make(chan struct{})
+	s.testHookAdmitted = func() {
+		admitted <- struct{}{}
+		<-release
+	}
+	addr := start(t, s)
+	q := testQuery(db, "seq-02", 5, 25)
+
+	c1, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	firstDone := make(chan error, 1)
+	go func() {
+		_, _, err := c1.Search(context.Background(), "main", "fast", q, 3)
+		firstDone <- err
+	}()
+	<-admitted // the only slot is now held
+
+	c2, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	_, _, err = c2.Search(context.Background(), "main", "fast", q, 3)
+	if !errors.Is(err, wire.ErrOverloaded) {
+		t.Fatalf("second search err = %v, want ErrOverloaded", err)
+	}
+
+	close(release)
+	if err := <-firstDone; err != nil {
+		t.Fatalf("admitted search failed: %v", err)
+	}
+	if m := s.Metrics(); m.Overloaded != 1 {
+		t.Fatalf("overload not counted: %+v", m)
+	}
+}
+
+// TestServerConcurrentClients is the acceptance bar: 32 concurrent
+// connections streaming matches under -race, every one byte-identical to
+// the in-process answer.
+func TestServerConcurrentClients(t *testing.T) {
+	leakCheck(t)
+	db := newTestDB(t)
+	s := New(Config{MaxInFlight: 64})
+	if err := s.AddDB("main", db); err != nil {
+		t.Fatal(err)
+	}
+	addr := start(t, s)
+
+	type job struct {
+		q   []float64
+		eps float64
+	}
+	jobs := make([]job, 8)
+	wants := make([][]seqdb.Match, len(jobs))
+	for i := range jobs {
+		seq := fmt.Sprintf("seq-%02d", (i*3)%20)
+		jobs[i] = job{q: testQuery(db, seq, i, 20+i), eps: 3 + float64(i%3)}
+		want, _, err := db.Search("fast", jobs[i].q, jobs[i].eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[i] = want
+	}
+
+	const clients = 32
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := client.Dial(addr)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			defer c.Close()
+			for round := 0; round < 3; round++ {
+				j := (w + round) % len(jobs)
+				got, _, err := c.Search(context.Background(), "main", "fast", jobs[j].q, jobs[j].eps)
+				if err != nil {
+					errs[w] = fmt.Errorf("client %d round %d: %w", w, round, err)
+					return
+				}
+				if !matchesBitIdentical(wants[j], got) {
+					errs[w] = fmt.Errorf("client %d round %d: answers differ", w, round)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := s.Metrics()
+	if m.ConnsAccepted < clients {
+		t.Fatalf("accepted %d conns, want >= %d", m.ConnsAccepted, clients)
+	}
+	if m.Overloaded != 0 {
+		t.Fatalf("unexpected overloads under capacity: %+v", m)
+	}
+}
+
+// TestServerShutdownDrainsInFlight pins the drain sequence: a search is
+// in flight when Shutdown begins; the request is canceled, answered with a
+// typed shutdown error, and Shutdown joins every goroutine.
+func TestServerShutdownDrainsInFlight(t *testing.T) {
+	leakCheck(t)
+	db := newTestDB(t)
+	s := New(Config{})
+	if err := s.AddDB("main", db); err != nil {
+		t.Fatal(err)
+	}
+	admitted := make(chan struct{}, 1)
+	release := make(chan struct{})
+	s.testHookAdmitted = func() {
+		admitted <- struct{}{}
+		<-release
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(ln) }()
+
+	c, err := client.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	q := testQuery(db, "seq-04", 0, 20)
+	searchErr := make(chan error, 1)
+	go func() {
+		_, _, err := c.Search(context.Background(), "main", "fast", q, 3)
+		searchErr <- err
+	}()
+	<-admitted // the search is admitted and in flight
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownErr <- s.Shutdown(ctx)
+	}()
+	// Give Shutdown a moment to cancel the drain context, then let the
+	// in-flight request proceed into the (now canceled) search.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-serveErr; !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+	}
+	err = <-searchErr
+	if !errors.Is(err, wire.ErrShutdown) && err == nil {
+		t.Fatalf("in-flight search err = %v, want shutdown error", err)
+	}
+
+	// After shutdown, new Serve calls and connections are refused.
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Serve(ln2); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("Serve after shutdown = %v, want ErrServerClosed", err)
+	}
+}
+
+// TestClientEarlyStopAndReconnect exercises the streaming visitor's early
+// stop (which drops the connection by design) and the transparent redial
+// on the next request.
+func TestClientEarlyStopAndReconnect(t *testing.T) {
+	leakCheck(t)
+	db := newTestDB(t)
+	s := New(Config{})
+	if err := s.AddDB("main", db); err != nil {
+		t.Fatal(err)
+	}
+	addr := start(t, s)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	q := testQuery(db, "seq-03", 10, 30)
+	want, _, err := db.Search("fast", q, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) < 2 {
+		t.Fatalf("need >= 2 matches for an early stop, have %d", len(want))
+	}
+	seen := 0
+	if _, err := c.SearchVisit(context.Background(), "main", "fast", q, 4, func(seqdb.Match) bool {
+		seen++
+		return seen < 2
+	}); err != nil {
+		t.Fatalf("early-stopped visit: %v", err)
+	}
+	if seen != 2 {
+		t.Fatalf("visitor saw %d matches, want 2", seen)
+	}
+	// The stop dropped the connection; the next call redials and works.
+	got, _, err := c.Search(context.Background(), "main", "fast", q, 4)
+	if err != nil {
+		t.Fatalf("search after early stop: %v", err)
+	}
+	if !matchesBitIdentical(want, got) {
+		t.Fatal("post-reconnect answers differ")
+	}
+}
