@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench fuzz fuzz-ci smoke tables examples check ci clean
+.PHONY: all build vet lint test race race-concurrency cover bench bench-concurrency fuzz fuzz-ci smoke tables examples check ci clean
 
 all: build vet lint test
 
@@ -24,11 +24,19 @@ test:
 # The documented pre-PR gate: everything that must be green before review.
 check: build vet lint test race
 
-# The full CI gate: the pre-PR gate, a bounded fuzz pass over the kernel
-# fuzz targets, the server smoke drill, and the machine-readable lint gate
+# The full CI gate: the pre-PR gate, the shared-handle concurrency suite
+# under the race detector, a bounded fuzz pass over the kernel fuzz
+# targets, the server smoke drill, and the machine-readable lint gate
 # (any finding fails the run; the JSON lines feed CI annotations).
-ci: check fuzz-ci smoke
+ci: check race-concurrency fuzz-ci smoke
 	$(GO) run ./cmd/twlint -json ./...
+
+# The concurrent-search suite under -race, run twice: many goroutines on
+# one index handle must return byte-identical answers, and the pooled query
+# contexts must leak no state between queries. -count=2 reruns with warm
+# sync.Pools, the state-reuse case a single pass misses.
+race-concurrency:
+	$(GO) test -race -count=2 -run 'TestConcurrent|TestQueryCtxReuse|TestPoolConcurrent|TestSetEpochReuse' ./seqdb/ ./internal/core/ ./internal/storage/ ./internal/pending/
 
 # End-to-end server drill under the race detector: boot twsearchd on an
 # ephemeral port, stream matches over concurrent client connections,
@@ -54,6 +62,11 @@ cover:
 # captured run.
 bench:
 	$(GO) test -bench . -benchmem -benchtime 1x ./...
+
+# Concurrent-search throughput on one shared handle: queries/sec at 1, 4,
+# and GOMAXPROCS workers, written to BENCH_concurrency.json.
+bench-concurrency:
+	$(GO) run ./cmd/benchconc
 
 # Short fuzz session over every fuzz target.
 fuzz:

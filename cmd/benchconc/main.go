@@ -1,0 +1,180 @@
+// Command benchconc measures concurrent search throughput on one shared
+// index handle. It builds the stock-like workload once, warms the index,
+// then replays the same query batch at 1, 4, and GOMAXPROCS workers, all
+// hitting the same *seqdb.DB. The result is queries/sec per worker count
+// plus the speedup over the single-worker run, written as JSON (default
+// BENCH_concurrency.json) for the CI trend line.
+//
+// Usage:
+//
+//	benchconc [-scale f] [-queries n] [-eps f] [-seed n] [-out file]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"twsearch/internal/workload"
+	"twsearch/seqdb"
+)
+
+// result is one worker-count measurement.
+type result struct {
+	Workers    int     `json:"workers"`
+	Queries    int     `json:"queries"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+	QPS        float64 `json:"queries_per_sec"`
+	Speedup    float64 `json:"speedup_vs_serial"`
+	Answers    uint64  `json:"answers"`
+}
+
+// report is the emitted JSON document.
+type report struct {
+	Scale      float64  `json:"scale"`
+	Eps        float64  `json:"eps"`
+	Seed       int64    `json:"seed"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Runs       []result `json:"runs"`
+}
+
+func main() {
+	scale := flag.Float64("scale", 0.5, "workload scale; 1.0 = paper scale (545 sequences)")
+	queries := flag.Int("queries", 200, "queries per worker-count measurement")
+	eps := flag.Float64("eps", 10, "distance threshold")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("out", "BENCH_concurrency.json", "output JSON path")
+	flag.Parse()
+
+	if err := run(*scale, *queries, *eps, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchconc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scale float64, numQueries int, eps float64, seed int64, out string) error {
+	dir, err := os.MkdirTemp("", "twsearch-benchconc-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	n := int(545*scale + 0.5)
+	if n < 2 {
+		n = 2
+	}
+	data := workload.Stocks(workload.StockConfig{NumSequences: n, Seed: seed})
+	qs := workload.QueriesRand(rand.New(rand.NewSource(seed+1)), data,
+		workload.QueryConfig{Count: numQueries})
+
+	db, err := seqdb.Create(dir)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	for i := 0; i < data.Len(); i++ {
+		seq := data.Seq(i)
+		if err := db.Add(seq.ID, seq.Values); err != nil {
+			return err
+		}
+	}
+	if err := db.BuildIndex("bench", seqdb.IndexSpec{
+		Method: seqdb.MethodMaxEntropy, Categories: 20, Sparse: true,
+	}); err != nil {
+		return err
+	}
+
+	// Warm the buffer pool so every measured run sees the same cache state;
+	// the concurrency story is CPU parallelism on a warmed handle.
+	if _, _, err := db.Search("bench", qs[0], eps); err != nil {
+		return err
+	}
+
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	rep := report{Scale: scale, Eps: eps, Seed: seed, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	for _, w := range workerCounts {
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		r, err := measure(db, qs, eps, w)
+		if err != nil {
+			return err
+		}
+		if len(rep.Runs) > 0 {
+			r.Speedup = r.QPS / rep.Runs[0].QPS
+		} else {
+			r.Speedup = 1
+		}
+		rep.Runs = append(rep.Runs, r)
+		fmt.Printf("workers=%-3d %8.1f queries/sec  speedup=%.2fx  answers=%d\n",
+			r.Workers, r.QPS, r.Speedup, r.Answers)
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// measure replays the query batch across w workers on the shared handle.
+// Every worker count runs the identical batch, so answer totals must agree
+// across rows — a cheap cross-check that concurrency changed nothing.
+func measure(db *seqdb.DB, qs [][]float64, eps float64, w int) (result, error) {
+	var (
+		next    atomic.Int64
+		answers atomic.Uint64
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		firstE  error
+	)
+	start := time.Now()
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				j := int(next.Add(1)) - 1
+				if j >= len(qs) {
+					return
+				}
+				matches, _, err := db.Search("bench", qs[j], eps)
+				if err != nil {
+					mu.Lock()
+					if firstE == nil {
+						firstE = err
+					}
+					mu.Unlock()
+					return
+				}
+				answers.Add(uint64(len(matches)))
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstE != nil {
+		return result{}, firstE
+	}
+	return result{
+		Workers:    w,
+		Queries:    len(qs),
+		ElapsedSec: elapsed.Seconds(),
+		QPS:        float64(len(qs)) / elapsed.Seconds(),
+		Answers:    answers.Load(),
+	}, nil
+}

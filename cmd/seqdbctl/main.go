@@ -429,6 +429,18 @@ func cmdStats(args []string) error {
 			name, info.Spec.Method, info.Spec.Categories, info.Spec.Sparse, info.Spec.Window,
 			info.SizeBytes/1024, info.Nodes, info.Leaves)
 	}
+	// Counters are near zero on a fresh handle; the interesting numbers come
+	// from a long-lived daemon via `query -addr`. The shard count is static.
+	for _, ps := range d.PoolStats() {
+		var hits, misses, evictions uint64
+		for _, sh := range ps.Shards {
+			hits += sh.Hits
+			misses += sh.Misses
+			evictions += sh.Evictions
+		}
+		fmt.Printf("pool  %q: shards=%d hits=%d misses=%d evictions=%d\n",
+			ps.Index, len(ps.Shards), hits, misses, evictions)
+	}
 	return nil
 }
 

@@ -83,7 +83,9 @@ func (o Options) withDefaults() Options {
 
 // Index bundles everything a search needs: the raw data (for
 // post-processing), the categorization scheme (for symbol intervals), the
-// categorized texts, and the disk-resident tree.
+// categorized texts, and the disk-resident tree. All of it is immutable at
+// query time, and the per-query mutable state lives in pooled query
+// contexts, so one Index serves any number of concurrent searches.
 type Index struct {
 	Data   *sequence.Dataset
 	Scheme *categorize.Scheme
@@ -108,13 +110,17 @@ type Index struct {
 	// it bounds the D_tw-lb2 shift during sparse branch pruning.
 	maxRun int
 	// seqOffsets[i] is the global element offset of sequence i; searches
-	// use it to index their flat pending array. totalElements is the sum of
-	// all sequence lengths.
+	// use it to key their pending candidate sets. totalElements is the sum
+	// of all sequence lengths.
 	seqOffsets    []int
 	totalElements int
+	// queries recycles per-query execution state. Behind a pointer so Dup's
+	// shallow copy shares the pool instead of copying a sync.Pool.
+	queries *queryPool
 }
 
-// computeOffsets fills seqOffsets and totalElements from the dataset.
+// computeOffsets fills seqOffsets and totalElements from the dataset and
+// equips the index with its query-context pool.
 func (ix *Index) computeOffsets() {
 	ix.seqOffsets = make([]int, ix.Data.Len())
 	off := 0
@@ -123,6 +129,7 @@ func (ix *Index) computeOffsets() {
 		off += len(ix.Data.Values(i))
 	}
 	ix.totalElements = off
+	ix.queries = &queryPool{}
 }
 
 // Build fits the categorizer on the dataset, encodes every sequence, and
@@ -210,10 +217,12 @@ func Open(data *sequence.Dataset, scheme *categorize.Scheme, treePath string, po
 func (ix *Index) MinAnswerLen() int { return ix.minAnswerLen }
 
 // Dup returns an independent handle on the same index file with its own
-// buffer pool, so searches can run on separate goroutines (an Index itself
-// is not safe for concurrent use — the pool and traversal scratch are
-// shared). The duplicate shares the immutable dataset, scheme and
-// categorized texts; Close it independently.
+// buffer pool. An Index is already safe for concurrent searches — per-query
+// state is pooled, the tree's striped buffer pool takes concurrent readers —
+// so Dup is no longer needed for parallelism; it remains for callers that
+// want I/O isolation (a private page cache whose hit rate one noisy workload
+// cannot disturb). The duplicate shares the immutable dataset, scheme,
+// categorized texts and query-context pool; Close it independently.
 func (ix *Index) Dup(poolPages int) (*Index, error) {
 	if poolPages <= 0 {
 		poolPages = 256

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"context"
+	"sync"
+
+	"twsearch/internal/categorize"
+	"twsearch/internal/dtw"
+)
+
+// queryPool recycles per-query execution state (searcher) across the
+// searches of one index. The index itself is immutable at query time — the
+// tree, scheme, texts and raw data never change during a search — so all
+// mutation lives in the pooled searcher, and any number of goroutines can
+// search one Index concurrently, each holding its own searcher for the
+// duration of the call.
+//
+// The pool lives behind a pointer on Index (not inline) so Dup's shallow
+// copy shares it instead of copying a sync.Pool; Dup handles see the same
+// scheme and dataset, so their searchers are interchangeable.
+type queryPool struct {
+	p sync.Pool
+}
+
+// acquire returns a searcher bound to this query, reusing a pooled one's
+// allocations (tables, interval cache, scratch nodes, pending set) when
+// available. Callers must release it when the search finishes.
+func (qp *queryPool) acquire(ix *Index, ctx context.Context, q []float64, eps float64, visit func(Match) bool) *searcher {
+	s, _ := qp.p.Get().(*searcher)
+	if s == nil {
+		s = &searcher{}
+	}
+
+	// On sparse trees the D_tw-lb2 shift moves a candidate's rows relative
+	// to the query columns, so a Sakoe–Chiba band on the shared filter
+	// table would be misaligned for shifted candidates and could dismiss
+	// true answers. The unconstrained D_tw-lb is still a lower bound of the
+	// band-constrained distance (constraints only increase D_tw), so for
+	// sparse+window we filter unconstrained and let the banded
+	// post-processing enforce the exact semantics; an explicit
+	// answer-length cutoff (conclusion section) replaces the band's depth
+	// pruning.
+	filterWindow := ix.Window
+	sparse := ix.Tree.Sparse()
+	if sparse && ix.Window >= 0 {
+		filterWindow = -1
+	}
+
+	s.ix = ix
+	s.ctx = ctx
+	s.ctxErr = nil
+	s.q = q
+	s.eps = eps
+	s.sparse = sparse
+	s.exactStored = ix.Exact && filterWindow == ix.Window
+	s.seqOffsets = ix.seqOffsets
+	s.visit = visit
+	s.stopped = false
+	s.stats = SearchStats{}
+	s.matches = nil // ownership of the previous slice passed to its caller
+	s.firstSym = 0
+	s.base0 = 0
+
+	if s.table == nil {
+		s.table = dtw.NewTableWindow(q, filterWindow)
+		s.post = dtw.NewTableWindow(q, ix.Window)
+	} else {
+		s.table.Bind(q, filterWindow)
+		s.post.Bind(q, ix.Window)
+	}
+	s.pend.Reset(ix.totalElements)
+
+	// The symbol→interval cache depends only on the scheme, which is
+	// immutable and shared by every handle that shares this pool, so a
+	// pooled searcher computes it once and keeps it.
+	if len(s.intervals) != ix.Scheme.NumCategories() {
+		s.intervals = make([]dtw.Interval, ix.Scheme.NumCategories())
+		for i := range s.intervals {
+			s.intervals[i] = ix.Scheme.Interval(categorize.Symbol(i))
+		}
+	}
+	return s
+}
+
+// release returns a searcher to the pool, dropping references to
+// caller-owned state so nothing outlives the call it belongs to.
+func (qp *queryPool) release(s *searcher) {
+	s.ix = nil
+	s.ctx = nil
+	s.visit = nil
+	s.matches = nil
+	s.seqOffsets = nil
+	qp.p.Put(s)
+}
+
+// scanTables recycles the cumulative table of the sequential-scan baseline,
+// which has no index (and so no queryPool) to hang per-query state on.
+var scanTables = sync.Pool{New: func() any { return &dtw.Table{} }}
+
+// acquireScanTable returns a pooled table bound to q; hand it back with
+// releaseScanTable.
+func acquireScanTable(q []float64, window int) *dtw.Table {
+	t := scanTables.Get().(*dtw.Table)
+	t.Bind(q, window)
+	return t
+}
+
+func releaseScanTable(t *dtw.Table) { scanTables.Put(t) }

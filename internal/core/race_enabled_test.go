@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-measuring tests skip themselves under it, since shadow-memory
+// bookkeeping inflates every heap number they read.
+const raceEnabled = true

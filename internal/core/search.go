@@ -5,9 +5,9 @@ import (
 	"errors"
 	"time"
 
-	"twsearch/internal/categorize"
 	"twsearch/internal/disktree"
 	"twsearch/internal/dtw"
+	"twsearch/internal/pending"
 	"twsearch/internal/sequence"
 	"twsearch/internal/suffixtree"
 )
@@ -59,40 +59,14 @@ func (ix *Index) search(ctx context.Context, q []float64, eps float64, visit fun
 		return nil, SearchStats{}, err
 	}
 	started := time.Now()
+	// Pool counters are index-wide: under concurrent searches the deltas
+	// attribute other goroutines' traffic too. Matches stay byte-identical;
+	// only these advisory counters blur.
 	poolBefore := ix.Tree.PoolStats()
 	pagesBefore := ix.Tree.PagesRead()
 
-	// On sparse trees the D_tw-lb2 shift moves a candidate's rows relative
-	// to the query columns, so a Sakoe–Chiba band on the shared filter
-	// table would be misaligned for shifted candidates and could dismiss
-	// true answers. The unconstrained D_tw-lb is still a lower bound of the
-	// band-constrained distance (constraints only increase D_tw), so for
-	// sparse+window we filter unconstrained and let the banded
-	// post-processing enforce the exact semantics; an explicit
-	// answer-length cutoff (conclusion section) replaces the band's depth
-	// pruning.
-	filterWindow := ix.Window
-	sparse := ix.Tree.Sparse()
-	if sparse && ix.Window >= 0 {
-		filterWindow = -1
-	}
-	s := &searcher{
-		ix:          ix,
-		ctx:         ctx,
-		q:           q,
-		eps:         eps,
-		table:       dtw.NewTableWindow(q, filterWindow),
-		post:        dtw.NewTableWindow(q, ix.Window),
-		sparse:      sparse,
-		exactStored: ix.Exact && filterWindow == ix.Window,
-		pending:     make([]int32, ix.totalElements),
-		seqOffsets:  ix.seqOffsets,
-		visit:       visit,
-	}
-	s.intervals = make([]dtw.Interval, ix.Scheme.NumCategories())
-	for i := range s.intervals {
-		s.intervals[i] = ix.Scheme.Interval(categorize.Symbol(i))
-	}
+	s := ix.queries.acquire(ix, ctx, q, eps, visit)
+	defer ix.queries.release(s)
 
 	root := s.node(0)
 	if err := ix.Tree.ReadNodeInto(ix.Tree.Root(), root); err != nil {
@@ -121,12 +95,17 @@ func (ix *Index) search(ctx context.Context, q []float64, eps float64, visit fun
 		return nil, s.stats, s.ctxErr
 	}
 	sortMatches(s.matches)
-	return s.matches, s.stats, nil
+	matches := s.matches
+	s.matches = nil // ownership transfers to the caller; release must not pool it
+	return matches, s.stats, nil
 }
 
-// searcher carries the state of one depth-first filter pass. One cumulative
-// distance table is shared by the whole traversal: descend = AddRow,
-// backtrack = Pop — the paper's R_d table-sharing.
+// searcher is the pooled per-query execution context: every piece of
+// mutable search state lives here, so the Index it runs against stays
+// read-only and shareable across goroutines. One cumulative distance table
+// is shared by the whole traversal: descend = AddRow, backtrack = Pop — the
+// paper's R_d table-sharing. A searcher is reused across queries via
+// queryPool; acquire rebinds everything per call.
 type searcher struct {
 	ix *Index
 	// ctx carries the caller's cancellation; checkCancel folds it into the
@@ -147,14 +126,16 @@ type searcher struct {
 	stats     SearchStats
 	matches   []Match
 
-	// pending groups unverified candidates by (seq, start), keeping only
-	// the furthest end: pending[seqOffsets[seq]+start] is that start's max
-	// candidate end (0 = none). PostProcess then scans each start once:
-	// every end whose exact distance is within eps is an answer, and by
-	// the no-false-dismissal property those are exactly the true answers
-	// at that start — so one table per start verifies all its candidates
-	// at once, bounding post-processing by the baseline's total work.
-	pending    []int32
+	// pend groups unverified candidates by (seq, start), keeping only the
+	// furthest end per start (key: seqOffsets[seq]+start). PostProcess then
+	// scans each touched start once: every end whose exact distance is
+	// within eps is an answer, and by the no-false-dismissal property those
+	// are exactly the true answers at that start — so one table per start
+	// verifies all its candidates at once, bounding post-processing by the
+	// baseline's total work. The epoch-stamped set makes per-query cost
+	// O(candidates), not O(total elements): its backing arrays are
+	// allocated once per pooled searcher and survive across queries.
+	pend       pending.Set
 	seqOffsets []int
 
 	// nodes[level] is the scratch node for DFS level; collectNodes[level]
@@ -426,40 +407,42 @@ func (s *searcher) candidate(seq, start, end int, lb float64, exact bool) {
 		})
 		return
 	}
-	off := s.seqOffsets[seq] + start
-	if int32(end) > s.pending[off] {
-		s.pending[off] = int32(end)
-	}
+	s.pend.Add(int32(s.seqOffsets[seq]+start), int32(end))
 }
 
-// postProcess verifies the pending groups: one cumulative table per start,
-// scanned to the group's furthest end with Theorem-1 early abandon. Every
-// end with exact distance within eps is emitted.
+// postProcess verifies the pending groups: one cumulative table per touched
+// start, scanned to the group's furthest end with Theorem-1 early abandon.
+// Every end with exact distance within eps is emitted. Iterating the sorted
+// touched offsets visits only this query's candidates — O(candidates), not
+// a scan of the whole database — in the same (seq, start) order the dense
+// scan used, since the global offset is monotone in (seq, start).
 func (s *searcher) postProcess() {
-	for seq := 0; seq < s.ix.Data.Len() && !s.stopped; seq++ {
+	seq := 0
+	for _, off := range s.pend.Sorted() {
+		if s.stopped {
+			break
+		}
+		s.checkCancel()
+		if s.stopped {
+			break
+		}
+		for seq+1 < s.ix.Data.Len() && int(off) >= s.seqOffsets[seq+1] {
+			seq++
+		}
 		vals := s.ix.Data.Values(seq)
-		base := s.seqOffsets[seq]
-		for start := 0; start < len(vals) && !s.stopped; start++ {
-			maxEnd := int(s.pending[base+start])
-			if maxEnd == 0 {
-				continue
+		start := int(off) - s.seqOffsets[seq]
+		maxEnd := int(s.pend.MaxEnd(off))
+		s.post.Truncate(0)
+		for e := start; e < maxEnd && !s.stopped; e++ {
+			dist, minDist := s.post.AddRowValue(vals[e])
+			if dist <= s.eps && e+1-start >= s.ix.minAnswerLen {
+				s.emit(Match{
+					Ref:      sequence.Ref{Seq: seq, Start: start, End: e + 1},
+					Distance: dist,
+				})
 			}
-			s.checkCancel()
-			if s.stopped {
+			if minDist > s.eps {
 				break
-			}
-			s.post.Truncate(0)
-			for e := start; e < maxEnd && !s.stopped; e++ {
-				dist, minDist := s.post.AddRowValue(vals[e])
-				if dist <= s.eps && e+1-start >= s.ix.minAnswerLen {
-					s.emit(Match{
-						Ref:      sequence.Ref{Seq: seq, Start: start, End: e + 1},
-						Distance: dist,
-					})
-				}
-				if minDist > s.eps {
-					break
-				}
 			}
 		}
 	}

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"time"
 
-	"twsearch/internal/dtw"
 	"twsearch/internal/sequence"
 )
 
@@ -42,7 +41,8 @@ func seqScan(ctx context.Context, data *sequence.Dataset, q []float64, eps float
 		return nil, SearchStats{}, errors.New("core: negative distance threshold")
 	}
 	started := time.Now()
-	table := dtw.NewTableWindow(q, window)
+	table := acquireScanTable(q, window)
+	defer releaseScanTable(table)
 	var matches []Match
 	var stats SearchStats
 	for seq := 0; seq < data.Len(); seq++ {

@@ -8,8 +8,10 @@ import (
 	"twsearch/internal/suffixtree"
 )
 
-// File is a disk-resident suffix tree, read through an LRU buffer pool.
-// A File is not safe for concurrent use; concurrent readers open their own.
+// File is a disk-resident suffix tree, read through a lock-striped LRU
+// buffer pool. The read path (ReadNode, ReadNodeInto, readAt) is safe for
+// any number of concurrent goroutines; one open File serves all searches on
+// an index. Creation is single-writer.
 type File struct {
 	pf   *storage.File
 	pool *storage.Pool
@@ -181,11 +183,14 @@ func (f *File) SizeBytes() int64 { return f.pf.SizeBytes() }
 // Path returns the file path.
 func (f *File) Path() string { return f.pf.Path() }
 
-// PoolStats returns buffer pool counters.
+// PoolStats returns buffer pool counters summed over all shards.
 func (f *File) PoolStats() storage.PoolStats { return f.pool.Stats() }
 
+// PoolShardStats returns per-shard buffer pool counters, in shard order.
+func (f *File) PoolShardStats() []storage.PoolStats { return f.pool.ShardStats() }
+
 // PagesRead returns physical page reads since open.
-func (f *File) PagesRead() uint64 { return f.pf.PagesRead }
+func (f *File) PagesRead() uint64 { return f.pf.PagesRead() }
 
 // readAt fills buf from absolute byte offset p, crossing pages as needed.
 func (f *File) readAt(p Ptr, buf []byte) error {
@@ -205,7 +210,8 @@ func (f *File) readAt(p Ptr, buf []byte) error {
 }
 
 // ReadNodeInto decodes the node at p into n, reusing n's Children and
-// Label slices.
+// Label slices plus its decode scratch buffer: a warm scratch node makes
+// the read allocation-free.
 func (f *File) ReadNodeInto(p Ptr, n *Node) error {
 	n.Children = n.Children[:0]
 	n.Label = n.Label[:0]
@@ -220,7 +226,7 @@ func (f *File) ReadNodeInto(p Ptr, n *Node) error {
 		if labelLen > 1<<24 {
 			return fmt.Errorf("disktree: implausible label length %d at %d", labelLen, p)
 		}
-		body := make([]byte, int(labelLen)*4+1)
+		body := n.scratchBuf(int(labelLen)*4 + 1)
 		if err := f.readAt(p+4, body); err != nil {
 			return err
 		}
@@ -271,7 +277,7 @@ func (f *File) ReadNodeInto(p Ptr, n *Node) error {
 	if count > 1<<24 {
 		return fmt.Errorf("disktree: implausible child count %d at %d", count, p)
 	}
-	body := make([]byte, int(count)*childEntrySize)
+	body := n.scratchBuf(int(count) * childEntrySize)
 	if err := f.readAt(off+4, body); err != nil {
 		return err
 	}

@@ -96,6 +96,18 @@ type Node struct {
 	Pos        int32 // leaf only: suffix start position
 	RunLen     int32 // leaf only: equal-symbol run length at Pos
 	Children   []ChildRef
+
+	// scratch is ReadNodeInto's decode buffer, kept on the node so a
+	// reused scratch node decodes without allocating.
+	scratch []byte
+}
+
+// scratchBuf returns n.scratch grown to at least size bytes.
+func (n *Node) scratchBuf(size int) []byte {
+	if cap(n.scratch) < size {
+		n.scratch = make([]byte, size)
+	}
+	return n.scratch[:size]
 }
 
 // encodeNode appends n's record bytes to buf in the given layout and

@@ -37,6 +37,19 @@ func NewTableWindow(q []float64, w int) *Table {
 	return &Table{q: q, window: w}
 }
 
+// Bind re-targets the table at a new query and window, dropping all rows
+// but keeping the row storage. Pooled query contexts use it so a reused
+// table serves its next search without reallocating.
+func (t *Table) Bind(q []float64, w int) {
+	if len(q) == 0 {
+		//lint:ignore panicpath precondition assertion: search entry points reject empty queries before any table exists
+		panic("dtw: empty query")
+	}
+	t.q = q
+	t.window = w
+	t.Reset()
+}
+
 // Query returns the query sequence the table was built for.
 func (t *Table) Query() []float64 { return t.q }
 
@@ -96,7 +109,14 @@ func (t *Table) AddRowInterval(lo, hi float64) (dist, minDist float64) {
 func (t *Table) addRow(base func(q float64) float64) (dist, minDist float64) {
 	n := len(t.q)
 	x := t.depth // row index of the new row
-	t.rows = append(t.rows, make([]float64, n)...)
+	// Grow within capacity when possible: every cell of the new row is
+	// written below (Inf for out-of-band columns), so stale bytes from a
+	// previous binding are never observed.
+	if need := (x + 1) * n; need <= cap(t.rows) {
+		t.rows = t.rows[:need]
+	} else {
+		t.rows = append(t.rows, make([]float64, n)...)
+	}
 	curr := t.rows[x*n : (x+1)*n]
 	var prev []float64
 	if x > 0 {

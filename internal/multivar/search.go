@@ -4,11 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"twsearch/internal/categorize"
 	"twsearch/internal/disktree"
 	"twsearch/internal/dtw"
+	"twsearch/internal/pending"
 	"twsearch/internal/suffixtree"
 )
 
@@ -53,7 +55,9 @@ type Options struct {
 	Build disktree.BuildOptions
 }
 
-// Index is the multivariate suffix-tree index.
+// Index is the multivariate suffix-tree index. Like core.Index it is
+// immutable at query time with per-query state pooled, so one handle serves
+// concurrent searches.
 type Index struct {
 	Data  *Dataset
 	Grid  *GridScheme
@@ -66,6 +70,9 @@ type Index struct {
 
 	seqOffsets    []int
 	totalElements int
+	// queries recycles per-query msearcher state; behind a pointer so Dup's
+	// shallow copy shares the pool instead of copying a sync.Pool.
+	queries *mqueryPool
 }
 
 // Build fits the grid, encodes every sequence to cell symbols, and builds
@@ -172,6 +179,7 @@ func (ix *Index) computeOffsets() {
 		off += len(ix.Data.Points(i))
 	}
 	ix.totalElements = off
+	ix.queries = &mqueryPool{}
 }
 
 // MinAnswerLen returns the answer length floor the index was built with.
@@ -209,25 +217,8 @@ func (ix *Index) search(q [][]float64, eps float64, visit func(Match) bool) ([]M
 		return nil, Stats{}, errors.New("multivar: negative distance threshold")
 	}
 	started := time.Now()
-	// Mirror of core's sparse+window handling: the D_tw-lb2 shift is
-	// misaligned with a band on the shared filter table, so sparse indexes
-	// filter unconstrained (still a lower bound) and the banded
-	// post-processing enforces the exact semantics.
-	filterWindow := ix.Window
-	sparse := ix.Tree.Sparse()
-	if sparse && ix.Window >= 0 {
-		filterWindow = -1
-	}
-	s := &msearcher{
-		ix:      ix,
-		q:       q,
-		eps:     eps,
-		table:   NewTableWindow(q, filterWindow),
-		post:    NewTableWindow(q, ix.Window),
-		sparse:  sparse,
-		pending: make([]int32, ix.totalElements),
-		visit:   visit,
-	}
+	s := ix.queries.acquire(ix, q, eps, visit)
+	defer ix.queries.release(s)
 	root := s.node(0)
 	if err := ix.Tree.ReadNodeInto(ix.Tree.Root(), root); err != nil {
 		return nil, Stats{}, err
@@ -246,7 +237,61 @@ func (ix *Index) search(q [][]float64, eps float64, visit func(Match) bool) ([]M
 	s.stats.PostCells = s.post.Cells()
 	s.stats.Elapsed = time.Since(started)
 	sortMatches(s.matches)
-	return s.matches, s.stats, nil
+	matches := s.matches
+	s.matches = nil // ownership transfers to the caller; release must not pool it
+	return matches, s.stats, nil
+}
+
+// mqueryPool recycles per-query msearcher state across the searches of one
+// (shared-pool family of) index handle; see core's queryPool for the
+// immutable-index/pooled-context argument.
+type mqueryPool struct {
+	p sync.Pool
+}
+
+// acquire returns an msearcher bound to this query, reusing a pooled one's
+// allocations when available; release it when the search finishes.
+func (qp *mqueryPool) acquire(ix *Index, q [][]float64, eps float64, visit func(Match) bool) *msearcher {
+	s, _ := qp.p.Get().(*msearcher)
+	if s == nil {
+		s = &msearcher{}
+	}
+	// Mirror of core's sparse+window handling: the D_tw-lb2 shift is
+	// misaligned with a band on the shared filter table, so sparse indexes
+	// filter unconstrained (still a lower bound) and the banded
+	// post-processing enforces the exact semantics.
+	filterWindow := ix.Window
+	sparse := ix.Tree.Sparse()
+	if sparse && ix.Window >= 0 {
+		filterWindow = -1
+	}
+	s.ix = ix
+	s.q = q
+	s.eps = eps
+	s.sparse = sparse
+	s.visit = visit
+	s.stopped = false
+	s.stats = Stats{}
+	s.matches = nil
+	s.firstSym = 0
+	s.base0 = 0
+	if s.table == nil {
+		s.table = NewTableWindow(q, filterWindow)
+		s.post = NewTableWindow(q, ix.Window)
+	} else {
+		s.table.Bind(q, filterWindow)
+		s.post.Bind(q, ix.Window)
+	}
+	s.pend.Reset(ix.totalElements)
+	return s
+}
+
+// release returns an msearcher to the pool, dropping caller-owned refs.
+func (qp *mqueryPool) release(s *msearcher) {
+	s.ix = nil
+	s.visit = nil
+	s.matches = nil
+	qp.p.Put(s)
 }
 
 // SeqScan is the multivariate sequential-scanning baseline and ground
@@ -349,10 +394,11 @@ type msearcher struct {
 	firstSym suffixtree.Symbol
 	base0    float64
 
-	// pending groups candidates by (seq, start) keeping the furthest end,
-	// indexed by global element offset; post-processing scans each start
-	// once (see core.searcher.postProcess for the argument).
-	pending []int32
+	// pend groups candidates by (seq, start) keeping the furthest end,
+	// keyed by global element offset; post-processing scans each touched
+	// start once (see core.searcher.postProcess for the argument). Its
+	// backing arrays persist across queries via the pool.
+	pend pending.Set
 
 	// visit, when set, streams answers instead of accumulating them.
 	visit   func(Match) bool
@@ -530,30 +576,29 @@ func (s *msearcher) candidate(seq, start, end int) {
 		return
 	}
 	s.stats.Candidates++
-	off := s.ix.seqOffsets[seq] + start
-	if int32(end) > s.pending[off] {
-		s.pending[off] = int32(end)
-	}
+	s.pend.Add(int32(s.ix.seqOffsets[seq]+start), int32(end))
 }
 
 func (s *msearcher) postProcess() {
-	for seq := 0; seq < s.ix.Data.Len() && !s.stopped; seq++ {
+	seq := 0
+	for _, off := range s.pend.Sorted() {
+		if s.stopped {
+			break
+		}
+		for seq+1 < s.ix.Data.Len() && int(off) >= s.ix.seqOffsets[seq+1] {
+			seq++
+		}
 		points := s.ix.Data.Points(seq)
-		base := s.ix.seqOffsets[seq]
-		for start := 0; start < len(points) && !s.stopped; start++ {
-			maxEnd := int(s.pending[base+start])
-			if maxEnd == 0 {
-				continue
+		start := int(off) - s.ix.seqOffsets[seq]
+		maxEnd := int(s.pend.MaxEnd(off))
+		s.post.Truncate(0)
+		for e := start; e < maxEnd && !s.stopped; e++ {
+			dist, minDist := s.post.AddRowPoint(points[e])
+			if dist <= s.eps && e+1-start >= s.ix.minAnswerLen {
+				s.emit(Match{Ref: Ref{Seq: seq, Start: start, End: e + 1}, Distance: dist})
 			}
-			s.post.Truncate(0)
-			for e := start; e < maxEnd && !s.stopped; e++ {
-				dist, minDist := s.post.AddRowPoint(points[e])
-				if dist <= s.eps && e+1-start >= s.ix.minAnswerLen {
-					s.emit(Match{Ref: Ref{Seq: seq, Start: start, End: e + 1}, Distance: dist})
-				}
-				if minDist > s.eps {
-					break
-				}
+			if minDist > s.eps {
+				break
 			}
 		}
 	}
@@ -576,7 +621,9 @@ func sortMatches(ms []Match) {
 }
 
 // Dup returns an independent handle on the same index file with its own
-// buffer pool, for concurrent multivariate searches.
+// buffer pool. An Index already serves concurrent searches; Dup remains for
+// callers that want a private page cache. The duplicate shares the
+// immutable dataset, grid, texts and query-context pool.
 func (ix *Index) Dup(poolPages int) (*Index, error) {
 	if poolPages <= 0 {
 		poolPages = 256

@@ -29,6 +29,21 @@ func NewTableWindow(q [][]float64, w int) *Table {
 	return &Table{q: q, window: w}
 }
 
+// Bind re-targets the table at a new query and window, dropping all rows
+// but keeping the row storage, so pooled query contexts reuse one table
+// across searches.
+func (t *Table) Bind(q [][]float64, w int) {
+	if len(q) == 0 {
+		//lint:ignore panicpath precondition assertion: search entry points reject empty queries before any table exists
+		panic("multivar: empty query")
+	}
+	t.q = q
+	t.window = w
+	t.rows = t.rows[:0]
+	t.depth = 0
+	t.cells = 0
+}
+
 // Depth returns the current number of rows.
 func (t *Table) Depth() int { return t.depth }
 
@@ -65,7 +80,14 @@ func (t *Table) AddRowBox(b Box) (dist, minDist float64) {
 func (t *Table) addRow(base func(q []float64) float64) (dist, minDist float64) {
 	n := len(t.q)
 	x := t.depth
-	t.rows = append(t.rows, make([]float64, n)...)
+	// Grow within capacity when possible: every cell of the new row is
+	// written below (Inf for out-of-band columns), so stale bytes from a
+	// previous binding are never observed.
+	if need := (x + 1) * n; need <= cap(t.rows) {
+		t.rows = t.rows[:need]
+	} else {
+		t.rows = append(t.rows, make([]float64, n)...)
+	}
 	curr := t.rows[x*n : (x+1)*n]
 	var prev []float64
 	if x > 0 {

@@ -1,0 +1,72 @@
+// Package pending tracks the candidate subsequence end positions a filter
+// pass produces, for the post-processing step that verifies them.
+//
+// The set is keyed by a global element offset (sequence offset + start
+// position) and stores, per offset, the maximum candidate end seen. A dense
+// per-query array over every element of the database would make each search
+// O(total elements); instead the array is allocated once per query context
+// and reused across queries via epoch stamping — a slot belongs to the
+// current query only if its stamp equals the current epoch — plus a list of
+// touched offsets so iteration visits only this query's candidates. That
+// makes per-query cost O(candidates) while keeping O(1) insert and the
+// "keep the max end per start" semantics of the paper's post-processing
+// step.
+package pending
+
+import "slices"
+
+// Set is an epoch-stamped sparse map from int32 offsets to the maximum
+// int32 end recorded for them. The zero value is unusable; call Reset with
+// the database's total element count first. A Set is not safe for
+// concurrent use; each pooled query context owns one.
+type Set struct {
+	stamp   []uint32 // per-offset epoch of last write
+	maxEnd  []int32  // valid only where stamp[i] == epoch
+	touched []int32  // offsets written this epoch, insertion order
+	epoch   uint32
+}
+
+// Reset prepares the set for a new query over a database of n elements,
+// forgetting all entries in O(touched) — or O(n) on first use, growth, or
+// epoch wraparound.
+func (s *Set) Reset(n int) {
+	if len(s.stamp) != n {
+		s.stamp = make([]uint32, n)
+		s.maxEnd = make([]int32, n)
+		s.epoch = 0
+	}
+	s.epoch++
+	if s.epoch == 0 { // wraparound: stale stamps could collide, clear them
+		clear(s.stamp)
+		s.epoch = 1
+	}
+	s.touched = s.touched[:0]
+}
+
+// Add records a candidate [offset, end]; if the offset already holds a
+// candidate this query, the larger end wins.
+func (s *Set) Add(offset, end int32) {
+	if s.stamp[offset] == s.epoch {
+		if end > s.maxEnd[offset] {
+			s.maxEnd[offset] = end
+		}
+		return
+	}
+	s.stamp[offset] = s.epoch
+	s.maxEnd[offset] = end
+	s.touched = append(s.touched, offset)
+}
+
+// Len returns the number of distinct offsets recorded this query.
+func (s *Set) Len() int { return len(s.touched) }
+
+// Sorted returns this query's offsets in ascending order. The slice aliases
+// the set's storage and is invalidated by the next Reset.
+func (s *Set) Sorted() []int32 {
+	slices.Sort(s.touched)
+	return s.touched
+}
+
+// MaxEnd returns the largest end recorded for an offset this query. It must
+// only be called with offsets returned by Sorted (or previously Added).
+func (s *Set) MaxEnd(offset int32) int32 { return s.maxEnd[offset] }

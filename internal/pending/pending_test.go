@@ -1,0 +1,100 @@
+package pending
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+func TestSetBasics(t *testing.T) {
+	var s Set
+	s.Reset(100)
+	if s.Len() != 0 {
+		t.Fatalf("fresh set has %d entries", s.Len())
+	}
+	s.Add(7, 20)
+	s.Add(3, 10)
+	s.Add(7, 15) // smaller end must not shrink the recorded max
+	s.Add(7, 25)
+	s.Add(99, 99)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	got := s.Sorted()
+	if !slices.Equal(got, []int32{3, 7, 99}) {
+		t.Fatalf("Sorted = %v", got)
+	}
+	if s.MaxEnd(7) != 25 || s.MaxEnd(3) != 10 || s.MaxEnd(99) != 99 {
+		t.Fatalf("MaxEnd: %d %d %d", s.MaxEnd(3), s.MaxEnd(7), s.MaxEnd(99))
+	}
+}
+
+// TestSetEpochReuse runs many queries through one Set and checks entries
+// never leak across Reset — including when the same offsets recur.
+func TestSetEpochReuse(t *testing.T) {
+	var s Set
+	rng := rand.New(rand.NewSource(1))
+	ref := make(map[int32]int32)
+	for query := 0; query < 200; query++ {
+		s.Reset(50)
+		clear(ref)
+		for i := 0; i < rng.Intn(30); i++ {
+			off := int32(rng.Intn(50))
+			end := int32(rng.Intn(1000))
+			s.Add(off, end)
+			if e, ok := ref[off]; !ok || end > e {
+				ref[off] = end
+			}
+		}
+		if s.Len() != len(ref) {
+			t.Fatalf("query %d: Len = %d, want %d", query, s.Len(), len(ref))
+		}
+		for _, off := range s.Sorted() {
+			want, ok := ref[off]
+			if !ok {
+				t.Fatalf("query %d: stale offset %d leaked", query, off)
+			}
+			if s.MaxEnd(off) != want {
+				t.Fatalf("query %d: MaxEnd(%d) = %d, want %d", query, off, s.MaxEnd(off), want)
+			}
+		}
+	}
+}
+
+// TestSetWraparound forces the epoch counter through zero and checks stale
+// stamps cannot masquerade as current entries.
+func TestSetWraparound(t *testing.T) {
+	var s Set
+	s.Reset(4)
+	s.Add(2, 9)
+	s.epoch = ^uint32(0) - 1 // two Resets away from wrapping
+	s.Reset(4)               // epoch = max
+	s.Add(1, 5)
+	s.Reset(4) // wraps: stamps cleared, epoch restarts at 1
+	if s.epoch != 1 {
+		t.Fatalf("epoch after wrap = %d, want 1", s.epoch)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("entries survived wraparound: %v", s.Sorted())
+	}
+	s.Add(3, 7)
+	if got := s.Sorted(); !slices.Equal(got, []int32{3}) {
+		t.Fatalf("Sorted after wrap = %v", got)
+	}
+}
+
+// TestSetResize checks Reset with a different element count reallocates
+// cleanly.
+func TestSetResize(t *testing.T) {
+	var s Set
+	s.Reset(10)
+	s.Add(9, 1)
+	s.Reset(1000)
+	if s.Len() != 0 {
+		t.Fatal("entries survived resize")
+	}
+	s.Add(999, 3)
+	if s.MaxEnd(999) != 3 {
+		t.Fatal("Add after resize lost")
+	}
+}

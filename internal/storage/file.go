@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync/atomic"
 )
 
 // PageSize is the fixed size of every page in bytes.
@@ -72,16 +73,19 @@ func (m *memBacking) Close() error { return nil }
 // MemoryPath is the Path() of in-memory page files.
 const MemoryPath = ":memory:"
 
-// File is a page-addressed file. Methods are not safe for concurrent use;
-// wrap a File in a Pool and keep each Pool on one goroutine.
+// File is a page-addressed file. Reads (ReadPage, Meta, Copy) are safe for
+// concurrent use — they go through ReaderAt and atomic counters — so any
+// number of searches may share one File through a Pool. Mutations (Alloc,
+// WritePage, SetMeta) are single-writer: the build pipeline owns the file
+// exclusively while it writes.
 type File struct {
 	f        backing
 	path     string
 	numPages PageID
 	readOnly bool
 
-	// PagesRead and PagesWritten count physical page transfers.
-	PagesRead, PagesWritten uint64
+	// pagesRead and pagesWritten count physical page transfers.
+	pagesRead, pagesWritten atomic.Uint64
 }
 
 // CreateMemFile creates a page file backed by process memory — no
@@ -157,6 +161,12 @@ func (pf *File) NumPages() PageID { return pf.numPages }
 // SizeBytes returns the file size in bytes.
 func (pf *File) SizeBytes() int64 { return int64(pf.numPages) * PageSize }
 
+// PagesRead returns the number of physical page reads since open.
+func (pf *File) PagesRead() uint64 { return pf.pagesRead.Load() }
+
+// PagesWritten returns the number of physical page writes since open.
+func (pf *File) PagesWritten() uint64 { return pf.pagesWritten.Load() }
+
 // Alloc extends the file by one zeroed page and returns its id.
 func (pf *File) Alloc() (PageID, error) {
 	if pf.readOnly {
@@ -168,7 +178,7 @@ func (pf *File) Alloc() (PageID, error) {
 		return InvalidPage, fmt.Errorf("storage: extending to page %d: %w", id, err)
 	}
 	pf.numPages++
-	pf.PagesWritten++
+	pf.pagesWritten.Add(1)
 	return id, nil
 }
 
@@ -183,7 +193,7 @@ func (pf *File) ReadPage(id PageID, buf []byte) error {
 	if _, err := pf.f.ReadAt(buf, int64(id)*PageSize); err != nil {
 		return fmt.Errorf("storage: reading page %d: %w", id, err)
 	}
-	pf.PagesRead++
+	pf.pagesRead.Add(1)
 	return nil
 }
 
@@ -202,7 +212,7 @@ func (pf *File) WritePage(id PageID, buf []byte) error {
 	if _, err := pf.f.WriteAt(buf, int64(id)*PageSize); err != nil {
 		return fmt.Errorf("storage: writing page %d: %w", id, err)
 	}
-	pf.PagesWritten++
+	pf.pagesWritten.Add(1)
 	return nil
 }
 
@@ -222,7 +232,7 @@ func (pf *File) SetMeta(blob []byte) error {
 	if _, err := pf.f.WriteAt(page, 0); err != nil {
 		return fmt.Errorf("storage: writing meta page: %w", err)
 	}
-	pf.PagesWritten++
+	pf.pagesWritten.Add(1)
 	return nil
 }
 
@@ -232,7 +242,7 @@ func (pf *File) Meta() ([]byte, error) {
 	if _, err := pf.f.ReadAt(page, 0); err != nil {
 		return nil, fmt.Errorf("storage: reading meta page: %w", err)
 	}
-	pf.PagesRead++
+	pf.pagesRead.Add(1)
 	n := binary.LittleEndian.Uint32(page[len(fileMagic):])
 	if int(n) > metaCapSize {
 		return nil, errors.New("storage: corrupt meta length")

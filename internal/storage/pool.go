@@ -4,16 +4,21 @@ import (
 	"container/list"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Frame is a pinned page in the buffer pool. Callers must Release every
-// frame they Get; a pinned frame is never evicted.
+// frame they Get; a pinned frame is never evicted. The frame's fields are
+// guarded by its shard's mutex; the page bytes themselves may be read by
+// any number of goroutines while the frame is pinned (writers require the
+// single-writer discipline of the build pipeline).
 type Frame struct {
 	id    PageID
 	data  []byte
 	pins  int
 	dirty bool
-	elem  *list.Element // position in the pool's LRU list (nil while pinned)
+	shard *poolShard
+	elem  *list.Element // position in the shard's LRU list, for the frame's lifetime
 }
 
 // ID returns the page id this frame holds.
@@ -25,7 +30,11 @@ func (fr *Frame) Data() []byte { return fr.data }
 
 // MarkDirty records that the frame's bytes were modified and must be
 // written back before eviction.
-func (fr *Frame) MarkDirty() { fr.dirty = true }
+func (fr *Frame) MarkDirty() {
+	fr.shard.mu.Lock()
+	fr.dirty = true
+	fr.shard.mu.Unlock()
+}
 
 // PoolStats counts buffer pool activity since creation.
 type PoolStats struct {
@@ -34,129 +43,215 @@ type PoolStats struct {
 	Evictions uint64
 }
 
-// Pool is an LRU buffer pool over one page File. It is not safe for
-// concurrent use; concurrent searches each open their own Pool.
-type Pool struct {
+// Add accumulates other into s.
+func (s *PoolStats) Add(other PoolStats) {
+	s.Hits += other.Hits
+	s.Misses += other.Misses
+	s.Evictions += other.Evictions
+}
+
+// maxPoolShards caps the lock striping of a Pool. Eight shards keep
+// contention low on any core count we serve while leaving per-shard LRU
+// lists large enough to stay useful caches.
+const maxPoolShards = 8
+
+// poolShard is one lock stripe of a Pool: an independent LRU cache over the
+// pages whose id hashes to it.
+type poolShard struct {
+	mu       sync.Mutex
 	file     *File
 	capacity int
 	frames   map[PageID]*Frame
-	lru      *list.List // unpinned frames, front = most recently used
+	lru      *list.List // all frames, front = most recently used; eviction skips pinned
 	stats    PoolStats
 }
 
+// Pool is a lock-striped LRU buffer pool over one page File, safe for any
+// number of concurrent readers: pages are partitioned over shards by id, so
+// goroutines contend only when they touch the same stripe, and a miss holds
+// only its own shard's lock while the page is read from disk. The total
+// capacity is split across the shards (each holding at least one frame);
+// eviction is LRU per shard.
+type Pool struct {
+	file   *File
+	shards []poolShard
+}
+
 // NewPool wraps file with a pool holding at most capacity pages
-// (capacity >= 1).
+// (capacity >= 1) across min(capacity, 8) lock-striped shards.
 func NewPool(file *File, capacity int) (*Pool, error) {
 	if capacity < 1 {
 		return nil, errors.New("storage: pool capacity must be >= 1")
 	}
-	return &Pool{
-		file:     file,
-		capacity: capacity,
-		frames:   make(map[PageID]*Frame, capacity),
-		lru:      list.New(),
-	}, nil
+	n := maxPoolShards
+	if capacity < n {
+		n = capacity
+	}
+	p := &Pool{file: file, shards: make([]poolShard, n)}
+	for i := range p.shards {
+		sh := &p.shards[i]
+		// Split the capacity as evenly as possible; early shards take the
+		// remainder.
+		sh.capacity = capacity / n
+		if i < capacity%n {
+			sh.capacity++
+		}
+		sh.file = file
+		sh.frames = make(map[PageID]*Frame, sh.capacity)
+		sh.lru = list.New()
+	}
+	return p, nil
 }
 
 // File returns the underlying page file.
 func (p *Pool) File() *File { return p.file }
 
-// Stats returns a copy of the pool's counters.
-func (p *Pool) Stats() PoolStats { return p.stats }
+// shard maps a page id to its lock stripe.
+func (p *Pool) shard(id PageID) *poolShard {
+	return &p.shards[int(id)%len(p.shards)]
+}
+
+// NumShards returns the number of lock stripes.
+func (p *Pool) NumShards() int { return len(p.shards) }
+
+// Stats returns the pool's counters summed over all shards.
+func (p *Pool) Stats() PoolStats {
+	var total PoolStats
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		total.Add(sh.stats)
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// ShardStats returns a copy of each shard's counters, in shard order.
+func (p *Pool) ShardStats() []PoolStats {
+	out := make([]PoolStats, len(p.shards))
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		out[i] = sh.stats
+		sh.mu.Unlock()
+	}
+	return out
+}
 
 // Get pins the page and returns its frame, reading it from disk on a miss.
+// Concurrent Gets for pages in different shards proceed independently; a
+// miss performs its disk read under the shard lock, so at most one reader
+// per shard faults a page in at a time.
 func (p *Pool) Get(id PageID) (*Frame, error) {
-	if fr, ok := p.frames[id]; ok {
-		p.stats.Hits++
-		p.pin(fr)
+	sh := p.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if fr, ok := sh.frames[id]; ok {
+		sh.stats.Hits++
+		sh.pin(fr)
 		return fr, nil
 	}
-	p.stats.Misses++
-	fr, err := p.newFrame(id)
+	sh.stats.Misses++
+	fr, err := sh.newFrame(id)
 	if err != nil {
 		return nil, err
 	}
 	if err := p.file.ReadPage(id, fr.data); err != nil {
-		delete(p.frames, id)
+		delete(sh.frames, id)
 		return nil, err
 	}
 	return fr, nil
 }
 
 // Alloc extends the file by one page and returns it pinned and zeroed.
+// Alloc is part of the single-writer build path and must not race other
+// mutations.
 func (p *Pool) Alloc() (*Frame, error) {
 	id, err := p.file.Alloc()
 	if err != nil {
 		return nil, err
 	}
-	fr, err := p.newFrame(id)
-	if err != nil {
-		return nil, err
-	}
-	return fr, nil
+	sh := p.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.newFrame(id)
 }
 
-// newFrame makes room and installs a pinned, zeroed frame for id.
-func (p *Pool) newFrame(id PageID) (*Frame, error) {
-	if len(p.frames) >= p.capacity {
-		if err := p.evictOne(); err != nil {
+// newFrame makes room and installs a pinned, zeroed frame for id. The
+// caller holds sh.mu.
+func (sh *poolShard) newFrame(id PageID) (*Frame, error) {
+	if len(sh.frames) >= sh.capacity {
+		if err := sh.evictOne(); err != nil {
 			return nil, err
 		}
 	}
-	fr := &Frame{id: id, data: make([]byte, PageSize), pins: 1}
-	p.frames[id] = fr
+	fr := &Frame{id: id, data: make([]byte, PageSize), pins: 1, shard: sh}
+	fr.elem = sh.lru.PushFront(fr)
+	sh.frames[id] = fr
 	return fr, nil
 }
 
 // Release unpins a frame obtained from Get or Alloc.
 func (p *Pool) Release(fr *Frame) {
+	sh := fr.shard
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	if fr.pins <= 0 {
 		//lint:ignore panicpath pin-accounting assertion: a double Release means some frame is mutable while another reader holds it; continuing would corrupt pages silently
 		panic("storage: Release of unpinned frame")
 	}
 	fr.pins--
 	if fr.pins == 0 {
-		fr.elem = p.lru.PushFront(fr)
+		sh.lru.MoveToFront(fr.elem)
 	}
 }
 
-func (p *Pool) pin(fr *Frame) {
-	if fr.pins == 0 && fr.elem != nil {
-		p.lru.Remove(fr.elem)
-		fr.elem = nil
-	}
+// pin marks a frame in use and refreshes its recency. The frame keeps its
+// list element for its whole lifetime — pin/unpin cycles move it, never
+// reallocate it — so the steady-state hot path is allocation-free. The
+// caller holds sh.mu.
+func (sh *poolShard) pin(fr *Frame) {
 	fr.pins++
+	sh.lru.MoveToFront(fr.elem)
 }
 
-// evictOne writes back and drops the least recently used unpinned frame.
-func (p *Pool) evictOne() error {
-	back := p.lru.Back()
-	if back == nil {
-		return fmt.Errorf("storage: pool of %d frames fully pinned", p.capacity)
-	}
-	fr := back.Value.(*Frame)
-	p.lru.Remove(back)
-	fr.elem = nil
-	if fr.dirty {
-		if err := p.file.WritePage(fr.id, fr.data); err != nil {
-			return err
+// evictOne writes back and drops the least recently used unpinned frame of
+// this shard; pinned frames are skipped in place. The caller holds sh.mu.
+func (sh *poolShard) evictOne() error {
+	for e := sh.lru.Back(); e != nil; e = e.Prev() {
+		fr := e.Value.(*Frame)
+		if fr.pins > 0 {
+			continue
 		}
-		fr.dirty = false
-	}
-	delete(p.frames, fr.id)
-	p.stats.Evictions++
-	return nil
-}
-
-// FlushAll writes back every dirty frame (pinned or not) without evicting.
-func (p *Pool) FlushAll() error {
-	for _, fr := range p.frames {
 		if fr.dirty {
-			if err := p.file.WritePage(fr.id, fr.data); err != nil {
+			if err := sh.file.WritePage(fr.id, fr.data); err != nil {
 				return err
 			}
 			fr.dirty = false
 		}
+		sh.lru.Remove(e)
+		delete(sh.frames, fr.id)
+		sh.stats.Evictions++
+		return nil
+	}
+	return fmt.Errorf("storage: pool shard of %d frames fully pinned", sh.capacity)
+}
+
+// FlushAll writes back every dirty frame (pinned or not) without evicting.
+func (p *Pool) FlushAll() error {
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for _, fr := range sh.frames {
+			if fr.dirty {
+				if err := p.file.WritePage(fr.id, fr.data); err != nil {
+					sh.mu.Unlock()
+					return err
+				}
+				fr.dirty = false
+			}
+		}
+		sh.mu.Unlock()
 	}
 	return nil
 }
@@ -165,10 +260,15 @@ func (p *Pool) FlushAll() error {
 // to verify that traversals release everything they touch.
 func (p *Pool) PinnedCount() int {
 	n := 0
-	for _, fr := range p.frames {
-		if fr.pins > 0 {
-			n++
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for _, fr := range sh.frames {
+			if fr.pins > 0 {
+				n++
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return n
 }

@@ -2,9 +2,11 @@ package storage
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -386,7 +388,126 @@ func TestStatsCounters(t *testing.T) {
 	buf := make([]byte, PageSize)
 	pf.WritePage(id, buf)
 	pf.ReadPage(id, buf)
-	if pf.PagesWritten < 2 || pf.PagesRead < 1 {
-		t.Fatalf("counters: wrote %d read %d", pf.PagesWritten, pf.PagesRead)
+	if pf.PagesWritten() < 2 || pf.PagesRead() < 1 {
+		t.Fatalf("counters: wrote %d read %d", pf.PagesWritten(), pf.PagesRead())
+	}
+}
+
+// TestPoolSharding checks the capacity split and the per-shard stats view.
+func TestPoolSharding(t *testing.T) {
+	pf := tempFile(t)
+	const pages = 40
+	ids := make([]PageID, pages)
+	buf := make([]byte, PageSize)
+	for i := range ids {
+		id, err := pf.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf[0] = byte(i)
+		if err := pf.WritePage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	pool, err := NewPool(pf, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pool.NumShards(); got != 8 {
+		t.Fatalf("NumShards = %d, want 8", got)
+	}
+	// Small pools collapse to one shard per frame.
+	small, err := NewPool(pf, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := small.NumShards(); got != 3 {
+		t.Fatalf("NumShards(cap 3) = %d, want 3", got)
+	}
+	for _, id := range ids {
+		fr, err := pool.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fr.Data()[0] != byte(id-1) {
+			t.Fatalf("page %d holds %d", id, fr.Data()[0])
+		}
+		pool.Release(fr)
+	}
+	agg := pool.Stats()
+	if agg.Misses != pages {
+		t.Fatalf("misses = %d, want %d", agg.Misses, pages)
+	}
+	shards := pool.ShardStats()
+	if len(shards) != pool.NumShards() {
+		t.Fatalf("ShardStats len %d != NumShards %d", len(shards), pool.NumShards())
+	}
+	var sum PoolStats
+	for _, s := range shards {
+		sum.Add(s)
+	}
+	if sum != agg {
+		t.Fatalf("shard sum %+v != aggregate %+v", sum, agg)
+	}
+}
+
+// TestPoolConcurrentReaders hammers one pool from many goroutines and checks
+// every read observes the bytes written, with no leaked pins. Run under
+// -race this is the storage half of the concurrent-search contract.
+func TestPoolConcurrentReaders(t *testing.T) {
+	pf := tempFile(t)
+	const pages = 64
+	ids := make([]PageID, pages)
+	buf := make([]byte, PageSize)
+	for i := range ids {
+		id, err := pf.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf[0] = byte(i + 1)
+		if err := pf.WritePage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	pool, err := NewPool(pf, 16) // quarter of the pages: constant eviction
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				id := ids[(seed*31+i*7)%pages]
+				fr, err := pool.Get(id)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if fr.Data()[0] != byte(id) {
+					errs <- fmt.Errorf("page %d holds %d", id, fr.Data()[0])
+					pool.Release(fr)
+					return
+				}
+				pool.Release(fr)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if n := pool.PinnedCount(); n != 0 {
+		t.Fatalf("%d frames left pinned", n)
+	}
+	st := pool.Stats()
+	if st.Hits+st.Misses != workers*400 {
+		t.Fatalf("hits %d + misses %d != %d gets", st.Hits, st.Misses, workers*400)
 	}
 }

@@ -215,8 +215,25 @@ func DecodeError(body []byte) (*Error, error) {
 	return e, nil
 }
 
-// StatsResp answers TStats with the dataset's summary statistics.
-type StatsResp struct{ Stats sequence.Stats }
+// PoolShard is one buffer-pool shard's counters in a StatsResp.
+type PoolShard struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// PoolInfo reports one index's buffer-pool shards.
+type PoolInfo struct {
+	Index  string
+	Shards []PoolShard
+}
+
+// StatsResp answers TStats with the dataset's summary statistics and, since
+// protocol version 2, each open index's buffer-pool shard counters.
+type StatsResp struct {
+	Stats sequence.Stats
+	Pools []PoolInfo
+}
 
 // Encode appends the stats body to b.
 func (m *StatsResp) Encode(b []byte) []byte {
@@ -227,6 +244,16 @@ func (m *StatsResp) Encode(b []byte) []byte {
 	b = binary.LittleEndian.AppendUint64(b, uint64(s.MaxLen))
 	for _, v := range []float64{s.AvgLen, s.MinValue, s.MaxValue, s.MeanValue, s.StdDev} {
 		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(m.Pools)))
+	for _, p := range m.Pools {
+		b = appendString(b, p.Index)
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(p.Shards)))
+		for _, sh := range p.Shards {
+			b = binary.LittleEndian.AppendUint64(b, sh.Hits)
+			b = binary.LittleEndian.AppendUint64(b, sh.Misses)
+			b = binary.LittleEndian.AppendUint64(b, sh.Evictions)
+		}
 	}
 	return b
 }
@@ -244,6 +271,19 @@ func DecodeStatsResp(body []byte) (StatsResp, error) {
 	m.Stats.MaxValue = r.F64()
 	m.Stats.MeanValue = r.F64()
 	m.Stats.StdDev = r.F64()
+	nPools := r.U32()
+	for i := uint32(0); i < nPools && r.err == nil; i++ {
+		p := PoolInfo{Index: r.String()}
+		nShards := r.U32()
+		for j := uint32(0); j < nShards && r.err == nil; j++ {
+			p.Shards = append(p.Shards, PoolShard{
+				Hits:      r.U64(),
+				Misses:    r.U64(),
+				Evictions: r.U64(),
+			})
+		}
+		m.Pools = append(m.Pools, p)
+	}
 	return m, r.Err()
 }
 

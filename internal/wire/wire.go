@@ -36,8 +36,9 @@ import (
 
 // Version is the protocol version this package speaks. A server rejects
 // hellos with a different version: the framing makes no compatibility
-// promises across versions.
-const Version = 1
+// promises across versions. Version 2 extended StatsResp with per-index
+// buffer-pool shard counters.
+const Version = 2
 
 // magic identifies a twsearchd connection.
 var magic = [4]byte{'T', 'W', 'S', 'D'}

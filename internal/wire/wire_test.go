@@ -206,16 +206,29 @@ func TestErrorRoundTripAndIs(t *testing.T) {
 }
 
 func TestStatsRespRoundTrip(t *testing.T) {
-	in := StatsResp{Stats: sequence.Stats{
-		Sequences: 3, TotalElements: 99, AvgLen: 33, MinLen: 10, MaxLen: 50,
-		MinValue: -1.5, MaxValue: 9.75, MeanValue: 2.25, StdDev: 1.125,
-	}}
+	in := StatsResp{
+		Stats: sequence.Stats{
+			Sequences: 3, TotalElements: 99, AvgLen: 33, MinLen: 10, MaxLen: 50,
+			MinValue: -1.5, MaxValue: 9.75, MeanValue: 2.25, StdDev: 1.125,
+		},
+		Pools: []PoolInfo{
+			{Index: "fast", Shards: []PoolShard{
+				{Hits: 10, Misses: 2, Evictions: 1},
+				{Hits: 7, Misses: 3},
+			}},
+			{Index: "exact", Shards: []PoolShard{{Misses: 5}}},
+		},
+	}
 	out, err := DecodeStatsResp(in.Encode(nil))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(in, out) {
 		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+	noPools, err := DecodeStatsResp((&StatsResp{}).Encode(nil))
+	if err != nil || len(noPools.Pools) != 0 {
+		t.Fatalf("empty-pools round trip: %+v, %v", noPools, err)
 	}
 }
 

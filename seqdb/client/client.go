@@ -305,36 +305,59 @@ func (c *Client) collectMatchStream(ctx context.Context) ([]seqdb.Match, seqdb.S
 
 // Stats returns the dataset summary of a mounted DB.
 func (c *Client) Stats(ctx context.Context, db string) (seqdb.Stats, error) {
+	resp, err := c.statsResp(ctx, db)
+	return resp.Stats, err
+}
+
+// StatsPools returns the dataset summary of a mounted DB together with each
+// open index's buffer-pool shard counters.
+func (c *Client) StatsPools(ctx context.Context, db string) (seqdb.Stats, []seqdb.IndexPoolStats, error) {
+	resp, err := c.statsResp(ctx, db)
+	if err != nil {
+		return seqdb.Stats{}, nil, err
+	}
+	pools := make([]seqdb.IndexPoolStats, len(resp.Pools))
+	for i, p := range resp.Pools {
+		shards := make([]seqdb.PoolShardStats, len(p.Shards))
+		for j, sh := range p.Shards {
+			shards[j] = seqdb.PoolShardStats{Hits: sh.Hits, Misses: sh.Misses, Evictions: sh.Evictions}
+		}
+		pools[i] = seqdb.IndexPoolStats{Index: p.Index, Shards: shards}
+	}
+	return resp.Stats, pools, nil
+}
+
+func (c *Client) statsResp(ctx context.Context, db string) (wire.StatsResp, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, err := c.begin(ctx); err != nil {
-		return seqdb.Stats{}, err
+		return wire.StatsResp{}, err
 	}
 	req := wire.StatsReq{DB: db}
 	if err := c.send(ctx, wire.TStats, req.Encode(nil)); err != nil {
-		return seqdb.Stats{}, err
+		return wire.StatsResp{}, err
 	}
 	t, body, err := wire.ReadFrame(c.br)
 	if err != nil {
-		return seqdb.Stats{}, c.fail(ctx, err)
+		return wire.StatsResp{}, c.fail(ctx, err)
 	}
 	switch t {
 	case wire.TStatsResp:
 		resp, err := wire.DecodeStatsResp(body)
 		if err != nil {
-			return seqdb.Stats{}, c.fail(ctx, err)
+			return wire.StatsResp{}, c.fail(ctx, err)
 		}
 		c.finish()
-		return resp.Stats, nil
+		return resp, nil
 	case wire.TError:
 		e, err := wire.DecodeError(body)
 		if err != nil {
-			return seqdb.Stats{}, c.fail(ctx, err)
+			return wire.StatsResp{}, c.fail(ctx, err)
 		}
 		c.finish()
-		return seqdb.Stats{}, e
+		return wire.StatsResp{}, e
 	}
-	return seqdb.Stats{}, c.fail(ctx, fmt.Errorf("unexpected frame type %#x", t))
+	return wire.StatsResp{}, c.fail(ctx, fmt.Errorf("unexpected frame type %#x", t))
 }
 
 // ListIndexes returns the open indexes of a mounted DB, sorted by name.

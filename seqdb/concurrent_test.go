@@ -1,7 +1,9 @@
 package seqdb
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"reflect"
 	"sync"
@@ -75,6 +77,164 @@ func TestConcurrentSearches(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+}
+
+// sameMatches reports byte-identity: every field equal and the distance
+// equal down to its IEEE-754 bits (reflect.DeepEqual would treat -0 and +0
+// as equal; the contract here is stricter).
+func sameMatches(a, b []Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].SeqID != b[i].SeqID || a[i].Seq != b[i].Seq ||
+			a[i].Start != b[i].Start || a[i].End != b[i].End ||
+			math.Float64bits(a[i].Distance) != math.Float64bits(b[i].Distance) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestConcurrentHammerOneHandle drives many goroutines through one warmed
+// handle, each replaying the full query batch several times with a mix of
+// Search, SearchVisitCtx, and SearchKNN. Every answer must be byte-identical
+// to the serial baseline: the pooled query contexts may be reused in any
+// order by any goroutine and must never leak state between queries.
+func TestConcurrentHammerOneHandle(t *testing.T) {
+	db := newTestDB(t, 8, 60, 21)
+	if err := db.BuildIndex("h", IndexSpec{Method: MethodMaxEntropy, Categories: 10, Sparse: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(22))
+	queries := make([][]float64, 6)
+	for i := range queries {
+		queries[i] = testValues(rng, 6+i)
+	}
+	const eps = 14.0
+	const k = 4
+
+	wantRange := make([][]Match, len(queries))
+	wantKNN := make([][]Match, len(queries))
+	for i, q := range queries {
+		ms, _, err := db.Search("h", q, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantRange[i] = ms
+		ks, _, err := db.SearchKNN("h", q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantKNN[i] = ks
+	}
+
+	const workers = 8
+	const rounds = 3
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for i, q := range queries {
+					switch (w + r + i) % 3 {
+					case 0:
+						ms, _, err := db.SearchCtx(ctx, "h", q, eps)
+						if err != nil {
+							t.Errorf("worker %d search %d: %v", w, i, err)
+							return
+						}
+						if !sameMatches(ms, wantRange[i]) {
+							t.Errorf("worker %d search %d: answers differ from serial", w, i)
+							return
+						}
+					case 1:
+						var got []Match
+						_, err := db.SearchVisitCtx(ctx, "h", q, eps, func(m Match) bool {
+							got = append(got, m)
+							return true
+						})
+						if err != nil {
+							t.Errorf("worker %d visit %d: %v", w, i, err)
+							return
+						}
+						// Visit streams in discovery order, not sorted
+						// order: compare as sets.
+						if len(got) != len(wantRange[i]) {
+							t.Errorf("worker %d visit %d: %d matches, want %d",
+								w, i, len(got), len(wantRange[i]))
+							return
+						}
+						want := make(map[Match]bool, len(wantRange[i]))
+						for _, m := range wantRange[i] {
+							want[m] = true
+						}
+						for _, m := range got {
+							if !want[m] {
+								t.Errorf("worker %d visit %d: unexpected match %+v", w, i, m)
+								return
+							}
+						}
+					case 2:
+						ks, _, err := db.SearchKNNCtx(ctx, "h", q, k)
+						if err != nil {
+							t.Errorf("worker %d knn %d: %v", w, i, err)
+							return
+						}
+						if !sameMatches(ks, wantKNN[i]) {
+							t.Errorf("worker %d knn %d: answers differ from serial", w, i)
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// BenchmarkSearchConcurrent measures range-search throughput on one shared
+// warmed handle under b.RunParallel. Compare -cpu 1,4 runs: the refactor's
+// acceptance bar is that adding workers adds throughput on one handle.
+func BenchmarkSearchConcurrent(b *testing.B) {
+	db, err := Create(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 12; i++ {
+		if err := db.Add(fmt.Sprintf("seq-%d", i), testValues(rng, 120)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := db.BuildIndex("b", IndexSpec{Method: MethodMaxEntropy, Categories: 12, Sparse: true}); err != nil {
+		b.Fatal(err)
+	}
+	queries := make([][]float64, 8)
+	for i := range queries {
+		queries[i] = testValues(rng, 8)
+	}
+	const eps = 10.0
+	if _, _, err := db.Search("b", queries[0], eps); err != nil { // warm the pool
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, _, err := db.Search("b", queries[i%len(queries)], eps); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
 }
 
 // TestConcurrentBuildDrop interleaves searches through one index with

@@ -29,8 +29,6 @@ func (db *DB) SearchCtx(ctx context.Context, indexName string, q []float64, eps 
 	if !ok {
 		return nil, SearchStats{}, errNoIndex(indexName)
 	}
-	oi.mu.Lock()
-	defer oi.mu.Unlock()
 	ms, stats, err := oi.ix.SearchCtx(ctx, q, eps)
 	if err != nil {
 		return nil, stats, err
@@ -50,8 +48,6 @@ func (db *DB) SearchVisitCtx(ctx context.Context, indexName string, q []float64,
 	if fn == nil {
 		return SearchStats{}, fmt.Errorf("seqdb: nil visitor")
 	}
-	oi.mu.Lock()
-	defer oi.mu.Unlock()
 	return oi.ix.SearchVisitCtx(ctx, q, eps, func(m core.Match) bool {
 		return fn(Match{
 			SeqID:    db.data.Seq(m.Ref.Seq).ID,
@@ -72,8 +68,6 @@ func (db *DB) SearchKNNCtx(ctx context.Context, indexName string, q []float64, k
 	if !ok {
 		return nil, SearchStats{}, errNoIndex(indexName)
 	}
-	oi.mu.Lock()
-	defer oi.mu.Unlock()
 	ms, stats, err := oi.ix.SearchKNNCtx(ctx, q, k)
 	if err != nil {
 		return nil, stats, err

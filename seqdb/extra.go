@@ -20,10 +20,12 @@ func (db *DB) SearchKNN(indexName string, q []float64, k int) ([]Match, SearchSt
 	return db.SearchKNNCtx(context.Background(), indexName, q, k)
 }
 
-// SearchParallel runs one range search per query concurrently, each worker
-// on its own handle of the index file (its own buffer pool). Results are
-// returned in query order. workers <= 0 means one worker per query, capped
-// at 8.
+// SearchParallel runs one range search per query concurrently. The workers
+// share the index's one warmed handle — searches are natively concurrent
+// (pooled query contexts over a lock-striped buffer pool), so no per-worker
+// duplicate is opened and every worker benefits from the shared page cache.
+// Results are returned in query order. workers <= 0 means one worker per
+// query, capped at 8.
 func (db *DB) SearchParallel(indexName string, queries [][]float64, eps float64, workers int) ([][]Match, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
@@ -49,27 +51,18 @@ func (db *DB) SearchParallel(indexName string, queries [][]float64, eps float64,
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		oi.mu.Lock()
-		dup, err := oi.ix.Dup(oi.spec.PoolPages)
-		oi.mu.Unlock()
-		if err != nil {
-			close(jobs)
-			wg.Wait()
-			return nil, err
-		}
 		wg.Add(1)
-		go func(w int, ix *core.Index) {
+		go func(w int) {
 			defer wg.Done()
-			defer ix.Close()
 			for j := range jobs {
-				ms, _, err := ix.Search(queries[j], eps)
+				ms, _, err := oi.ix.Search(queries[j], eps)
 				if err != nil {
 					errs[w] = err
 					continue
 				}
 				results[j] = db.publicMatches(ms)
 			}
-		}(w, dup)
+		}(w)
 	}
 	for j := range queries {
 		jobs <- j

@@ -1,14 +1,11 @@
 package seqdb
 
 import (
-	"bufio"
 	"context"
 	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
-	"strconv"
-	"strings"
 
 	"twsearch/internal/categorize"
 	"twsearch/internal/core"
@@ -155,26 +152,9 @@ func (db *DB) openIndexFiles(name string) error {
 	if err != nil {
 		return err
 	}
-	window, poolPages := -1, 0
-	if mf, err := os.Open(db.metaPath(name)); err == nil {
-		sc := bufio.NewScanner(mf)
-		for sc.Scan() {
-			k, v, ok := strings.Cut(strings.TrimSpace(sc.Text()), "=")
-			if !ok {
-				continue
-			}
-			n, err := strconv.Atoi(v)
-			if err != nil {
-				continue
-			}
-			switch k {
-			case "window":
-				window = n
-			case "pool_pages":
-				poolPages = n
-			}
-		}
-		mf.Close()
+	window, poolPages, err := readIndexMeta(db.metaPath(name))
+	if err != nil {
+		return err
 	}
 	ix, err := core.Open(db.data, scheme, db.treePath(name), poolPages, window)
 	if err != nil {
@@ -206,9 +186,7 @@ func (db *DB) DropIndex(name string) error {
 	if err := oi.ix.Close(); err != nil {
 		return err
 	}
-	os.Remove(db.metaPath(name))
-	os.Remove(db.schemePath(name))
-	return os.Remove(db.treePath(name))
+	return removeIndexFiles(db.metaPath(name), db.schemePath(name), db.treePath(name))
 }
 
 // Indexes lists the open indexes' names.
@@ -239,8 +217,6 @@ func (db *DB) Index(name string) (IndexInfo, error) {
 	if !ok {
 		return IndexInfo{}, errNoIndex(name)
 	}
-	oi.mu.Lock()
-	defer oi.mu.Unlock()
 	return IndexInfo{
 		Name:      name,
 		Spec:      oi.spec,
@@ -253,7 +229,7 @@ func (db *DB) Index(name string) (IndexInfo, error) {
 // Search runs a similarity search through the named index: every
 // subsequence with time warping distance at most eps from q, sorted by
 // (sequence, start, end). No false dismissals. Concurrent Search calls on
-// the same index serialize on its disk handle; see SearchParallel.
+// the same index run in parallel on the one shared handle.
 func (db *DB) Search(indexName string, q []float64, eps float64) ([]Match, SearchStats, error) {
 	return db.SearchCtx(context.Background(), indexName, q, eps)
 }

@@ -1,0 +1,70 @@
+package seqdb
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// readIndexMeta parses an index meta file of key=value lines into the
+// window and pool_pages settings. Unknown keys are ignored for forward
+// compatibility, but a malformed value for a known key is an error —
+// silently skipping one would reopen the index with the wrong window
+// semantics or pool size. A missing meta file yields the defaults
+// (window -1, pool_pages 0).
+func readIndexMeta(path string) (window, poolPages int, err error) {
+	window, poolPages = -1, 0
+	mf, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return window, poolPages, nil
+		}
+		return 0, 0, err
+	}
+	defer mf.Close()
+	sc := bufio.NewScanner(mf)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(line, "=")
+		if !ok {
+			continue
+		}
+		switch k {
+		case "window":
+			n, perr := strconv.Atoi(strings.TrimSpace(v))
+			if perr != nil {
+				return 0, 0, fmt.Errorf("seqdb: %s: bad window value %q", path, v)
+			}
+			window = n
+		case "pool_pages":
+			n, perr := strconv.Atoi(strings.TrimSpace(v))
+			if perr != nil {
+				return 0, 0, fmt.Errorf("seqdb: %s: bad pool_pages value %q", path, v)
+			}
+			poolPages = n
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, 0, fmt.Errorf("seqdb: reading %s: %w", path, err)
+	}
+	return window, poolPages, nil
+}
+
+// removeIndexFiles deletes an index's on-disk files, joining every failure
+// instead of reporting only the last; files already gone are not errors.
+func removeIndexFiles(paths ...string) error {
+	var errs []error
+	for _, p := range paths {
+		if err := os.Remove(p); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -24,9 +24,12 @@
 //
 // A DB is safe for concurrent use: reads and searches may run in parallel
 // with each other, while mutations (Add, ImportCSV, BuildIndex, DropIndex,
-// Close) take exclusive ownership. Plain Search calls on the same index
-// serialize on that index's single disk handle; use SearchParallel to fan a
-// query batch out over independent handles.
+// Close) take exclusive ownership. Any number of Search/SearchKNN/
+// SearchVisit calls run concurrently on one index handle — the index is
+// immutable at query time, per-query state is pooled, and the tree's
+// buffer pool is lock-striped — so one mounted database uses all the cores
+// the callers bring. SearchParallel fans a query batch out over that same
+// shared handle.
 package seqdb
 
 import (
@@ -74,13 +77,14 @@ type DB struct {
 	indexes map[string]*openIndex
 }
 
+// openIndex pairs an index handle with the spec it was built from. The
+// handle needs no lock of its own: a core.Index is safe for concurrent
+// searches, and lifecycle transitions (build, drop, close) happen under
+// db.mu held exclusively, which excludes every in-flight search holding it
+// shared.
 type openIndex struct {
 	spec IndexSpec
-	// mu serializes use of ix: one core.Index owns one buffer pool and one
-	// file handle, so concurrent traversals through it would corrupt page
-	// state. Workers needing parallelism duplicate the handle via Dup.
-	mu sync.Mutex
-	ix *core.Index
+	ix   *core.Index
 }
 
 // Create initializes a new database in dir (creating the directory if

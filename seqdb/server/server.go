@@ -580,6 +580,13 @@ func (s *Server) handleStats(bw *bufio.Writer, body []byte) (reqResult, error) {
 		return res, writeError(bw, err)
 	}
 	resp := wire.StatsResp{Stats: db.Stats()}
+	for _, p := range db.PoolStats() {
+		info := wire.PoolInfo{Index: p.Index, Shards: make([]wire.PoolShard, len(p.Shards))}
+		for i, sh := range p.Shards {
+			info.Shards[i] = wire.PoolShard{Hits: sh.Hits, Misses: sh.Misses, Evictions: sh.Evictions}
+		}
+		resp.Pools = append(resp.Pools, info)
+	}
 	return res, wire.WriteFrame(bw, wire.TStatsResp, resp.Encode(nil))
 }
 

@@ -1,12 +1,10 @@
 package seqdb
 
 import (
-	"bufio"
 	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
-	"strconv"
 	"strings"
 
 	"twsearch/internal/categorize"
@@ -228,26 +226,9 @@ func (db *VectorDB) openIndexFiles(name string) error {
 	if err != nil {
 		return err
 	}
-	window, poolPages := -1, 0
-	if mf, err := os.Open(db.metaPath(name)); err == nil {
-		sc := bufio.NewScanner(mf)
-		for sc.Scan() {
-			k, v, ok := strings.Cut(strings.TrimSpace(sc.Text()), "=")
-			if !ok {
-				continue
-			}
-			n, err := strconv.Atoi(v)
-			if err != nil {
-				continue
-			}
-			switch k {
-			case "window":
-				window = n
-			case "pool_pages":
-				poolPages = n
-			}
-		}
-		mf.Close()
+	window, poolPages, err := readIndexMeta(db.metaPath(name))
+	if err != nil {
+		return err
 	}
 	ix, err := multivar.Open(db.data, grid, db.treePath(name), poolPages, window)
 	if err != nil {
@@ -275,9 +256,7 @@ func (db *VectorDB) DropIndex(name string) error {
 	if err := oi.ix.Close(); err != nil {
 		return err
 	}
-	os.Remove(db.metaPath(name))
-	os.Remove(db.gridPath(name))
-	return os.Remove(db.treePath(name))
+	return removeIndexFiles(db.metaPath(name), db.gridPath(name), db.treePath(name))
 }
 
 // Indexes lists the open vector indexes.
