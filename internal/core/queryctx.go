@@ -60,6 +60,9 @@ func (qp *queryPool) acquire(ix *Index, ctx context.Context, q []float64, eps fl
 	s.matches = nil // ownership of the previous slice passed to its caller
 	s.firstSym = 0
 	s.base0 = 0
+	s.spawnLevel = 0
+	s.extStop = nil
+	s.readAhead = false
 
 	if s.table == nil {
 		s.table = dtw.NewTableWindow(q, filterWindow)
@@ -90,6 +93,8 @@ func (qp *queryPool) release(s *searcher) {
 	s.visit = nil
 	s.matches = nil
 	s.seqOffsets = nil
+	s.tasks = nil // tasks reference forked tables; don't pin them in the pool
+	s.extStop = nil
 	qp.p.Put(s)
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"sync/atomic"
 	"time"
 
 	"twsearch/internal/disktree"
@@ -154,6 +155,22 @@ type searcher struct {
 	// accumulating them in matches; stopped records an early stop request.
 	visit   func(Match) bool
 	stopped bool
+
+	// spawnLevel, when > 0, turns the traversal into the frontier-expansion
+	// pass of a parallel search: processEdge stops descending at that tree
+	// level and queues each child subtree as a task (in DFS order) instead
+	// of recursing. tasks collects them; see parallel.go.
+	spawnLevel int
+	tasks      []parTask
+	// extStop, when set, is the search-wide stop flag shared by all workers
+	// of one parallel query; checkCancel folds it into stopped so a visitor
+	// stop or a failed sibling task halts every worker at the same cadence
+	// as context cancellation.
+	extStop *atomic.Bool
+	// readAhead batches child page fetches ahead of the per-child DP work;
+	// set only on parallel workers, where a worker blocked on a read-ahead
+	// overlaps with the other workers' table rows.
+	readAhead bool
 }
 
 // checkCancel polls the context and converts a cancellation into the
@@ -161,6 +178,9 @@ type searcher struct {
 // post-processing scan once per pending group; both are frequent enough to
 // bound abort latency and rare enough to keep ctx.Err off the hot path.
 func (s *searcher) checkCancel() {
+	if s.extStop != nil && s.extStop.Load() {
+		s.stopped = true
+	}
 	if s.ctxErr != nil {
 		return
 	}
@@ -320,15 +340,24 @@ func (s *searcher) processEdge(ptr disktree.Ptr, level int, runBroken bool, firs
 	}
 
 	if descend && !n.Leaf && !s.stopped {
-		// n's Children may be overwritten by deeper levels reusing scratch;
-		// deeper levels use level+1 though, and collect uses its own pool,
-		// so iterating the slice here is safe.
-		for i := range n.Children {
-			if s.stopped {
-				break
+		if s.spawnLevel > 0 && level == s.spawnLevel {
+			// Parallel frontier: each child subtree becomes a task carrying
+			// a fork of the shared prefix rows instead of being walked here.
+			s.spawnSubtreeTasks(n, runBroken, firstRun)
+		} else {
+			if s.readAhead && len(n.Children) > 1 {
+				s.ix.Tree.ReadAhead(n.Children)
 			}
-			if err := s.processEdge(n.Children[i].Ptr, level+1, runBroken, firstRun); err != nil {
-				return err
+			// n's Children may be overwritten by deeper levels reusing
+			// scratch; deeper levels use level+1 though, and collect uses
+			// its own pool, so iterating the slice here is safe.
+			for i := range n.Children {
+				if s.stopped {
+					break
+				}
+				if err := s.processEdge(n.Children[i].Ptr, level+1, runBroken, firstRun); err != nil {
+					return err
+				}
 			}
 		}
 	}

@@ -17,6 +17,20 @@ type Match struct {
 // SearchStats records machine-independent work counters for one search —
 // the numbers the benchmark harness reports next to wall-clock time, so the
 // paper's shape comparisons survive hardware differences.
+//
+// Under a parallel search (SearchOptions.Parallelism > 1) each worker
+// counts on its own pooled context and the driver sums them at the join
+// barrier, so no counter is ever written by two goroutines. The traversal
+// counters — NodesVisited, FilterCells, PostCells, Candidates, FalseAlarms,
+// Answers — are exact and byte-identical to the serial run (pruning is
+// path-local and shared prefix rows are counted once, by the goroutine that
+// computed them). PagesRead, PoolHits and PoolMisses are approximate: they
+// are deltas of index-wide atomic counters, so they attribute every
+// concurrent goroutine's traffic — including sibling workers and the
+// read-ahead batching — to this search. Elapsed is wall clock. After an
+// early stop (visitor returning false, cancellation) all counters reflect
+// only the work actually done, which under parallelism depends on worker
+// scheduling.
 type SearchStats struct {
 	// NodesVisited counts tree nodes read during filtering.
 	NodesVisited uint64

@@ -192,6 +192,29 @@ func (f *File) PoolShardStats() []storage.PoolStats { return f.pool.ShardStats()
 // PagesRead returns physical page reads since open.
 func (f *File) PagesRead() uint64 { return f.pf.PagesRead() }
 
+// ReadAhead warms the buffer pool with the first page of each child node,
+// deduplicating consecutive pages (children are laid out in DFS write
+// order, so siblings usually share pages). Parallel search workers call it
+// before descending into a node's children: one worker blocked on the
+// batched physical reads overlaps with the other workers' DP rows, instead
+// of every child edge paying its page fault in the middle of table work.
+// Best-effort: a read error is left for ReadNodeInto to surface.
+func (f *File) ReadAhead(children []ChildRef) {
+	last := storage.PageID(0)
+	for i := range children {
+		id := storage.PageID(uint64(children[i].Ptr) / storage.PageSize)
+		if i > 0 && id == last {
+			continue
+		}
+		last = id
+		fr, err := f.pool.Get(id)
+		if err != nil {
+			return
+		}
+		f.pool.Release(fr)
+	}
+}
+
 // readAt fills buf from absolute byte offset p, crossing pages as needed.
 func (f *File) readAt(p Ptr, buf []byte) error {
 	for len(buf) > 0 {

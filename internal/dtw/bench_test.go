@@ -75,6 +75,42 @@ func BenchmarkTableAddRowInterval(b *testing.B) {
 	}
 }
 
+// The row kernels must not allocate once the table's row storage is warm:
+// AddRow* runs millions of times per search, and a hidden allocation per row
+// would dominate the traversal. Guarded as a test (benchmarks can report but
+// not assert), same warm-storage shape as the benchmarks above.
+func TestAddRowNoAllocs(t *testing.T) {
+	_, q := benchSeqs(1, 20)
+	for _, w := range []int{-1, 5} {
+		tab := NewTableWindow(q, w)
+		for i := 0; i < 512; i++ { // warm the row storage to full depth
+			tab.AddRowValue(float64(i % 13))
+		}
+		tab.Truncate(0)
+		i := 0
+		if got := testing.AllocsPerRun(1000, func() {
+			tab.AddRowValue(float64(i % 13))
+			i++
+			if tab.Depth() >= 512 {
+				tab.Truncate(0)
+			}
+		}); got != 0 {
+			t.Errorf("window=%d: AddRowValue allocates %.1f per row on a warm table, want 0", w, got)
+		}
+		tab.Truncate(0)
+		if got := testing.AllocsPerRun(1000, func() {
+			v := float64(i % 13)
+			tab.AddRowInterval(v-0.5, v+0.5)
+			i++
+			if tab.Depth() >= 512 {
+				tab.Truncate(0)
+			}
+		}); got != 0 {
+			t.Errorf("window=%d: AddRowInterval allocates %.1f per row on a warm table, want 0", w, got)
+		}
+	}
+}
+
 func BenchmarkAlign64x64(b *testing.B) {
 	x, q := benchSeqs(64, 64)
 	b.ReportAllocs()

@@ -87,6 +87,41 @@ func (t *Table) Truncate(depth int) {
 	t.rows = t.rows[:depth*len(t.q)]
 }
 
+// Fork returns a new table over the same query and window whose first depth
+// rows are copies of t's — the paper's R_d prefix sharing cut at a parallel
+// frontier: one traversal computes the shared prefix once, and each subtree
+// task extends its own fork of it. The fork owns separate row storage and
+// starts with a zero cell counter, so prefix cells are counted exactly once,
+// by the table that computed them.
+func (t *Table) Fork(depth int) *Table {
+	if depth < 0 || depth > t.depth {
+		//lint:ignore panicpath row-discipline assertion: forking past the stack means traversal bookkeeping is already corrupt
+		panic("dtw: bad Fork depth")
+	}
+	n := len(t.q)
+	f := &Table{q: t.q, window: t.window, depth: depth}
+	f.rows = append(f.rows, t.rows[:depth*n]...)
+	return f
+}
+
+// CopyFrom makes t a row-for-row copy of src — same query, window, and
+// depth — reusing t's row storage when it is large enough. The cell counter
+// is left untouched: copied rows were computed (and counted) elsewhere, so a
+// worker table keeps accumulating only the cells it computes itself across
+// the tasks it executes.
+func (t *Table) CopyFrom(src *Table) {
+	t.q = src.q
+	t.window = src.window
+	t.depth = src.depth
+	need := src.depth * len(src.q)
+	if cap(t.rows) >= need {
+		t.rows = t.rows[:need]
+	} else {
+		t.rows = make([]float64, need)
+	}
+	copy(t.rows, src.rows)
+}
+
 // AddRowValue appends the row for a numeric element v using the exact base
 // distance and returns the row's last column (the distance between the query
 // and the subsequence accumulated so far, per Definition 2) and its minimum
@@ -94,7 +129,62 @@ func (t *Table) Truncate(depth int) {
 //
 //twlint:bound-source results=1
 func (t *Table) AddRowValue(v float64) (dist, minDist float64) {
-	return t.addRow(func(q float64) float64 { return Base(v, q) })
+	q := t.q
+	n := len(q)
+	x := t.depth // row index of the new row
+	curr := t.growRow(n, x)
+	bandLo, bandHi := t.bandFill(curr, n, x)
+	minDist = Inf
+	t.cells += uint64(n)
+	t.depth++
+	if bandLo >= bandHi {
+		return curr[n-1], minDist
+	}
+	if x == 0 {
+		// First row: bandLo is always 0, and each cell accumulates the
+		// previous column (curr[y-1] chain fused into acc).
+		acc := Base(v, q[0])
+		curr[0] = acc
+		minDist = acc
+		for y := 1; y < bandHi; y++ {
+			acc += Base(v, q[y])
+			curr[y] = acc
+			if acc < minDist {
+				minDist = acc
+			}
+		}
+		return curr[n-1], minDist
+	}
+	prev := t.rows[(x-1)*n : x*n : x*n]
+	y := bandLo
+	// left and diag carry curr[y-1] and prev[y-1] in registers, so the loop
+	// body reads prev exactly once per cell. Out-of-band neighbours hold
+	// Inf, so the three-way min is safe at band edges.
+	left := Inf
+	if y == 0 {
+		c := Base(v, q[0]) + prev[0]
+		curr[0] = c
+		minDist = c
+		left = c
+		y = 1
+	}
+	if y < bandHi {
+		diag := prev[y-1]
+		// Equal-length reslices let the compiler drop the per-cell bounds
+		// checks: y < len(qb) covers all three.
+		qb, cb, pb := q[:bandHi], curr[:bandHi], prev[:bandHi]
+		for ; y < len(qb); y++ {
+			up := pb[y]
+			c := Base(v, qb[y]) + min3(left, up, diag)
+			cb[y] = c
+			if c < minDist {
+				minDist = c
+			}
+			left = c
+			diag = up
+		}
+	}
+	return curr[n-1], minDist
 }
 
 // AddRowInterval appends the row for a category symbol whose observed value
@@ -103,49 +193,93 @@ func (t *Table) AddRowValue(v float64) (dist, minDist float64) {
 //
 //twlint:bound-source results=0,1
 func (t *Table) AddRowInterval(lo, hi float64) (dist, minDist float64) {
-	return t.addRow(func(q float64) float64 { return BaseInterval(q, lo, hi) })
+	q := t.q
+	n := len(q)
+	x := t.depth // row index of the new row
+	curr := t.growRow(n, x)
+	bandLo, bandHi := t.bandFill(curr, n, x)
+	minDist = Inf
+	t.cells += uint64(n)
+	t.depth++
+	if bandLo >= bandHi {
+		return curr[n-1], minDist
+	}
+	if x == 0 {
+		acc := BaseInterval(q[0], lo, hi)
+		curr[0] = acc
+		minDist = acc
+		for y := 1; y < bandHi; y++ {
+			acc += BaseInterval(q[y], lo, hi)
+			curr[y] = acc
+			if acc < minDist {
+				minDist = acc
+			}
+		}
+		return curr[n-1], minDist
+	}
+	prev := t.rows[(x-1)*n : x*n : x*n]
+	y := bandLo
+	left := Inf
+	if y == 0 {
+		c := BaseInterval(q[0], lo, hi) + prev[0]
+		curr[0] = c
+		minDist = c
+		left = c
+		y = 1
+	}
+	if y < bandHi {
+		diag := prev[y-1]
+		qb, cb, pb := q[:bandHi], curr[:bandHi], prev[:bandHi]
+		for ; y < len(qb); y++ {
+			up := pb[y]
+			c := BaseInterval(qb[y], lo, hi) + min3(left, up, diag)
+			cb[y] = c
+			if c < minDist {
+				minDist = c
+			}
+			left = c
+			diag = up
+		}
+	}
+	return curr[n-1], minDist
 }
 
-func (t *Table) addRow(base func(q float64) float64) (dist, minDist float64) {
-	n := len(t.q)
-	x := t.depth // row index of the new row
-	// Grow within capacity when possible: every cell of the new row is
-	// written below (Inf for out-of-band columns), so stale bytes from a
-	// previous binding are never observed.
+// growRow extends the row storage by one row of n cells and returns the new
+// row as a full slice expression (appends beyond it can never reach older
+// rows). Growing within capacity is safe even on a rebound table: every cell
+// of the row is written by the caller (Inf for out-of-band columns), so
+// stale bytes from a previous binding are never observed.
+func (t *Table) growRow(n, x int) []float64 {
 	if need := (x + 1) * n; need <= cap(t.rows) {
 		t.rows = t.rows[:need]
 	} else {
 		t.rows = append(t.rows, make([]float64, n)...)
 	}
-	curr := t.rows[x*n : (x+1)*n]
-	var prev []float64
-	if x > 0 {
-		prev = t.rows[(x-1)*n : x*n]
-	}
-	minDist = Inf
-	for y := 0; y < n; y++ {
-		if t.window >= 0 && abs(x-y) > t.window {
-			curr[y] = Inf
-			continue
+	return t.rows[x*n : (x+1)*n : (x+1)*n]
+}
+
+// bandFill computes the Sakoe–Chiba band [bandLo, bandHi) of row x and
+// writes Inf into every out-of-band cell of curr, so the recurrence loop can
+// read neighbours unconditionally. Without a window the band is [0, n).
+func (t *Table) bandFill(curr []float64, n, x int) (bandLo, bandHi int) {
+	bandLo, bandHi = 0, n
+	if t.window >= 0 {
+		if bandLo = x - t.window; bandLo < 0 {
+			bandLo = 0
+		} else if bandLo > n {
+			bandLo = n
 		}
-		b := base(t.q[y])
-		switch {
-		case x == 0 && y == 0:
-			curr[y] = b
-		case x == 0:
-			curr[y] = b + curr[y-1]
-		case y == 0:
-			curr[y] = b + prev[y]
-		default:
-			curr[y] = b + min3(curr[y-1], prev[y], prev[y-1])
-		}
-		if curr[y] < minDist {
-			minDist = curr[y]
+		if bandHi = x + t.window + 1; bandHi > n {
+			bandHi = n
 		}
 	}
-	t.cells += uint64(n)
-	t.depth++
-	return curr[n-1], minDist
+	for y := 0; y < bandLo; y++ {
+		curr[y] = Inf
+	}
+	for y := bandHi; y < n; y++ {
+		curr[y] = Inf
+	}
+	return bandLo, bandHi
 }
 
 // Row returns the cells of row r (0-based). The slice aliases the table's

@@ -1,0 +1,166 @@
+package dtw
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// refAddRow is the straightforward rendering of Definition 2 that the
+// specialized AddRowValue/AddRowInterval kernels must reproduce bit for bit:
+// one switch per cell, explicit window test, fused row minimum.
+func refAddRow(q []float64, window int, rows [][]float64, base func(q float64) float64) (dist, minDist float64, out []float64) {
+	n := len(q)
+	x := len(rows)
+	curr := make([]float64, n)
+	minDist = Inf
+	for y := 0; y < n; y++ {
+		if window >= 0 && abs(x-y) > window {
+			curr[y] = Inf
+			continue
+		}
+		b := base(q[y])
+		switch {
+		case x == 0 && y == 0:
+			curr[y] = b
+		case x == 0:
+			curr[y] = b + curr[y-1]
+		case y == 0:
+			curr[y] = b + rows[x-1][y]
+		default:
+			curr[y] = b + min3(curr[y-1], rows[x-1][y], rows[x-1][y-1])
+		}
+		if curr[y] < minDist {
+			minDist = curr[y]
+		}
+	}
+	return curr[n-1], minDist, curr
+}
+
+// The tightened kernel must agree with the reference recurrence bit for bit
+// for every window width, including bands narrower than the query and rows
+// past the end of the band.
+func TestAddRowMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 3, 7, 20} {
+		for _, w := range []int{-1, 0, 1, 3, n, 5 * n} {
+			q := make([]float64, n)
+			for i := range q {
+				q[i] = rng.NormFloat64()
+			}
+			tab := NewTableWindow(q, w)
+			var refRows [][]float64
+			for x := 0; x < 2*n+2*max(w, 1)+3; x++ {
+				var d, m float64
+				var base func(float64) float64
+				if x%2 == 0 {
+					v := rng.NormFloat64()
+					d, m = tab.AddRowValue(v)
+					base = func(qv float64) float64 { return Base(v, qv) }
+				} else {
+					lo := rng.NormFloat64()
+					hi := lo + rng.Float64()
+					d, m = tab.AddRowInterval(lo, hi)
+					base = func(qv float64) float64 { return BaseInterval(qv, lo, hi) }
+				}
+				rd, rm, row := refAddRow(q, w, refRows, base)
+				refRows = append(refRows, row)
+				if math.Float64bits(d) != math.Float64bits(rd) || math.Float64bits(m) != math.Float64bits(rm) {
+					t.Fatalf("n=%d w=%d row %d: kernel (%v, %v) != reference (%v, %v)", n, w, x, d, m, rd, rm)
+				}
+				for y := 0; y < n; y++ {
+					if math.Float64bits(tab.Row(x)[y]) != math.Float64bits(row[y]) {
+						t.Fatalf("n=%d w=%d cell (%d,%d): kernel %v != reference %v", n, w, x, y, tab.Row(x)[y], row[y])
+					}
+				}
+			}
+		}
+	}
+}
+
+// A forked table must continue exactly like the table it was forked from:
+// same rows in, same distances and row minima out, bit for bit.
+func TestTableForkContinuesIdentically(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, w := range []int{-1, 2} {
+		q := []float64{1, 3, 2, 5, 4, 0.5}
+		tab := NewTableWindow(q, w)
+		vals := make([]float64, 12)
+		for i := range vals {
+			vals[i] = rng.NormFloat64() * 3
+		}
+		for _, v := range vals[:5] {
+			tab.AddRowValue(v)
+		}
+		fork := tab.Fork(3)
+		if fork.Depth() != 3 {
+			t.Fatalf("fork depth = %d, want 3", fork.Depth())
+		}
+		if fork.Cells() != 0 {
+			t.Fatalf("fork cell counter = %d, want 0 (prefix cells are counted by the parent)", fork.Cells())
+		}
+		// Rewind the parent to the fork point; both must now evolve in
+		// lockstep on the same suffix of rows.
+		tab.Truncate(3)
+		for _, v := range vals[5:] {
+			d1, m1 := tab.AddRowValue(v)
+			d2, m2 := fork.AddRowValue(v)
+			if math.Float64bits(d1) != math.Float64bits(d2) || math.Float64bits(m1) != math.Float64bits(m2) {
+				t.Fatalf("w=%d: fork diverged: (%v, %v) != (%v, %v)", w, d2, m2, d1, m1)
+			}
+		}
+		// The fork owns its storage: popping it must not disturb the parent.
+		parentLast := tab.LastColumn(tab.Depth() - 1)
+		fork.Truncate(0)
+		if got := tab.LastColumn(tab.Depth() - 1); math.Float64bits(got) != math.Float64bits(parentLast) {
+			t.Fatalf("truncating the fork changed the parent: %v != %v", got, parentLast)
+		}
+	}
+}
+
+func TestTableForkBadDepthPanics(t *testing.T) {
+	tab := NewTable([]float64{1, 2})
+	tab.AddRowValue(1)
+	for _, d := range []int{-1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Fork(%d) on depth-1 table did not panic", d)
+				}
+			}()
+			tab.Fork(d)
+		}()
+	}
+}
+
+// CopyFrom must reproduce the source rows (continuations agree bit for bit)
+// while reusing the receiver's storage and leaving its cell counter alone.
+func TestTableCopyFrom(t *testing.T) {
+	q := []float64{2, 1, 4, 3}
+	src := NewTable(q)
+	for _, v := range []float64{1, 5, 2} {
+		src.AddRowValue(v)
+	}
+	prefix := src.Fork(src.Depth())
+
+	dst := NewTable([]float64{9, 9}) // different query: Bind-style reuse
+	dst.AddRowValue(1)               // leave a counted cell behind
+	cellsBefore := dst.Cells()
+	dst.CopyFrom(prefix)
+	if dst.Depth() != 3 {
+		t.Fatalf("depth after CopyFrom = %d, want 3", dst.Depth())
+	}
+	if dst.Cells() != cellsBefore {
+		t.Fatalf("CopyFrom changed the cell counter: %d != %d", dst.Cells(), cellsBefore)
+	}
+	for _, v := range []float64{0.5, 7, 3} {
+		d1, m1 := src.AddRowValue(v)
+		d2, m2 := dst.AddRowValue(v)
+		if math.Float64bits(d1) != math.Float64bits(d2) || math.Float64bits(m1) != math.Float64bits(m2) {
+			t.Fatalf("copy diverged from source: (%v, %v) != (%v, %v)", d2, m2, d1, m1)
+		}
+	}
+	if want := cellsBefore + 3*uint64(len(q)); dst.Cells() != want {
+		t.Fatalf("cells after 3 rows = %d, want %d", dst.Cells(), want)
+	}
+}

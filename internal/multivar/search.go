@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"twsearch/internal/categorize"
@@ -275,6 +276,9 @@ func (qp *mqueryPool) acquire(ix *Index, q [][]float64, eps float64, visit func(
 	s.matches = nil
 	s.firstSym = 0
 	s.base0 = 0
+	s.spawnLevel = 0
+	s.extStop = nil
+	s.readAhead = false
 	if s.table == nil {
 		s.table = NewTableWindow(q, filterWindow)
 		s.post = NewTableWindow(q, ix.Window)
@@ -291,6 +295,8 @@ func (qp *mqueryPool) release(s *msearcher) {
 	s.ix = nil
 	s.visit = nil
 	s.matches = nil
+	s.tasks = nil // tasks reference forked tables; don't pin them in the pool
+	s.extStop = nil
 	qp.p.Put(s)
 }
 
@@ -340,6 +346,10 @@ func seqScan(data *Dataset, q [][]float64, eps float64, window int, abandon bool
 // warping distance, by the same complete threshold expansion as the
 // univariate engine.
 func (ix *Index) SearchKNN(q [][]float64, k int) ([]Match, Stats, error) {
+	return ix.searchKNN(q, k, SearchOptions{})
+}
+
+func (ix *Index) searchKNN(q [][]float64, k int, opts SearchOptions) ([]Match, Stats, error) {
 	if k <= 0 {
 		return nil, Stats{}, errors.New("multivar: k must be positive")
 	}
@@ -353,7 +363,7 @@ func (ix *Index) SearchKNN(q [][]float64, k int) ([]Match, Stats, error) {
 	eps = eps/float64(len(q)) + 1e-9
 	var total Stats
 	for {
-		matches, stats, err := ix.Search(q, eps)
+		matches, stats, err := ix.SearchOpts(q, eps, opts)
 		total.FilterCells += stats.FilterCells
 		total.PostCells += stats.PostCells
 		total.Candidates += stats.Candidates
@@ -403,6 +413,15 @@ type msearcher struct {
 	// visit, when set, streams answers instead of accumulating them.
 	visit   func(Match) bool
 	stopped bool
+
+	// Parallel-search hooks, mirroring core.searcher: spawnLevel > 0 makes
+	// processEdge queue child subtrees as tasks instead of descending;
+	// extStop is the search-wide stop flag shared by one query's workers;
+	// readAhead batches child page fetches (workers only). See mparallel.go.
+	spawnLevel int
+	tasks      []mparTask
+	extStop    *atomic.Bool
+	readAhead  bool
 }
 
 // emit delivers one verified answer to the result slice or the visitor.
@@ -440,6 +459,11 @@ func (s *msearcher) processEdge(ptr disktree.Ptr, level int, runBroken bool, fir
 		return err
 	}
 	s.stats.NodesVisited++
+	// Poll the shared stop flag at the same thinned cadence core uses for
+	// cancellation, so a visitor stop halts sibling workers promptly.
+	if s.extStop != nil && s.stats.NodesVisited&63 == 0 && s.extStop.Load() {
+		s.stopped = true
+	}
 
 	entryDepth := s.table.Depth()
 	descend := true
@@ -515,10 +539,20 @@ func (s *msearcher) processEdge(ptr disktree.Ptr, level int, runBroken bool, fir
 			return err
 		}
 	}
-	if descend && !n.Leaf {
-		for i := range n.Children {
-			if err := s.processEdge(n.Children[i].Ptr, level+1, runBroken, firstRun); err != nil {
-				return err
+	if descend && !n.Leaf && !s.stopped {
+		if s.spawnLevel > 0 && level == s.spawnLevel {
+			s.spawnSubtreeTasks(n, runBroken, firstRun)
+		} else {
+			if s.readAhead && len(n.Children) > 1 {
+				s.ix.Tree.ReadAhead(n.Children)
+			}
+			for i := range n.Children {
+				if s.stopped {
+					break
+				}
+				if err := s.processEdge(n.Children[i].Ptr, level+1, runBroken, firstRun); err != nil {
+					return err
+				}
 			}
 		}
 	}

@@ -61,12 +61,102 @@ func (t *Table) Truncate(depth int) {
 	t.rows = t.rows[:depth*len(t.q)]
 }
 
+// Fork returns a new table over the same query and window whose first depth
+// rows are copies of t's — R_d prefix sharing cut at a parallel frontier.
+// The fork owns separate row storage and starts with a zero cell counter,
+// so prefix cells are counted exactly once, by the table that computed them.
+func (t *Table) Fork(depth int) *Table {
+	if depth < 0 || depth > t.depth {
+		//lint:ignore panicpath row-discipline assertion: forking past the stack means traversal bookkeeping is already corrupt
+		panic("multivar: bad Fork depth")
+	}
+	n := len(t.q)
+	f := &Table{q: t.q, window: t.window, depth: depth}
+	f.rows = append(f.rows, t.rows[:depth*n]...)
+	return f
+}
+
+// CopyFrom makes t a row-for-row copy of src — same query, window, and
+// depth — reusing t's row storage when it is large enough. The cell counter
+// is left untouched: copied rows were computed (and counted) elsewhere.
+func (t *Table) CopyFrom(src *Table) {
+	t.q = src.q
+	t.window = src.window
+	t.depth = src.depth
+	need := src.depth * len(src.q)
+	if cap(t.rows) >= need {
+		t.rows = t.rows[:need]
+	} else {
+		t.rows = make([]float64, need)
+	}
+	copy(t.rows, src.rows)
+}
+
+// Row returns row r's cells (read-only view; valid until the next mutation).
+func (t *Table) Row(r int) []float64 {
+	n := len(t.q)
+	return t.rows[r*n : (r+1)*n]
+}
+
 // AddRowPoint appends the row for a data point using the exact base
 // distance; returns the last column (prefix distance) and row minimum.
 //
 //twlint:bound-source results=1
 func (t *Table) AddRowPoint(p []float64) (dist, minDist float64) {
-	return t.addRow(func(q []float64) float64 { return Base(p, q) })
+	q := t.q
+	n := len(q)
+	x := t.depth
+	curr := t.growRow(n, x)
+	bandLo, bandHi := t.bandFill(curr, n, x)
+	minDist = dtw.Inf
+	t.cells += uint64(n)
+	t.depth++
+	if bandLo >= bandHi {
+		return curr[n-1], minDist
+	}
+	if x == 0 {
+		acc := Base(p, q[0])
+		curr[0] = acc
+		minDist = acc
+		for y := 1; y < bandHi; y++ {
+			acc += Base(p, q[y])
+			curr[y] = acc
+			if acc < minDist {
+				minDist = acc
+			}
+		}
+		return curr[n-1], minDist
+	}
+	prev := t.rows[(x-1)*n : x*n : x*n]
+	y := bandLo
+	// left and diag carry curr[y-1] and prev[y-1] in registers, so the loop
+	// body reads prev exactly once per cell. Out-of-band neighbours hold
+	// Inf, so the three-way min is safe at band edges.
+	left := dtw.Inf
+	if y == 0 {
+		c := Base(p, q[0]) + prev[0]
+		curr[0] = c
+		minDist = c
+		left = c
+		y = 1
+	}
+	if y < bandHi {
+		diag := prev[y-1]
+		// Equal-length reslices let the compiler drop the per-cell bounds
+		// checks: y < len(qb) covers all three.
+		qb, cb, pb := q[:bandHi], curr[:bandHi], prev[:bandHi]
+		for ; y < len(qb); y++ {
+			up := pb[y]
+			c := Base(p, qb[y]) + min3(left, up, diag)
+			cb[y] = c
+			if c < minDist {
+				minDist = c
+			}
+			left = c
+			diag = up
+		}
+	}
+	return curr[n-1], minDist
 }
 
 // AddRowBox appends the row for a cell symbol's bounding box using the
@@ -74,61 +164,102 @@ func (t *Table) AddRowPoint(p []float64) (dist, minDist float64) {
 //
 //twlint:bound-source results=0,1
 func (t *Table) AddRowBox(b Box) (dist, minDist float64) {
-	return t.addRow(func(q []float64) float64 { return BaseBox(q, b) })
+	q := t.q
+	n := len(q)
+	x := t.depth
+	curr := t.growRow(n, x)
+	bandLo, bandHi := t.bandFill(curr, n, x)
+	minDist = dtw.Inf
+	t.cells += uint64(n)
+	t.depth++
+	if bandLo >= bandHi {
+		return curr[n-1], minDist
+	}
+	if x == 0 {
+		acc := BaseBox(q[0], b)
+		curr[0] = acc
+		minDist = acc
+		for y := 1; y < bandHi; y++ {
+			acc += BaseBox(q[y], b)
+			curr[y] = acc
+			if acc < minDist {
+				minDist = acc
+			}
+		}
+		return curr[n-1], minDist
+	}
+	prev := t.rows[(x-1)*n : x*n : x*n]
+	y := bandLo
+	left := dtw.Inf
+	if y == 0 {
+		c := BaseBox(q[0], b) + prev[0]
+		curr[0] = c
+		minDist = c
+		left = c
+		y = 1
+	}
+	if y < bandHi {
+		diag := prev[y-1]
+		qb, cb, pb := q[:bandHi], curr[:bandHi], prev[:bandHi]
+		for ; y < len(qb); y++ {
+			up := pb[y]
+			c := BaseBox(qb[y], b) + min3(left, up, diag)
+			cb[y] = c
+			if c < minDist {
+				minDist = c
+			}
+			left = c
+			diag = up
+		}
+	}
+	return curr[n-1], minDist
 }
 
-func (t *Table) addRow(base func(q []float64) float64) (dist, minDist float64) {
-	n := len(t.q)
-	x := t.depth
-	// Grow within capacity when possible: every cell of the new row is
-	// written below (Inf for out-of-band columns), so stale bytes from a
-	// previous binding are never observed.
+// growRow extends the row storage by one row of n cells and returns the new
+// row as a full slice expression. Growing within capacity is safe even on a
+// rebound table: every cell of the row is written by the caller (Inf for
+// out-of-band columns), so stale bytes from a previous binding are never
+// observed.
+func (t *Table) growRow(n, x int) []float64 {
 	if need := (x + 1) * n; need <= cap(t.rows) {
 		t.rows = t.rows[:need]
 	} else {
 		t.rows = append(t.rows, make([]float64, n)...)
 	}
-	curr := t.rows[x*n : (x+1)*n]
-	var prev []float64
-	if x > 0 {
-		prev = t.rows[(x-1)*n : x*n]
-	}
-	minDist = dtw.Inf
-	for y := 0; y < n; y++ {
-		if t.window >= 0 && absInt(x-y) > t.window {
-			curr[y] = dtw.Inf
-			continue
-		}
-		b := base(t.q[y])
-		switch {
-		case x == 0 && y == 0:
-			curr[y] = b
-		case x == 0:
-			curr[y] = b + curr[y-1]
-		case y == 0:
-			curr[y] = b + prev[y]
-		default:
-			m := curr[y-1]
-			if prev[y] < m {
-				m = prev[y]
-			}
-			if prev[y-1] < m {
-				m = prev[y-1]
-			}
-			curr[y] = b + m
-		}
-		if curr[y] < minDist {
-			minDist = curr[y]
-		}
-	}
-	t.cells += uint64(n)
-	t.depth++
-	return curr[n-1], minDist
+	return t.rows[x*n : (x+1)*n : (x+1)*n]
 }
 
-func absInt(v int) int {
-	if v < 0 {
-		return -v
+// bandFill computes the Sakoe–Chiba band [bandLo, bandHi) of row x and
+// writes Inf into every out-of-band cell of curr, so the recurrence loop can
+// read neighbours unconditionally. Without a window the band is [0, n).
+func (t *Table) bandFill(curr []float64, n, x int) (bandLo, bandHi int) {
+	bandLo, bandHi = 0, n
+	if t.window >= 0 {
+		if bandLo = x - t.window; bandLo < 0 {
+			bandLo = 0
+		} else if bandLo > n {
+			bandLo = n
+		}
+		if bandHi = x + t.window + 1; bandHi > n {
+			bandHi = n
+		}
 	}
-	return v
+	for y := 0; y < bandLo; y++ {
+		curr[y] = dtw.Inf
+	}
+	for y := bandHi; y < n; y++ {
+		curr[y] = dtw.Inf
+	}
+	return bandLo, bandHi
+}
+
+func min3(a, b, c float64) float64 {
+	m := a
+	if b < m {
+		m = b
+	}
+	if c < m {
+		m = c
+	}
+	return m
 }

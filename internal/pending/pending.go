@@ -60,6 +60,18 @@ func (s *Set) Add(offset, end int32) {
 // Len returns the number of distinct offsets recorded this query.
 func (s *Set) Len() int { return len(s.touched) }
 
+// MergeFrom folds every candidate recorded in o this query into s — the
+// shard merge of a parallel search, where each worker collects candidates
+// on its own set and one ordered verification pass runs on the union. The
+// result is independent of merge order and of how candidates were sharded:
+// Add keeps the maximum end per offset, and Sorted orders the offsets, so
+// the union equals the set a serial pass would have built.
+func (s *Set) MergeFrom(o *Set) {
+	for _, off := range o.touched {
+		s.Add(off, o.maxEnd[off])
+	}
+}
+
 // Sorted returns this query's offsets in ascending order. The slice aliases
 // the set's storage and is invalidated by the next Reset.
 func (s *Set) Sorted() []int32 {

@@ -37,8 +37,9 @@ import (
 // Version is the protocol version this package speaks. A server rejects
 // hellos with a different version: the framing makes no compatibility
 // promises across versions. Version 2 extended StatsResp with per-index
-// buffer-pool shard counters.
-const Version = 2
+// buffer-pool shard counters; version 3 added the per-request Parallelism
+// hint to SearchReq and KNNReq.
+const Version = 3
 
 // magic identifies a twsearchd connection.
 var magic = [4]byte{'T', 'W', 'S', 'D'}

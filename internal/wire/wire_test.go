@@ -91,11 +91,12 @@ func TestFrameLengthBounds(t *testing.T) {
 
 func TestSearchReqRoundTrip(t *testing.T) {
 	in := SearchReq{
-		DB:      "default",
-		Index:   "fast",
-		Eps:     3.75,
-		Timeout: 1500 * time.Millisecond,
-		Query:   []float64{1, -2.5, math.Pi, 0},
+		DB:          "default",
+		Index:       "fast",
+		Eps:         3.75,
+		Timeout:     1500 * time.Millisecond,
+		Parallelism: 4,
+		Query:       []float64{1, -2.5, math.Pi, 0},
 	}
 	out, err := DecodeSearchReq(in.Encode(nil))
 	if err != nil {
@@ -107,7 +108,7 @@ func TestSearchReqRoundTrip(t *testing.T) {
 }
 
 func TestKNNReqRoundTrip(t *testing.T) {
-	in := KNNReq{DB: "d", Index: "i", K: 7, Query: []float64{42}}
+	in := KNNReq{DB: "d", Index: "i", K: 7, Parallelism: 2, Query: []float64{42}}
 	out, err := DecodeKNNReq(in.Encode(nil))
 	if err != nil {
 		t.Fatal(err)

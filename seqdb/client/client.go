@@ -179,6 +179,13 @@ func (c *Client) finish() {
 // the search when its next write fails — and the client redials on the
 // next call.
 func (c *Client) SearchVisit(ctx context.Context, db, index string, q []float64, eps float64, fn func(seqdb.Match) bool) (seqdb.SearchStats, error) {
+	return c.SearchVisitWith(ctx, db, index, q, eps, fn, seqdb.SearchOptions{})
+}
+
+// SearchVisitWith is SearchVisit with execution options. The parallelism
+// hint travels with the request; the server caps it at its own configured
+// maximum, and answers are byte-identical either way.
+func (c *Client) SearchVisitWith(ctx context.Context, db, index string, q []float64, eps float64, fn func(seqdb.Match) bool, opts seqdb.SearchOptions) (seqdb.SearchStats, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var stats seqdb.SearchStats
@@ -186,7 +193,7 @@ func (c *Client) SearchVisit(ctx context.Context, db, index string, q []float64,
 	if err != nil {
 		return stats, err
 	}
-	req := wire.SearchReq{DB: db, Index: index, Eps: eps, Timeout: hint, Query: q}
+	req := wire.SearchReq{DB: db, Index: index, Eps: eps, Timeout: hint, Parallelism: opts.Parallelism, Query: q}
 	if err := c.send(ctx, wire.TSearch, req.Encode(nil)); err != nil {
 		return stats, err
 	}
@@ -237,11 +244,16 @@ func (c *Client) readMatchStream(ctx context.Context, fn func(seqdb.Match) bool)
 // (sequence, start, end) — the same order, distances and stats the
 // in-process seqdb.DB.Search produces.
 func (c *Client) Search(ctx context.Context, db, index string, q []float64, eps float64) ([]seqdb.Match, seqdb.SearchStats, error) {
+	return c.SearchWith(ctx, db, index, q, eps, seqdb.SearchOptions{})
+}
+
+// SearchWith is Search with execution options; see SearchVisitWith.
+func (c *Client) SearchWith(ctx context.Context, db, index string, q []float64, eps float64, opts seqdb.SearchOptions) ([]seqdb.Match, seqdb.SearchStats, error) {
 	var ms []seqdb.Match
-	stats, err := c.SearchVisit(ctx, db, index, q, eps, func(m seqdb.Match) bool {
+	stats, err := c.SearchVisitWith(ctx, db, index, q, eps, func(m seqdb.Match) bool {
 		ms = append(ms, m)
 		return true
-	})
+	}, opts)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -261,13 +273,18 @@ func (c *Client) Search(ctx context.Context, db, index string, q []float64, eps 
 // SearchKNN returns the k nearest subsequences; order mirrors the
 // in-process SearchKNN (position order).
 func (c *Client) SearchKNN(ctx context.Context, db, index string, q []float64, k int) ([]seqdb.Match, seqdb.SearchStats, error) {
+	return c.SearchKNNWith(ctx, db, index, q, k, seqdb.SearchOptions{})
+}
+
+// SearchKNNWith is SearchKNN with execution options; see SearchVisitWith.
+func (c *Client) SearchKNNWith(ctx context.Context, db, index string, q []float64, k int, opts seqdb.SearchOptions) ([]seqdb.Match, seqdb.SearchStats, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	hint, err := c.begin(ctx)
 	if err != nil {
 		return nil, seqdb.SearchStats{}, err
 	}
-	req := wire.KNNReq{DB: db, Index: index, K: k, Timeout: hint, Query: q}
+	req := wire.KNNReq{DB: db, Index: index, K: k, Timeout: hint, Parallelism: opts.Parallelism, Query: q}
 	if err := c.send(ctx, wire.TKNN, req.Encode(nil)); err != nil {
 		return nil, seqdb.SearchStats{}, err
 	}

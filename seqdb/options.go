@@ -1,0 +1,77 @@
+package seqdb
+
+import (
+	"context"
+	"fmt"
+
+	"twsearch/internal/core"
+)
+
+// SearchOptions tunes how one search call executes. The zero value is the
+// serial traversal that Search/SearchCtx always use.
+type SearchOptions struct {
+	// Parallelism is the maximum number of worker goroutines one search may
+	// use to walk disjoint subtrees concurrently; <= 1 means serial. Results
+	// are byte-identical to the serial search at every setting — parallelism
+	// changes latency, never answers. Values above runtime.GOMAXPROCS(0) are
+	// honored (the engine does not clamp) but buy nothing beyond it.
+	Parallelism int
+}
+
+func (o SearchOptions) core() core.SearchOptions {
+	return core.SearchOptions{Parallelism: o.Parallelism}
+}
+
+// SearchWith is SearchCtx with execution options.
+func (db *DB) SearchWith(ctx context.Context, indexName string, q []float64, eps float64, opts SearchOptions) ([]Match, SearchStats, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	oi, ok := db.indexes[indexName]
+	if !ok {
+		return nil, SearchStats{}, errNoIndex(indexName)
+	}
+	ms, stats, err := oi.ix.SearchOpts(ctx, q, eps, opts.core())
+	if err != nil {
+		return nil, stats, err
+	}
+	return db.publicMatches(ms), stats, nil
+}
+
+// SearchVisitWith is SearchVisitCtx with execution options. fn is always
+// called from the calling goroutine, in the serial delivery order.
+func (db *DB) SearchVisitWith(ctx context.Context, indexName string, q []float64, eps float64, fn func(Match) bool, opts SearchOptions) (SearchStats, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	oi, ok := db.indexes[indexName]
+	if !ok {
+		return SearchStats{}, errNoIndex(indexName)
+	}
+	if fn == nil {
+		return SearchStats{}, fmt.Errorf("seqdb: nil visitor")
+	}
+	return oi.ix.SearchVisitOpts(ctx, q, eps, func(m core.Match) bool {
+		return fn(Match{
+			SeqID:    db.data.Seq(m.Ref.Seq).ID,
+			Seq:      m.Ref.Seq,
+			Start:    m.Ref.Start,
+			End:      m.Ref.End,
+			Distance: m.Distance,
+		})
+	}, opts.core())
+}
+
+// SearchKNNWith is SearchKNNCtx with execution options; every threshold-
+// expansion round runs with the same options.
+func (db *DB) SearchKNNWith(ctx context.Context, indexName string, q []float64, k int, opts SearchOptions) ([]Match, SearchStats, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	oi, ok := db.indexes[indexName]
+	if !ok {
+		return nil, SearchStats{}, errNoIndex(indexName)
+	}
+	ms, stats, err := oi.ix.SearchKNNOpts(ctx, q, k, opts.core())
+	if err != nil {
+		return nil, stats, err
+	}
+	return db.publicMatches(ms), stats, nil
+}

@@ -506,3 +506,82 @@ func TestClientEarlyStopAndReconnect(t *testing.T) {
 		t.Fatal("post-reconnect answers differ")
 	}
 }
+
+// TestServerParallelHint: a request-level parallelism hint, capped by the
+// server's MaxQueryParallelism, returns answers byte-identical to the serial
+// in-process search — for range search and KNN — and a hint against a
+// serial-only server (the zero config) is silently ignored.
+func TestServerParallelHint(t *testing.T) {
+	leakCheck(t)
+	db := newTestDB(t)
+	s := New(Config{MaxQueryParallelism: 3})
+	if err := s.AddDB("main", db); err != nil {
+		t.Fatal(err)
+	}
+	addr := start(t, s)
+
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx := context.Background()
+	q := testQuery(db, "seq-03", 10, 30)
+	const eps = 4.0
+
+	want, wantStats, err := db.Search("fast", q, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("test query found no matches; pick a better query")
+	}
+	wantKNN, _, err := db.SearchKNN("fast", q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A hint above the cap (8 > 3) is capped server-side, never rejected.
+	for _, par := range []int{2, 8} {
+		opts := seqdb.SearchOptions{Parallelism: par}
+		got, gotStats, err := c.SearchWith(ctx, "main", "fast", q, eps, opts)
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		if !matchesBitIdentical(want, got) {
+			t.Fatalf("par=%d: parallel server answers differ from serial in-process", par)
+		}
+		if gotStats.Answers != wantStats.Answers || gotStats.FilterCells != wantStats.FilterCells {
+			t.Fatalf("par=%d: exact stats differ: answers %d/%d cells %d/%d", par,
+				gotStats.Answers, wantStats.Answers, gotStats.FilterCells, wantStats.FilterCells)
+		}
+		gotKNN, _, err := c.SearchKNNWith(ctx, "main", "fast", q, 5, opts)
+		if err != nil {
+			t.Fatalf("par=%d knn: %v", par, err)
+		}
+		if !matchesBitIdentical(wantKNN, gotKNN) {
+			t.Fatalf("par=%d: parallel server KNN differs from serial in-process", par)
+		}
+	}
+
+	// Serial-only server: the hint is capped to 0 (serial) and the request
+	// still succeeds with identical answers.
+	s2 := New(Config{})
+	if err := s2.AddDB("main", db); err != nil {
+		t.Fatal(err)
+	}
+	addr2 := start(t, s2)
+	c2, err := client.Dial(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	got, _, err := c2.SearchWith(ctx, "main", "fast", q, eps, seqdb.SearchOptions{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matchesBitIdentical(want, got) {
+		t.Fatal("serial-only server with a hint differs from in-process")
+	}
+}
