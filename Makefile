@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race race-concurrency race-parallel cover bench bench-concurrency bench-parallel fuzz fuzz-ci smoke tables examples check ci clean
+.PHONY: all build vet lint lint-self lint-golden lint-golden-update test race race-concurrency race-parallel cover bench bench-concurrency bench-parallel fuzz fuzz-ci smoke tables examples check ci clean
 
 all: build vet lint test
 
@@ -18,6 +18,21 @@ vet:
 lint:
 	$(GO) run ./cmd/twlint ./...
 
+# The linter linting itself: cmd/twlint and internal/lint are not library
+# packages, so the strict checks skip them under ./... — this target holds
+# the analysis code to the same no-unexplained-findings bar anyway.
+lint-self:
+	$(GO) run ./cmd/twlint ./cmd/twlint ./internal/lint ./internal/lint/cfg
+
+# Golden diff over the bad fixtures: the full suite's JSON finding stream is
+# byte-deterministic, so any analyzer change that moves, adds or drops a
+# finding shows up as a diff against internal/lint/testdata/golden.jsonl.
+lint-golden:
+	$(GO) run ./cmd/twlint -json internal/lint/testdata/src/*/bad | diff -u internal/lint/testdata/golden.jsonl -
+
+lint-golden-update:
+	-$(GO) run ./cmd/twlint -json internal/lint/testdata/src/*/bad > internal/lint/testdata/golden.jsonl
+
 test:
 	$(GO) test ./...
 
@@ -26,9 +41,10 @@ check: build vet lint test race
 
 # The full CI gate: the pre-PR gate, the shared-handle concurrency suite
 # under the race detector, a bounded fuzz pass over the kernel fuzz
-# targets, the server smoke drill, and the machine-readable lint gate
-# (any finding fails the run; the JSON lines feed CI annotations).
-ci: check race-concurrency race-parallel fuzz-ci smoke
+# targets, the server smoke drill, the linter over its own sources, the
+# fixture golden diff, and the machine-readable lint gate (any finding
+# fails the run; the JSON lines feed CI annotations).
+ci: check race-concurrency race-parallel fuzz-ci smoke lint-self lint-golden
 	$(GO) run ./cmd/twlint -json ./...
 
 # The concurrent-search suite under -race, run twice: many goroutines on

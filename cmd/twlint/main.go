@@ -16,7 +16,11 @@
 //	{"file":"...","line":N,"check":"...","message":"..."}
 //
 // In both modes the command exits 1 when any finding survives
-// //lint:ignore filtering, 2 on a load or type-check failure.
+// //lint:ignore filtering, 2 on a load or type-check failure. The finding
+// stream on stdout is byte-deterministic — findings are sorted by position,
+// check and message — so golden diffs are stable; -timings prints the
+// per-analyzer wall time summed over all packages to stderr, keeping the
+// measurement out of the deterministic stream.
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"twsearch/internal/lint"
 )
@@ -39,6 +44,13 @@ type jsonFinding struct {
 	Message string `json:"message"`
 }
 
+// jsonTiming is the -json -timings wire form of one analyzer's wall time,
+// printed to stderr so the stdout finding stream stays deterministic.
+type jsonTiming struct {
+	Analyzer  string `json:"analyzer"`
+	ElapsedUS int64  `json:"elapsed_us"`
+}
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
@@ -48,8 +60,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	listChecks := fs.Bool("checks", false, "list the registered checks and exit")
 	asJSON := fs.Bool("json", false, "emit findings as one JSON object per line")
+	timings := fs.Bool("timings", false, "print per-analyzer wall time to stderr")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: twlint [-checks] [-json] [packages]\n")
+		fmt.Fprintf(stderr, "usage: twlint [-checks] [-json] [-timings] [packages]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -83,6 +96,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	analyzers := lint.Analyzers()
+	elapsed := make(map[string]time.Duration, len(analyzers))
 	exit := 0
 	for _, dir := range dirs {
 		pkg, err := loader.Load(dir)
@@ -90,7 +104,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "twlint:", err)
 			return 2
 		}
-		for _, f := range lint.RunPackage(pkg, analyzers) {
+		findings, times := lint.RunPackageTimed(pkg, analyzers)
+		for _, t := range times {
+			elapsed[t.Name] += t.Elapsed
+		}
+		for _, f := range findings {
 			if rel, err := filepath.Rel(cwd, f.Pos.Filename); err == nil && !filepath.IsAbs(rel) {
 				f.Pos.Filename = rel
 			}
@@ -110,6 +128,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintln(stdout, f.String())
 			}
 			exit = 1
+		}
+	}
+	if *timings {
+		// Analyzer registration order, not map order, so the report shape is
+		// stable even though the numbers are not. Timings go to stderr in
+		// both modes: stdout stays byte-deterministic for golden diffs.
+		for _, a := range analyzers {
+			if *asJSON {
+				line, err := json.Marshal(jsonTiming{
+					Analyzer:  a.Name,
+					ElapsedUS: elapsed[a.Name].Microseconds(),
+				})
+				if err != nil {
+					fmt.Fprintln(stderr, "twlint:", err)
+					return 2
+				}
+				fmt.Fprintln(stderr, string(line))
+			} else {
+				fmt.Fprintf(stderr, "twlint: %-14s %s\n", a.Name, elapsed[a.Name].Round(time.Microsecond))
+			}
 		}
 	}
 	return exit

@@ -36,7 +36,8 @@ func TestExitCodes(t *testing.T) {
 func TestNegativeFixtures(t *testing.T) {
 	for _, dir := range []string{
 		"panicpath", "errwrap", "floateq", "closecheck", "globalrand", "ctxloop",
-		"boundscontract", "lockbalance", "goleak", "deferinloop",
+		"boundscontract", "boundmark", "lockbalance", "goleak", "deferinloop",
+		"poolbalance", "atomicmix", "joinbarrier",
 	} {
 		var out, errOut bytes.Buffer
 		if code := run([]string{fixtures + dir + "/bad"}, &out, &errOut); code != 1 {
@@ -54,9 +55,39 @@ func TestChecksFlag(t *testing.T) {
 	for _, name := range []string{
 		"panicpath", "errwrap", "floateq", "closecheck", "globalrand", "ctxless-loop",
 		"boundscontract", "lockbalance", "goleak", "deferinloop",
+		"poolbalance", "atomicmix", "joinbarrier",
 	} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-checks output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestTimingsFlag pins the -timings contract: per-analyzer wall time goes
+// to stderr (JSON objects under -json), keeping stdout byte-deterministic.
+func TestTimingsFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-json", "-timings", fixtures + "floateq/good"}, &out, &errOut); code != 0 {
+		t.Fatalf("-json -timings good fixture: exit %d (stderr: %s)", code, errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("timings leaked into the deterministic stdout stream: %q", out.String())
+	}
+	lines := strings.Split(strings.TrimSpace(errOut.String()), "\n")
+	seen := make(map[string]bool)
+	for _, line := range lines {
+		var tm struct {
+			Analyzer  string `json:"analyzer"`
+			ElapsedUS int64  `json:"elapsed_us"`
+		}
+		if err := json.Unmarshal([]byte(line), &tm); err != nil {
+			t.Fatalf("timing line is not valid JSON: %v\n%s", err, line)
+		}
+		seen[tm.Analyzer] = true
+	}
+	for _, name := range []string{"boundscontract", "poolbalance", "atomicmix", "joinbarrier"} {
+		if !seen[name] {
+			t.Errorf("no timing reported for %s:\n%s", name, errOut.String())
 		}
 	}
 }

@@ -25,6 +25,8 @@ type queryPool struct {
 // acquire returns a searcher bound to this query, reusing a pooled one's
 // allocations (tables, interval cache, scratch nodes, pending set) when
 // available. Callers must release it when the search finishes.
+//
+//twlint:pool-transfer the searcher is handed to the caller; release returns it via qp.p.Put
 func (qp *queryPool) acquire(ix *Index, ctx context.Context, q []float64, eps float64, visit func(Match) bool) *searcher {
 	s, _ := qp.p.Get().(*searcher)
 	if s == nil {
@@ -104,6 +106,8 @@ var scanTables = sync.Pool{New: func() any { return &dtw.Table{} }}
 
 // acquireScanTable returns a pooled table bound to q; hand it back with
 // releaseScanTable.
+//
+//twlint:pool-transfer the table is handed to the caller; releaseScanTable returns it
 func acquireScanTable(q []float64, window int) *dtw.Table {
 	t := scanTables.Get().(*dtw.Table)
 	t.Bind(q, window)

@@ -421,9 +421,8 @@ func (s *searcher) emitLeaf(leaf *disktree.Node, d int, dist float64) {
 // candidate records a filtered subsequence. When the filter distance is
 // exact (identity categorization, unshifted suffix) the candidate is an
 // answer outright; otherwise it joins its start's pending group for the
-// post-processing scan.
-//
-//twlint:bound-source params=lb
+// post-processing scan. (No bound-source marker: the summary fixpoint
+// infers that lb receives lower bounds from the emitLeaf call sites.)
 func (s *searcher) candidate(seq, start, end int, lb float64, exact bool) {
 	if end-start < s.ix.minAnswerLen {
 		return

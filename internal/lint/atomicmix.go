@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicMix enforces the all-or-nothing contract of sync/atomic: once any
+// access to a variable goes through the atomic package, every access must —
+// a plain read can observe a torn or stale value next to a concurrent
+// atomic write, and the race detector only catches the interleavings a
+// test happens to schedule. The analyzer is the static complement: it
+// collects every variable whose address is passed to a sync/atomic
+// function (atomic.AddUint64(&c.n, 1), atomic.LoadInt64(&v), ...) anywhere
+// in the package, then flags every plain read or write of the same
+// variable elsewhere.
+//
+// Typed atomics (atomic.Uint64, atomic.Bool, ...) are immune by
+// construction — their plain method calls are the atomic API — which is
+// why the storage pool and the parallel-search stop flag use them; this
+// check guards the function-style API where the discipline is on the
+// programmer. Initialization before publication is a legitimate exception:
+// audit it with //lint:ignore atomicmix and a reason.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc: "a variable accessed through sync/atomic is also read or written " +
+		"plainly; use the atomic API everywhere or switch to a typed atomic",
+	Run: runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) {
+	if !pass.Library {
+		return
+	}
+
+	// Pass 1: collect the objects whose address reaches a sync/atomic
+	// function, the identifiers making up those operands (exempt from pass
+	// 2), and one representative atomic-use position per object.
+	atomicAt := make(map[types.Object]token.Position)
+	exempt := make(map[*ast.Ident]bool)
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset.Position(file.Pos())) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj, id := atomicOperand(pass.Info, call)
+			if obj == nil {
+				return true
+			}
+			if _, seen := atomicAt[obj]; !seen {
+				atomicAt[obj] = pass.Fset.Position(call.Pos())
+			}
+			exempt[id] = true
+			return true
+		})
+	}
+	if len(atomicAt) == 0 {
+		return
+	}
+
+	// Pass 2: any other use of those objects is a plain access. Reporting
+	// on identifiers (the Sel of a field selector resolves to the field
+	// object) gives exactly one finding per access.
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset.Position(file.Pos())) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || exempt[id] {
+				return true
+			}
+			// Only uses count: the identifier declaring the field or
+			// variable (Defs) is not an access.
+			obj := pass.Info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if at, ok := atomicAt[obj]; ok {
+				pass.Report(id, "%s is accessed with sync/atomic at %s:%d; this plain access races with it — use the atomic API everywhere or a typed atomic", id.Name, shortPath(at.Filename), at.Line)
+			}
+			return true
+		})
+	}
+}
+
+// atomicOperand resolves a call of the form atomicpkg.Fn(&x, ...) to the
+// object of x and the identifier spelling it. Only package-level functions
+// of sync/atomic count: typed-atomic method calls carry no raw address.
+func atomicOperand(info *types.Info, call *ast.CallExpr) (types.Object, *ast.Ident) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return nil, nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return nil, nil
+	}
+	if len(call.Args) == 0 {
+		return nil, nil
+	}
+	addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+	if !ok || addr.Op != token.AND {
+		return nil, nil
+	}
+	switch operand := ast.Unparen(addr.X).(type) {
+	case *ast.Ident:
+		obj := info.Uses[operand]
+		if obj == nil {
+			obj = info.Defs[operand]
+		}
+		return obj, operand
+	case *ast.SelectorExpr:
+		return info.Uses[operand.Sel], operand.Sel
+	}
+	return nil, nil
+}
+
+// shortPath trims a position's filename to its last two path elements so
+// cross-references in messages stay readable.
+func shortPath(filename string) string {
+	parts := strings.Split(filename, "/")
+	if len(parts) <= 2 {
+		return filename
+	}
+	return strings.Join(parts[len(parts)-2:], "/")
+}

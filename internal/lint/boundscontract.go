@@ -4,7 +4,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"strconv"
 	"strings"
 
 	"twsearch/internal/lint/cfg"
@@ -13,9 +12,10 @@ import (
 // BoundsContract statically enforces the usage discipline behind the
 // paper's no-false-dismissal guarantee (THEORY.md §1–3). Values produced by
 // the lower-bound APIs — the min-dist returns of dtw.Table.AddRow*,
-// dtw.DistanceIntervals, and any function or parameter marked with a
-// //twlint:bound-source directive — are *proven lower bounds* of the exact
-// time warping distance (Theorems 1–3), nothing more. Two rules follow:
+// dtw.DistanceIntervals, and any function or parameter carrying a bound
+// according to the interprocedural summaries — are *proven lower bounds* of
+// the exact time warping distance (Theorems 1–3), nothing more. Two rules
+// follow:
 //
 //  1. A bound may only gate pruning through a strict test: `bound > eps`
 //     discards, `bound <= eps` keeps. `bound >= eps` (or `==`, `!=`,
@@ -26,12 +26,18 @@ import (
 //     a path dominated by the true branch of an `exact` test; otherwise
 //     the candidate has to flow through post-processing.
 //
-// The analysis is flow-sensitive: a CFG is built per function and a
-// may-taint lattice over go/types objects tracks which variables can hold
-// a bound at each program point (arithmetic such as the D_tw-lb2 shift
-// discount `dist - float64(j)*base0` keeps a value a bound). It is
-// intra-procedural; cross-function flow is declared at the boundary with
-// //twlint:bound-source markers (see HACKING.md "Static analysis").
+// The analysis is flow-sensitive and interprocedural: a CFG is built per
+// function, a may-taint lattice over go/types objects tracks which
+// variables can hold a bound at each program point (arithmetic such as the
+// D_tw-lb2 shift discount `dist - float64(j)*base0` keeps a value a
+// bound), and per-function bound-taint summaries — computed by fixpoint
+// over the package call graph, with cross-package producers resolved
+// through their own packages' summaries — track flow through helpers
+// automatically. //twlint:bound-source markers remain the roots where a
+// bound is born from arithmetic the checker cannot see through; every
+// marker is also a checked assertion: one that inference already derives,
+// disagrees with, or that declares nothing is itself a finding (see
+// HACKING.md "Static analysis").
 var BoundsContract = &Analyzer{
 	Name: "boundscontract",
 	Doc: "lower-bound distance used outside the Theorem 1-3 contract: " +
@@ -40,153 +46,151 @@ var BoundsContract = &Analyzer{
 	Run: runBoundsContract,
 }
 
-// builtinBoundSources names the cross-package lower-bound producers by
-// package-path suffix and function name, with the mask of which results
-// are bounds. Same-package producers declare themselves with a
-// //twlint:bound-source marker instead.
-var builtinBoundSources = map[string]map[string][]bool{
-	"internal/dtw": {
-		// AddRowInterval rows use D_base-lb (Definition 3): both the row
-		// distance and the row minimum are lower bounds.
-		"AddRowInterval": {true, true},
-		// AddRowValue rows are exact, but the row minimum only bounds
-		// extensions (Theorem 1).
-		"AddRowValue": {false, true},
-		// D_tw-lb of Definition 3.
-		"DistanceIntervals": {true},
-	},
-}
-
-// boundMarker is one parsed //twlint:bound-source directive.
-type boundMarker struct {
-	results []int
-	params  []string
-}
-
-// parseBoundMarker reads "//twlint:bound-source results=0,1 params=lb".
-func parseBoundMarker(doc *ast.CommentGroup) (boundMarker, bool) {
-	if doc == nil {
-		return boundMarker{}, false
-	}
-	for _, c := range doc.List {
-		rest, ok := strings.CutPrefix(c.Text, "//twlint:bound-source")
-		if !ok {
-			continue
-		}
-		var m boundMarker
-		for _, field := range strings.Fields(rest) {
-			if v, ok := strings.CutPrefix(field, "results="); ok {
-				for _, s := range strings.Split(v, ",") {
-					if i, err := strconv.Atoi(s); err == nil && i >= 0 {
-						m.results = append(m.results, i)
-					}
-				}
-			}
-			if v, ok := strings.CutPrefix(field, "params="); ok {
-				m.params = append(m.params, strings.Split(v, ",")...)
-			}
-		}
-		return m, true
-	}
-	return boundMarker{}, false
-}
-
 func runBoundsContract(pass *Pass) {
 	if !pass.Library {
 		return
 	}
-	bc := &boundsChecker{pass: pass, marked: make(map[*types.Func][]bool)}
-
-	// Pass 1: collect same-package //twlint:bound-source markers.
-	type seeded struct {
-		fd     *ast.FuncDecl
-		params []string
+	an := pass.analysis()
+	if an == nil {
+		return
 	}
-	var fns []seeded
-	for _, file := range pass.Files {
-		if isTestFile(pass.Fset.Position(file.Pos())) {
-			continue
-		}
-		for _, decl := range file.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			s := seeded{fd: fd}
-			if m, ok := parseBoundMarker(fd.Doc); ok {
-				if obj, _ := pass.Info.Defs[fd.Name].(*types.Func); obj != nil && len(m.results) > 0 {
-					mask := make([]bool, obj.Type().(*types.Signature).Results().Len())
-					for _, i := range m.results {
-						if i < len(mask) {
-							mask[i] = true
-						}
-					}
-					bc.marked[obj] = mask
-				}
-				s.params = m.params
-			}
-			fns = append(fns, s)
-		}
-	}
+	validateBoundMarkers(pass, an)
 
-	// Pass 2: analyze every function, then every function literal (with no
-	// seeds — closures are separate flows; captured bounds cross the
-	// boundary through marked calls, not captured variables).
-	for _, s := range fns {
-		bc.checkFunc(s.fd, s.fd.Type, s.params)
-		ast.Inspect(s.fd.Body, func(n ast.Node) bool {
+	bc := &boundsChecker{pass: pass, an: an, dep: pass.depSummary}
+	for _, fnode := range an.cg.order {
+		bc.checkFuncNode(fnode)
+		ast.Inspect(fnode.decl.Body, func(n ast.Node) bool {
 			if lit, ok := n.(*ast.FuncLit); ok {
-				bc.checkFunc(lit, lit.Type, nil)
+				// Literals are separate flows with no seeds — captured
+				// bounds cross the boundary through summarized calls, not
+				// captured variables.
+				bc.checkFunc(cfg.Build(pass.Fset, lit), nil)
 			}
 			return true
 		})
 	}
 }
 
-type boundsChecker struct {
-	pass   *Pass
-	marked map[*types.Func][]bool
-}
-
-// sourceMask classifies a call as a lower-bound source, returning the
-// tainted-result mask or nil.
-func (bc *boundsChecker) sourceMask(call *ast.CallExpr) []bool {
-	fn := calleeFunc(bc.pass.Info, call)
-	if fn == nil {
-		return nil
+// validateBoundMarkers treats every //twlint:bound-source as a checked
+// assertion against the inferred summaries: markers that declare nothing,
+// name impossible positions, float free of any function declaration,
+// understate what inference proves, or restate what inference derives
+// without them are all findings.
+func validateBoundMarkers(pass *Pass, an *pkgAnalysis) {
+	attached := make(map[*ast.Comment]bool, len(an.markers))
+	for i := range an.markers {
+		attached[an.markers[i].comment] = true
 	}
-	if mask, ok := bc.marked[fn]; ok {
-		return mask
-	}
-	if fn.Pkg() == nil {
-		return nil
-	}
-	for suffix, byName := range builtinBoundSources {
-		if strings.HasSuffix(fn.Pkg().Path(), suffix) {
-			if mask, ok := byName[fn.Name()]; ok {
-				return mask
-			}
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset.Position(file.Pos())) {
+			continue
 		}
-	}
-	return nil
-}
-
-// checkFunc runs the flow analysis over one function or function literal.
-func (bc *boundsChecker) checkFunc(fn ast.Node, ftype *ast.FuncType, seedParams []string) {
-	var seeds []types.Object
-	if len(seedParams) > 0 && ftype.Params != nil {
-		for _, f := range ftype.Params.List {
-			for _, name := range f.Names {
-				for _, want := range seedParams {
-					if name.Name == want {
-						seeds = append(seeds, bc.pass.Info.Defs[name])
-					}
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				if strings.HasPrefix(c.Text, "//twlint:bound-source") && !attached[c] {
+					pass.ReportPos(c.Pos(), "stale //twlint:bound-source: the directive is not the doc comment of a function declaration, so it declares nothing; move it onto the producer or delete it")
 				}
 			}
 		}
 	}
 
-	g := cfg.Build(bc.pass.Fset, fn)
+	dep := pass.src.loader.depResolver(pass.src)
+	for i := range an.markers {
+		mi := &an.markers[i]
+		for _, s := range mi.badResults {
+			pass.ReportPos(mi.comment.Pos(), "//twlint:bound-source results=%s does not name a result of %s (which has %d); the stale declaration would silently drop the bound", s, mi.fn.Name(), mi.fn.Type().(*types.Signature).Results().Len())
+		}
+		for _, name := range mi.badParams {
+			pass.ReportPos(mi.comment.Pos(), "//twlint:bound-source params=%s names no parameter of %s; the stale declaration would silently drop the bound", name, mi.fn.Name())
+		}
+		if !mi.declResults && !mi.declParams {
+			pass.ReportPos(mi.comment.Pos(), "//twlint:bound-source declares nothing; add results= or params=, or delete the marker")
+			continue
+		}
+		if an.cg.funcs[mi.fn] == nil {
+			continue // bodyless declaration: nothing to infer against
+		}
+
+		// Redundancy: recompute the fixpoint without this marker; if the
+		// declared mask is still derived, the marker restates inference.
+		loo := computeSummaries(an.cg, markerMasks(an.markers, mi), dep)
+		if s := loo[mi.fn]; s != nil && s.covers(mi.mask) {
+			pass.ReportPos(mi.comment.Pos(), "redundant //twlint:bound-source on %s: the interprocedural summary already derives it; delete the marker", mi.fn.Name())
+			continue
+		}
+
+		// Understatement: the full fixpoint (marker included) proves more
+		// positions than the marker declares on a dimension it declares.
+		inferred := an.sums[mi.fn]
+		if inferred == nil {
+			continue
+		}
+		if mi.declResults {
+			for r, t := range inferred.Results {
+				if t && !mi.mask.Results[r] {
+					pass.ReportPos(mi.comment.Pos(), "//twlint:bound-source on %s disagrees with inference: result %d also carries a lower bound; update results= or the callers will treat it as exact", mi.fn.Name(), r)
+				}
+			}
+		}
+		if mi.declParams {
+			for p, t := range inferred.Params {
+				if t && !mi.mask.Params[p] {
+					pass.ReportPos(mi.comment.Pos(), "//twlint:bound-source on %s disagrees with inference: parameter %q also receives a lower bound at a call site; update params=", mi.fn.Name(), paramName(mi.fn, p))
+				}
+			}
+		}
+	}
+}
+
+// paramName returns the name of fn's parameter at index i.
+func paramName(fn *types.Func, i int) string {
+	params := fn.Type().(*types.Signature).Params()
+	if i < 0 || i >= params.Len() {
+		return "?"
+	}
+	return params.At(i).Name()
+}
+
+type boundsChecker struct {
+	pass *Pass
+	an   *pkgAnalysis
+	dep  func(*types.Func) *FuncSummary
+}
+
+// sourceMask classifies a call as a lower-bound source, returning the
+// tainted-result mask or nil. Package-local callees resolve through the
+// fixpoint summaries; module-internal callees through their own packages'
+// summaries, so cross-package flow needs no registry.
+func (bc *boundsChecker) sourceMask(call *ast.CallExpr) []bool {
+	fn := calleeFunc(bc.pass.Info, call)
+	if fn == nil {
+		return nil
+	}
+	if s, ok := bc.an.sums[fn]; ok {
+		return s.Results
+	}
+	if d := bc.dep(fn); d != nil {
+		return d.Results
+	}
+	return nil
+}
+
+// checkFuncNode analyzes one declared function, seeding the parameters the
+// summary proved to receive bounds.
+func (bc *boundsChecker) checkFuncNode(fnode *funcNode) {
+	var seeds []types.Object
+	if s := bc.an.sums[fnode.fn]; s != nil {
+		for i, p := range fnode.params {
+			if i < len(s.Params) && s.Params[i] && p != nil {
+				seeds = append(seeds, p)
+			}
+		}
+	}
+	bc.checkFunc(bc.an.cg.graphOf(fnode), seeds)
+}
+
+// checkFunc runs the flow analysis over one function graph.
+func (bc *boundsChecker) checkFunc(g *cfg.Graph, seeds []types.Object) {
 	ta := &cfg.Taint{Info: bc.pass.Info, SourceCall: bc.sourceMask, Seed: seeds}
 	facts := ta.Run(g)
 	dom := g.Dominators()

@@ -211,6 +211,81 @@ b2(if.then) [panic("neg")]
 b3(if.done) [return x] -> b1
 `,
 		},
+		{
+			// The chain lowers with Go's precedence — (a && b && c) || d —
+			// so every false edge of the && spine lands on the || leaf, and
+			// only d's false edge reaches if.done. Succs[0] is always the
+			// true edge, which the exactness-guard domination check relies
+			// on.
+			name: "short-circuit-chain",
+			src: `package p
+func f(a, b, c, d bool) int {
+	if a && b && c || d {
+		return 1
+	}
+	return 0
+}`,
+			want: `b0(entry) [a] -> b6 b4
+b1(exit)
+b2(if.then) [return 1] -> b1
+b3(if.done) [return 0] -> b1
+b4(cond.or) [d] -> b2 b3
+b5(cond.and) [c] -> b2 b4
+b6(cond.and) [b] -> b5 b4
+`,
+		},
+		{
+			// Every aborting terminator — panic, os.Exit, log.Fatalf — ends
+			// its path: the case blocks have no successors, so PathToExit
+			// never counts them as leaks and only switch.done reaches exit.
+			name: "panic-exit-fatal-paths",
+			src: `package p
+func f(x int) int {
+	switch {
+	case x < 0:
+		panic("neg")
+	case x == 0:
+		os.Exit(2)
+	case x > 99:
+		log.Fatalf("big: %d", x)
+	}
+	return x
+}`,
+			want: `b0(entry) [x < 0; x == 0; x > 99] -> b3 b4 b5 b2
+b1(exit)
+b2(switch.done) [return x] -> b1
+b3(switch.case) [panic("neg")]
+b4(switch.case) [os.Exit(2)]
+b5(switch.case) [log.Fatalf("big: %d", x)]
+`,
+		},
+		{
+			// A defer inside a loop body stays a plain node on the body
+			// path (registration accumulates per iteration); the back edge
+			// through if.done returns to the range head, which is why
+			// deferinloop treats the pattern as a resource pile-up rather
+			// than a per-iteration release.
+			name: "defer-in-loop",
+			src: `package p
+func f(files []string) error {
+	for _, name := range files {
+		f, err := os.Open(name)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+	}
+	return nil
+}`,
+			want: `b0(entry) -> b2
+b1(exit)
+b2(range.head) [_, name := range files] -> b3 b4
+b3(range.body) [f, err := os.Open(name); err != nil] -> b5 b6
+b4(range.done) [return nil] -> b1
+b5(if.then) [return err] -> b1
+b6(if.done) [defer f.Close()] -> b2
+`,
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

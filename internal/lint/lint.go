@@ -27,6 +27,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Finding is one analyzer report, anchored to a source position.
@@ -71,6 +72,28 @@ type Pass struct {
 
 	check    string
 	findings *[]Finding
+	// src is the loaded package behind the pass; it links back to the
+	// loader so analyzers can reach the interprocedural summary cache.
+	src *Package
+}
+
+// analysis returns the package's interprocedural artifacts (call graph,
+// bound-source markers, bound-taint summaries), or nil when the pass was
+// built without a loader-backed package.
+func (p *Pass) analysis() *pkgAnalysis {
+	if p.src == nil || p.src.loader == nil {
+		return nil
+	}
+	return p.src.loader.analysisFor(p.src)
+}
+
+// depSummary resolves a function of another module package to its
+// bound-taint summary, or nil for stdlib and unresolved callees.
+func (p *Pass) depSummary(fn *types.Func) *FuncSummary {
+	if p.src == nil || p.src.loader == nil {
+		return nil
+	}
+	return p.src.loader.depResolver(p.src)(fn)
 }
 
 // Report records a finding at the given node's position.
@@ -100,14 +123,32 @@ func Analyzers() []*Analyzer {
 		LockBalance,
 		GoLeak,
 		DeferInLoop,
+		PoolBalance,
+		AtomicMix,
+		JoinBarrier,
 	}
+}
+
+// AnalyzerTiming is the wall-clock cost of one analyzer over one package.
+type AnalyzerTiming struct {
+	Name    string
+	Elapsed time.Duration
 }
 
 // RunPackage runs every analyzer in the suite over one loaded package and
 // returns the findings that survive ignore-directive filtering, plus
-// findings about malformed directives themselves.
+// findings about malformed or stale directives themselves.
 func RunPackage(pkg *Package, analyzers []*Analyzer) []Finding {
+	out, _ := RunPackageTimed(pkg, analyzers)
+	return out
+}
+
+// RunPackageTimed is RunPackage plus per-analyzer wall time, in analyzer
+// order. Timings are reported separately from findings so the finding
+// stream stays byte-deterministic for golden diffs.
+func RunPackageTimed(pkg *Package, analyzers []*Analyzer) ([]Finding, []AnalyzerTiming) {
 	var raw []Finding
+	timings := make([]AnalyzerTiming, 0, len(analyzers))
 	for _, a := range analyzers {
 		pass := &Pass{
 			Fset:     pkg.Fset,
@@ -118,12 +159,16 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) []Finding {
 			Library:  pkg.Library,
 			check:    a.Name,
 			findings: &raw,
+			src:      pkg,
 		}
+		start := time.Now()
 		a.Run(pass)
+		timings = append(timings, AnalyzerTiming{Name: a.Name, Elapsed: time.Since(start)})
 	}
 	dirs, bad := directives(pkg.Fset, pkg.Files)
-	out := filterIgnored(raw, dirs)
+	out, used := filterIgnored(raw, dirs)
 	out = append(out, bad...)
+	out = append(out, staleDirectives(dirs, used, analyzers)...)
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos
 		if a.Filename != b.Filename {
@@ -132,9 +177,15 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) []Finding {
 		if a.Line != b.Line {
 			return a.Line < b.Line
 		}
-		return out[i].Check < out[j].Check
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		if out[i].Check != out[j].Check {
+			return out[i].Check < out[j].Check
+		}
+		return out[i].Message < out[j].Message
 	})
-	return out
+	return out, timings
 }
 
 // isTestFile reports whether the position's file is a _test.go file.

@@ -43,7 +43,7 @@ func rawFindings(pkg *Package, a *Analyzer) []Finding {
 	a.Run(&Pass{
 		Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Types, Info: pkg.Info,
 		Path: pkg.Path, Library: pkg.Library,
-		check: a.Name, findings: &raw,
+		check: a.Name, findings: &raw, src: pkg,
 	})
 	return raw
 }
@@ -64,13 +64,17 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"closecheck", CloseCheck, 2},
 		{"globalrand", GlobalRand, 1},
 		{"ctxloop", CtxlessLoop, 1},
-		{"boundscontract", BoundsContract, 3},
+		{"boundscontract", BoundsContract, 4},
+		{"boundmark", BoundsContract, 2},
 		{"lockbalance", LockBalance, 2},
 		{"goleak", GoLeak, 2},
 		{"deferinloop", DeferInLoop, 2},
+		{"poolbalance", PoolBalance, 2},
+		{"atomicmix", AtomicMix, 2},
+		{"joinbarrier", JoinBarrier, 2},
 	}
 	for _, tc := range cases {
-		t.Run(tc.analyzer.Name, func(t *testing.T) {
+		t.Run(tc.dir, func(t *testing.T) {
 			all := []*Analyzer{tc.analyzer}
 
 			bad := loadFixture(t, loader, tc.dir, "bad")

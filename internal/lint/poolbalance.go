@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"twsearch/internal/lint/cfg"
+)
+
+// PoolBalance verifies sync.Pool discipline path-sensitively, the way
+// LockBalance verifies mutexes: every (*sync.Pool).Get acquired in a
+// library function must be matched by a Put on the same pool on every path
+// that reaches the function exit. Paths that abort (panic, os.Exit) are not
+// exits; a deferred Put covers every exit past its registration.
+//
+// Ownership transfer — the pooled-query-context idiom where acquire Gets
+// and a separate release Puts — is declared with a marker in the function's
+// doc comment:
+//
+//	//twlint:pool-transfer <reason>
+//
+// The reason is mandatory, and the marker is itself checked: one on a
+// function that never Gets from a pool is stale and reported. Matching is
+// textual on the pool expression (`qp.p.Get` pairs with `qp.p.Put`), exact
+// for the idiomatic case of a pool field or package-level pool variable.
+var PoolBalance = &Analyzer{
+	Name: "poolbalance",
+	Doc: "a sync.Pool Get has an exit path with no matching Put; release on " +
+		"every path, defer the Put, or declare the handoff with //twlint:pool-transfer",
+	Run: runPoolBalance,
+}
+
+// poolTransferComment returns the //twlint:pool-transfer line of a doc
+// comment and its reason text.
+func poolTransferComment(doc *ast.CommentGroup) (c *ast.Comment, reason string) {
+	if doc == nil {
+		return nil, ""
+	}
+	for _, cm := range doc.List {
+		if rest, ok := strings.CutPrefix(cm.Text, "//twlint:pool-transfer"); ok {
+			return cm, strings.TrimSpace(rest)
+		}
+	}
+	return nil, ""
+}
+
+func runPoolBalance(pass *Pass) {
+	if !pass.Library {
+		return
+	}
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset.Position(file.Pos())) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			marker, reason := poolTransferComment(fd.Doc)
+			transfer := marker != nil
+			if transfer && reason == "" {
+				pass.ReportPos(marker.Pos(), "twlint:pool-transfer needs a reason naming who releases the pooled value")
+			}
+
+			gets := 0
+			checkPoolBalance(pass, fd, transfer, &gets)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					// A literal inside a marked function inherits the
+					// transfer audit: the handoff reason covers the whole
+					// declaration.
+					checkPoolBalance(pass, lit, transfer, &gets)
+				}
+				return true
+			})
+			if transfer && gets == 0 {
+				pass.ReportPos(marker.Pos(), "stale //twlint:pool-transfer: %s never calls (*sync.Pool).Get, so there is no ownership to hand off; delete the marker", fd.Name.Name)
+			}
+		}
+	}
+}
+
+// checkPoolBalance analyzes one function or function literal, counting the
+// pool Gets it sees into *gets.
+func checkPoolBalance(pass *Pass, fn ast.Node, transfer bool, gets *int) {
+	// Cheap pre-scan: skip the CFG when the body touches no sync.Pool.
+	any := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isPoolCall(pass.Info, call, "Get") {
+			any = true
+		}
+		return !any
+	})
+	if !any {
+		return
+	}
+
+	g := cfg.Build(pass.Fset, fn)
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			root := n
+			cfg.InspectNode(n, func(x ast.Node) bool {
+				if _, ok := x.(*ast.FuncLit); ok && x != root {
+					return false // literals are analyzed separately
+				}
+				call, ok := x.(*ast.CallExpr)
+				if !ok || !isPoolCall(pass.Info, call, "Get") {
+					return true
+				}
+				*gets++
+				if transfer {
+					return true // audited handoff: the caller releases
+				}
+				recv := lockRecvString(call)
+				leaks := g.PathToExit(b, i, func(node ast.Node) bool {
+					return nodePutsPool(pass.Info, node, recv)
+				})
+				if leaks {
+					pass.Report(call, "%s.Get has an exit path with no %s.Put; release on every path, defer the Put, or declare the handoff with //twlint:pool-transfer", recv, recv)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isPoolCall reports whether the call statically resolves to the named
+// method of sync.Pool.
+func isPoolCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return strings.Contains(types.TypeString(sig.Recv().Type(), nil), "sync.Pool")
+}
+
+// nodePutsPool reports whether the CFG node contains a Put on the same pool
+// expression. Function literals inside the node do not count: their body
+// runs at another time.
+func nodePutsPool(info *types.Info, n ast.Node, recv string) bool {
+	found := false
+	root := n
+	cfg.InspectNode(n, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := x.(*ast.FuncLit); ok && x != root {
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if ok && isPoolCall(info, call, "Put") && lockRecvString(call) == recv {
+			found = true
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,30 @@
+// Package bad must trigger atomicmix twice: a plain read of a field that
+// is updated through sync/atomic, and a plain write to a package-level
+// counter that is loaded atomically.
+package bad
+
+import "sync/atomic"
+
+type counter struct{ n int64 }
+
+// Inc updates the counter atomically.
+func (c *counter) Inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+// Read races with Inc: the load is plain, so it can observe a torn value.
+func (c *counter) Read() int64 {
+	return c.n
+}
+
+var hits uint64
+
+// Hits reads the counter atomically.
+func Hits() uint64 {
+	return atomic.LoadUint64(&hits)
+}
+
+// Reset races with Hits: the store is plain.
+func Reset() {
+	hits = 0
+}

@@ -1,0 +1,31 @@
+// Package good must pass atomicmix: every access to the raw counter goes
+// through sync/atomic, and the stop flag is a typed atomic whose methods
+// are safe by construction.
+package good
+
+import "sync/atomic"
+
+type counter struct{ n int64 }
+
+// Inc updates the counter atomically.
+func (c *counter) Inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+// Read loads the counter atomically, matching Inc.
+func (c *counter) Read() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+var stop atomic.Bool
+
+// Stop raises the typed flag; typed atomics carry the discipline in their
+// method set, so no raw address ever escapes.
+func Stop() {
+	stop.Store(true)
+}
+
+// Stopped reads the typed flag.
+func Stopped() bool {
+	return stop.Load()
+}

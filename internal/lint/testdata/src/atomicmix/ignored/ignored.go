@@ -1,0 +1,21 @@
+// Package ignored must pass atomicmix only because the pre-publication
+// initialization is audited with a directive.
+package ignored
+
+import "sync/atomic"
+
+type gauge struct{ v int64 }
+
+// Set publishes a new reading atomically.
+func (g *gauge) Set(x int64) {
+	atomic.StoreInt64(&g.v, x)
+}
+
+// New initializes the gauge before any other goroutine can see it, so the
+// plain store cannot race; audited below.
+func New(x int64) *gauge {
+	g := &gauge{}
+	//lint:ignore atomicmix fixture: single-owner initialization before the gauge is published
+	g.v = x
+	return g
+}

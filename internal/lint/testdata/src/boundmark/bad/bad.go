@@ -1,0 +1,27 @@
+// Package bad must trigger boundscontract twice through marker validation:
+// a //twlint:bound-source restating what the interprocedural summary
+// already derives, and one understating what inference proves.
+package bad
+
+import "twsearch/internal/dtw"
+
+// WrapInterval forwards AddRowInterval, whose own marker already taints
+// both results; the summary fixpoint derives the mask below without it, so
+// the marker is redundant.
+//
+//twlint:bound-source results=0,1
+func WrapInterval(t *dtw.Table, lo, hi float64) (float64, float64) {
+	return t.AddRowInterval(lo, hi)
+}
+
+// Mixed computes a root bound in its first result (arithmetic the checker
+// cannot see through) but also forwards the callee's row minimum in its
+// second. The marker declares only the root, so a caller would treat the
+// second result as an exact distance.
+//
+//twlint:bound-source results=0
+func Mixed(t *dtw.Table, lo, hi, width float64) (float64, float64) {
+	_, minDist := t.AddRowInterval(lo, hi)
+	root := (hi - lo) * (hi - lo) / width
+	return root, minDist
+}

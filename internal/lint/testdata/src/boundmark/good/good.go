@@ -1,0 +1,24 @@
+// Package good must pass boundscontract with its markers intact: the root
+// marker declares arithmetic inference cannot derive, and the unmarked
+// helper chain shows the summary carrying the bound to a legal prune.
+package good
+
+// Discount is a root lower-bound producer: the Theorem-3 shift discount is
+// plain arithmetic, so without the marker no caller would know.
+//
+//twlint:bound-source results=0
+func Discount(base0 float64, j int) float64 {
+	return float64(j) * base0
+}
+
+// discounted needs no marker: the summary derives its result from
+// Discount's declared one.
+func discounted(bound, base0 float64, j int) float64 {
+	return bound - Discount(base0, j)
+}
+
+// Prune tests the inferred bound strictly: > discards, so the boundary
+// candidate survives.
+func Prune(bound, base0 float64, j int, eps float64) bool {
+	return discounted(bound, base0, j) > eps
+}

@@ -1,0 +1,14 @@
+// Package ignored must pass boundscontract only because the deliberately
+// redundant marker carries an audited directive.
+package ignored
+
+import "twsearch/internal/dtw"
+
+// WrapInterval forwards AddRowInterval; inference derives the mask, but the
+// marker is kept as API documentation for readers of this wrapper.
+//
+//lint:ignore boundscontract fixture: marker kept as reader-facing documentation although inference derives it
+//twlint:bound-source results=0,1
+func WrapInterval(t *dtw.Table, lo, hi float64) (float64, float64) {
+	return t.AddRowInterval(lo, hi)
+}

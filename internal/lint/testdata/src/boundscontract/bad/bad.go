@@ -1,7 +1,9 @@
-// Package bad must trigger boundscontract three times: a prune that
+// Package bad must trigger boundscontract four times: a prune that
 // discards the boundary candidate with >=, the same prune blocks away from
-// the source call inside a loop, and a lower bound published as an exact
-// match distance with no exact guard.
+// the source call inside a loop, a lower bound published as an exact match
+// distance with no exact guard, and the same publication with the bound
+// flowing through an unmarked helper — the interprocedural summary must
+// carry the taint across the call with no marker involved.
 package bad
 
 import "twsearch/internal/dtw"
@@ -42,4 +44,18 @@ func PruneLoop(t *dtw.Table, ivs []dtw.Interval, base0, eps float64, sparse bool
 func Publish(q []float64, ivs []dtw.Interval) match {
 	lb := dtw.DistanceIntervals(q, ivs)
 	return match{Start: 0, End: len(ivs), Distance: lb}
+}
+
+// helper launders the row minimum through an unmarked function; the
+// summary fixpoint must still prove its result is a bound.
+func helper(t *dtw.Table, lo, hi float64) float64 {
+	_, minDist := t.AddRowInterval(lo, hi)
+	return minDist
+}
+
+// PublishViaHelper repeats the Publish mistake one call away from the
+// source: the leak only shows if cross-function flow is automatic.
+func PublishViaHelper(t *dtw.Table, lo, hi float64, n int) match {
+	lb := helper(t, lo, hi)
+	return match{Start: 0, End: n, Distance: lb}
 }

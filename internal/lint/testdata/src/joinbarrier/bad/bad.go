@@ -1,0 +1,35 @@
+// Package bad must trigger joinbarrier twice: join-merged stats touched
+// between goroutine spawn and the join, once on the driver's straight line
+// and once inside the result drain while workers may still run.
+package bad
+
+import "sync"
+
+// stats is worker-private until the join barrier.
+//
+//twlint:join-merged
+type stats struct{ nodes int }
+
+type searcher struct{ stats stats }
+
+// Search spawns workers and merges too early: the increment races with the
+// workers, and the drain-loop merge runs before the drain has completed.
+func (s *searcher) Search(parts [][]float64) {
+	var wg sync.WaitGroup
+	results := make(chan int, len(parts))
+	for range parts {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results <- 1
+		}()
+	}
+	s.stats.nodes++
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+	for r := range results {
+		s.stats.nodes += r
+	}
+}

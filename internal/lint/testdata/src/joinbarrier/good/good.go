@@ -1,0 +1,53 @@
+// Package good must pass joinbarrier: join-merged stats are touched before
+// the spawn and merged only after the join barrier — behind a completed
+// channel drain in one variant, behind WaitGroup.Wait in the other.
+package good
+
+import "sync"
+
+// stats is worker-private until the join barrier.
+//
+//twlint:join-merged
+type stats struct{ nodes int }
+
+type searcher struct{ stats stats }
+
+// Search seeds before spawning and merges after the drain completes.
+func (s *searcher) Search(parts [][]float64) {
+	s.stats.nodes++
+	var wg sync.WaitGroup
+	results := make(chan int, len(parts))
+	for range parts {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results <- 1
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+	total := 0
+	for r := range results {
+		total += r
+	}
+	s.stats.nodes += total
+}
+
+// SearchWait gives each worker a private shard and merges after Wait.
+func (s *searcher) SearchWait(parts [][]float64) {
+	var wg sync.WaitGroup
+	workers := make([]stats, len(parts))
+	for i := range parts {
+		wg.Add(1)
+		go func(w *stats) {
+			defer wg.Done()
+			w.nodes++
+		}(&workers[i])
+	}
+	wg.Wait()
+	for i := range workers {
+		s.stats.nodes += workers[i].nodes
+	}
+}

@@ -1,0 +1,29 @@
+// Package ignored must pass joinbarrier only because the mid-flight
+// progress read is audited with a directive.
+package ignored
+
+import "sync"
+
+// stats is worker-private until the join barrier.
+//
+//twlint:join-merged
+type stats struct{ nodes int }
+
+type searcher struct{ stats stats }
+
+// Search reads the pre-seeded count mid-flight for a progress estimate;
+// workers write their own shards and never touch s.stats, so the read is
+// stable despite running before the join.
+func (s *searcher) Search(parts [][]float64) int {
+	var wg sync.WaitGroup
+	for range parts {
+		wg.Add(1)
+		go func() {
+			wg.Done()
+		}()
+	}
+	//lint:ignore joinbarrier fixture: workers write private shards, never s.stats, so this mid-flight read is stable
+	seen := s.stats.nodes
+	wg.Wait()
+	return seen
+}

@@ -1,0 +1,24 @@
+// Package bad must trigger poolbalance twice: a Get whose early-return
+// path skips the Put, and a transfer marker on a function that never Gets.
+package bad
+
+import "sync"
+
+var bufs = sync.Pool{New: func() any { return new([]float64) }}
+
+// Grow leaks the pooled buffer whenever the early return fires: that path
+// reaches the exit with no Put, so the buffer never comes back.
+func Grow(n int) int {
+	b := bufs.Get().(*[]float64)
+	if n > cap(*b) {
+		return n
+	}
+	bufs.Put(b)
+	return len(*b)
+}
+
+// Idle claims an ownership handoff but never takes ownership of anything,
+// so the marker is stale.
+//
+//twlint:pool-transfer released by nobody
+func Idle() {}

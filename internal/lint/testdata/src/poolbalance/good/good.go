@@ -1,0 +1,42 @@
+// Package good must pass poolbalance: a deferred Put covers every exit, a
+// branch-balanced Put releases on both paths, and the acquire/release
+// handoff is declared with a reasoned transfer marker.
+package good
+
+import "sync"
+
+var bufs = sync.Pool{New: func() any { return new([]float64) }}
+
+// Sum releases via defer, covering every exit past the registration.
+func Sum(xs []float64) float64 {
+	b := bufs.Get().(*[]float64)
+	defer bufs.Put(b)
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Clamp puts the buffer back on both branches before returning.
+func Clamp(n, limit int) int {
+	b := bufs.Get().(*[]float64)
+	if n > limit {
+		bufs.Put(b)
+		return limit
+	}
+	bufs.Put(b)
+	return n
+}
+
+// Acquire hands the pooled buffer to the caller by contract.
+//
+//twlint:pool-transfer released by Release when the caller is done with the buffer
+func Acquire() *[]float64 {
+	return bufs.Get().(*[]float64)
+}
+
+// Release returns a buffer taken by Acquire.
+func Release(b *[]float64) {
+	bufs.Put(b)
+}

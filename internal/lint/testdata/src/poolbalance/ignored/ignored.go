@@ -1,0 +1,14 @@
+// Package ignored must pass poolbalance only because the deliberate leak
+// is audited with a directive.
+package ignored
+
+import "sync"
+
+var bufs = sync.Pool{New: func() any { return new([]float64) }}
+
+// Take deliberately drops the pooled buffer to measure the steady-state
+// allocation rate without reuse; audited below.
+func Take() *[]float64 {
+	//lint:ignore poolbalance fixture: experiment measuring allocation rate with pool reuse disabled
+	return bufs.Get().(*[]float64)
+}

@@ -27,7 +27,11 @@ type Match struct {
 	Distance float64
 }
 
-// Stats mirrors core.SearchStats for the multivariate engine.
+// Stats mirrors core.SearchStats for the multivariate engine. Under a
+// parallel search each worker counts on its own pooled context and the
+// driver sums them at the join barrier.
+//
+//twlint:join-merged
 type Stats struct {
 	NodesVisited uint64
 	FilterCells  uint64
@@ -252,6 +256,8 @@ type mqueryPool struct {
 
 // acquire returns an msearcher bound to this query, reusing a pooled one's
 // allocations when available; release it when the search finishes.
+//
+//twlint:pool-transfer the msearcher is handed to the caller; release returns it via qp.p.Put
 func (qp *mqueryPool) acquire(ix *Index, q [][]float64, eps float64, visit func(Match) bool) *msearcher {
 	s, _ := qp.p.Get().(*msearcher)
 	if s == nil {

@@ -18,7 +18,10 @@ import "slices"
 // Set is an epoch-stamped sparse map from int32 offsets to the maximum
 // int32 end recorded for them. The zero value is unusable; call Reset with
 // the database's total element count first. A Set is not safe for
-// concurrent use; each pooled query context owns one.
+// concurrent use; each pooled query context owns one, and the parallel
+// drivers merge worker sets only after the join barrier.
+//
+//twlint:join-merged
 type Set struct {
 	stamp   []uint32 // per-offset epoch of last write
 	maxEnd  []int32  // valid only where stamp[i] == epoch

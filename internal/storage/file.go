@@ -84,7 +84,10 @@ type File struct {
 	numPages PageID
 	readOnly bool
 
-	// pagesRead and pagesWritten count physical page transfers.
+	// pagesRead and pagesWritten count physical page transfers. They are
+	// typed atomics, not raw integers behind sync/atomic calls, so every
+	// access is atomic by construction — the discipline twlint's atomicmix
+	// check enforces on the function-style API.
 	pagesRead, pagesWritten atomic.Uint64
 }
 
