@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-self lint-golden lint-golden-update test race race-concurrency race-parallel cover bench bench-concurrency bench-parallel fuzz fuzz-ci smoke tables examples check ci clean
+.PHONY: all build vet lint lint-self lint-wire lint-golden lint-golden-update test race race-concurrency race-parallel cover bench bench-concurrency bench-parallel fuzz fuzz-ci smoke tables examples check ci clean
 
 all: build vet lint test
 
@@ -23,6 +23,13 @@ lint:
 # the analysis code to the same no-unexplained-findings bar anyway.
 lint-self:
 	$(GO) run ./cmd/twlint ./cmd/twlint ./internal/lint ./internal/lint/cfg
+
+# Protocol-symmetry gate on the wire codecs alone: the wireconform analyzer
+# proves every encoder's field order, widths, loops and version gates are
+# mirrored by its decoder, so codec skew fails fast without running the
+# whole suite.
+lint-wire:
+	$(GO) run ./cmd/twlint -only wireconform ./internal/wire
 
 # Golden diff over the bad fixtures: the full suite's JSON finding stream is
 # byte-deterministic, so any analyzer change that moves, adds or drops a
@@ -44,7 +51,7 @@ check: build vet lint test race
 # targets, the server smoke drill, the linter over its own sources, the
 # fixture golden diff, and the machine-readable lint gate (any finding
 # fails the run; the JSON lines feed CI annotations).
-ci: check race-concurrency race-parallel fuzz-ci smoke lint-self lint-golden
+ci: check race-concurrency race-parallel fuzz-ci smoke lint-self lint-wire lint-golden
 	$(GO) run ./cmd/twlint -json ./...
 
 # The concurrent-search suite under -race, run twice: many goroutines on
@@ -68,12 +75,13 @@ race-parallel:
 smoke:
 	$(GO) test -race -count=1 -run 'TestDaemonSmoke|TestServer' ./cmd/twsearchd/ ./seqdb/server/
 
-# Bounded fuzzing for CI: the distance-kernel and engine-equivalence
-# targets, 10s each, seeds + corpus only.
+# Bounded fuzzing for CI: the distance-kernel, engine-equivalence and
+# wire round-trip targets, 10s each, seeds + corpus only.
 fuzz-ci:
 	$(GO) test -fuzz FuzzDistanceProperties -fuzztime 10s ./internal/dtw/
 	$(GO) test -fuzz FuzzIntervalLowerBound -fuzztime 10s ./internal/dtw/
 	$(GO) test -fuzz FuzzSearchMatchesScan -fuzztime 10s ./internal/core/
+	$(GO) test -fuzz FuzzFrameRoundTrip -fuzztime 10s ./internal/wire/
 
 race:
 	$(GO) test -race ./...
@@ -106,6 +114,7 @@ fuzz:
 	$(GO) test -fuzz FuzzReadScheme -fuzztime 10s ./internal/categorize/
 	$(GO) test -fuzz FuzzFit -fuzztime 10s ./internal/categorize/
 	$(GO) test -fuzz FuzzValidateCorruption -fuzztime 10s ./internal/disktree/
+	$(GO) test -fuzz FuzzFrameRoundTrip -fuzztime 10s ./internal/wire/
 	$(GO) test -fuzz FuzzSearchMatchesScan -fuzztime 20s ./internal/core/
 
 # Regenerate the paper's tables and figures at full scale (minutes).

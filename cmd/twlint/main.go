@@ -4,10 +4,12 @@
 //
 // Usage:
 //
-//	twlint [-json] [packages]
+//	twlint [-json] [-only checks] [-skip checks] [packages]
 //
 // where packages are directory paths or "./..."-style patterns (default
-// "./..."). Findings print one per line as
+// "./..."). -only and -skip narrow the suite to (or away from) a
+// comma-separated list of check names; an unknown name is an error, not a
+// silent no-op. Findings print one per line as
 //
 //	file:line: [check-name] message
 //
@@ -30,6 +32,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"twsearch/internal/lint"
@@ -61,8 +64,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	listChecks := fs.Bool("checks", false, "list the registered checks and exit")
 	asJSON := fs.Bool("json", false, "emit findings as one JSON object per line")
 	timings := fs.Bool("timings", false, "print per-analyzer wall time to stderr")
+	only := fs.String("only", "", "comma-separated checks to run, all others skipped")
+	skip := fs.String("skip", "", "comma-separated checks to skip")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: twlint [-checks] [-json] [-timings] [packages]\n")
+		fmt.Fprintf(stderr, "usage: twlint [-checks] [-json] [-timings] [-only checks] [-skip checks] [packages]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -95,7 +100,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	analyzers := lint.Analyzers()
+	analyzers, err := selectAnalyzers(lint.Analyzers(), *only, *skip)
+	if err != nil {
+		fmt.Fprintln(stderr, "twlint:", err)
+		return 2
+	}
 	elapsed := make(map[string]time.Duration, len(analyzers))
 	exit := 0
 	for _, dir := range dirs {
@@ -151,4 +160,58 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return exit
+}
+
+// selectAnalyzers narrows the registered suite by the -only and -skip
+// lists. Unknown names are an error so a typo cannot silently run (or
+// skip) the wrong set. Directive staleness under a partial run is handled
+// by the lint package, which judges a //lint:ignore only when every check
+// it names is in the running set.
+func selectAnalyzers(all []*lint.Analyzer, only, skip string) ([]*lint.Analyzer, error) {
+	byName := make(map[string]bool, len(all))
+	for _, a := range all {
+		byName[a.Name] = true
+	}
+	parse := func(list, flagName string) (map[string]bool, error) {
+		if list == "" {
+			return nil, nil
+		}
+		set := make(map[string]bool)
+		for _, name := range strings.Split(list, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if !byName[name] {
+				return nil, fmt.Errorf("-%s: unknown check %q (run twlint -checks for the list)", flagName, name)
+			}
+			set[name] = true
+		}
+		return set, nil
+	}
+	onlySet, err := parse(only, "only")
+	if err != nil {
+		return nil, err
+	}
+	skipSet, err := parse(skip, "skip")
+	if err != nil {
+		return nil, err
+	}
+	if onlySet == nil && skipSet == nil {
+		return all, nil
+	}
+	var out []*lint.Analyzer
+	for _, a := range all {
+		if onlySet != nil && !onlySet[a.Name] {
+			continue
+		}
+		if skipSet[a.Name] {
+			continue
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-only/-skip selected no checks")
+	}
+	return out, nil
 }

@@ -38,6 +38,7 @@ func TestNegativeFixtures(t *testing.T) {
 		"panicpath", "errwrap", "floateq", "closecheck", "globalrand", "ctxloop",
 		"boundscontract", "boundmark", "lockbalance", "goleak", "deferinloop",
 		"poolbalance", "atomicmix", "joinbarrier",
+		"wireconform", "ctxflow", "steadystate",
 	} {
 		var out, errOut bytes.Buffer
 		if code := run([]string{fixtures + dir + "/bad"}, &out, &errOut); code != 1 {
@@ -56,10 +57,55 @@ func TestChecksFlag(t *testing.T) {
 		"panicpath", "errwrap", "floateq", "closecheck", "globalrand", "ctxless-loop",
 		"boundscontract", "lockbalance", "goleak", "deferinloop",
 		"poolbalance", "atomicmix", "joinbarrier",
+		"wireconform", "ctxflow", "steadystate",
 	} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-checks output missing %s:\n%s", name, out.String())
 		}
+	}
+}
+
+// TestOnlySkipFlags pins the suite-selection contract: -only narrows to the
+// named checks, -skip removes them, an unknown name exits 2, and an ignore
+// directive for a check outside the running set is not judged stale.
+func TestOnlySkipFlags(t *testing.T) {
+	var out, errOut bytes.Buffer
+
+	if code := run([]string{"-only", "floateq", fixtures + "floateq/bad"}, &out, &errOut); code != 1 {
+		t.Errorf("-only floateq on floateq/bad: exit %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "[floateq]") {
+		t.Errorf("-only floateq output missing [floateq]: %q", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-skip", "floateq", fixtures + "floateq/bad"}, &out, &errOut); code != 0 {
+		t.Errorf("-skip floateq on floateq/bad: exit %d, want 0, output:\n%s", code, out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-only", "panicpath", fixtures + "floateq/bad"}, &out, &errOut); code != 0 {
+		t.Errorf("-only panicpath on floateq/bad: exit %d, want 0, output:\n%s", code, out.String())
+	}
+
+	// joinbarrier/ignored carries a //lint:ignore joinbarrier directive; a
+	// run without joinbarrier active must not report it stale.
+	out.Reset()
+	if code := run([]string{"-only", "floateq", fixtures + "joinbarrier/ignored"}, &out, &errOut); code != 0 {
+		t.Errorf("-only floateq on joinbarrier/ignored: exit %d, want 0, output:\n%s", code, out.String())
+	}
+
+	errOut.Reset()
+	if code := run([]string{"-only", "nosuchcheck", fixtures + "floateq/good"}, &out, &errOut); code != 2 {
+		t.Errorf("-only nosuchcheck: exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "nosuchcheck") {
+		t.Errorf("unknown-check error does not name the check: %q", errOut.String())
+	}
+
+	errOut.Reset()
+	if code := run([]string{"-skip", "nosuchcheck", fixtures + "floateq/good"}, &out, &errOut); code != 2 {
+		t.Errorf("-skip nosuchcheck: exit %d, want 2", code)
 	}
 }
 

@@ -19,6 +19,8 @@ import (
 // than the index's floor. If fewer than k subsequences are reachable at all
 // (a narrow band can make every distance infinite), the reachable ones are
 // returned.
+//
+//twlint:ctx-root public compatibility wrapper for pre-context callers; cancellable k-NN uses SearchKNNCtx
 func (ix *Index) SearchKNN(q []float64, k int) ([]Match, SearchStats, error) {
 	return ix.SearchKNNCtx(context.Background(), q, k)
 }

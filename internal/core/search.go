@@ -18,6 +18,8 @@ import (
 // selected by how the index was built. Results are sorted by (sequence,
 // start, end). The guarantee is no false dismissals: the returned set is
 // exactly what SeqScan returns.
+//
+//twlint:ctx-root public compatibility wrapper for pre-context callers; cancellable searches use SearchCtx
 func (ix *Index) Search(q []float64, eps float64) ([]Match, SearchStats, error) {
 	return ix.search(context.Background(), q, eps, nil)
 }
@@ -35,6 +37,8 @@ func (ix *Index) SearchCtx(ctx context.Context, q []float64, eps float64) ([]Mat
 // called once per answer, in no particular order; returning false stops the
 // search early. Use it when a permissive threshold would produce answer
 // sets too large to hold in memory.
+//
+//twlint:ctx-root public compatibility wrapper for pre-context callers; cancellable streaming uses SearchVisitCtx
 func (ix *Index) SearchVisit(q []float64, eps float64, fn func(Match) bool) (SearchStats, error) {
 	return ix.SearchVisitCtx(context.Background(), q, eps, fn)
 }
@@ -177,6 +181,8 @@ type searcher struct {
 // early-stop flag. The traversal calls it every few nodes (cancelMask), the
 // post-processing scan once per pending group; both are frequent enough to
 // bound abort latency and rare enough to keep ctx.Err off the hot path.
+//
+//twlint:steady-state
 func (s *searcher) checkCancel() {
 	if s.extStop != nil && s.extStop.Load() {
 		s.stopped = true
@@ -195,6 +201,8 @@ const cancelMask = 63
 
 // emit delivers one verified answer, either into the result slice or to the
 // streaming visitor. After an early stop nothing further is delivered.
+//
+//twlint:steady-state
 func (s *searcher) emit(m Match) {
 	if s.stopped {
 		return
@@ -206,6 +214,7 @@ func (s *searcher) emit(m Match) {
 		}
 		return
 	}
+	//lint:ignore steadystate answer materialization: the slice is the result handed to the caller, so its growth is the answer set's own footprint, not per-query churn
 	s.matches = append(s.matches, m)
 }
 
@@ -228,6 +237,8 @@ func (s *searcher) collectNode(level int) *disktree.Node {
 // Theorem 1 (adjusted for the sparse shift discount), and recursing into
 // children. runBroken/firstRun describe the path's leading equal-symbol
 // run on entry; the table is restored to its entry depth before returning.
+//
+//twlint:steady-state
 func (s *searcher) processEdge(ptr disktree.Ptr, level int, runBroken bool, firstRun int) error {
 	n := s.node(level)
 	if err := s.ix.Tree.ReadNodeInto(ptr, n); err != nil {
@@ -368,6 +379,8 @@ func (s *searcher) processEdge(ptr disktree.Ptr, level int, runBroken bool, firs
 
 // collect emits candidates for every leaf in the subtree rooted at the node
 // n (already read), for the current depth d and filter distance dist.
+//
+//twlint:steady-state
 func (s *searcher) collect(n *disktree.Node, d int, dist float64) error {
 	if n.Leaf {
 		s.emitLeaf(n, d, dist)
@@ -376,6 +389,7 @@ func (s *searcher) collect(n *disktree.Node, d int, dist float64) error {
 	return s.collectChildren(n, 0, d, dist)
 }
 
+//twlint:steady-state
 func (s *searcher) collectChildren(n *disktree.Node, level, d int, dist float64) error {
 	for i := range n.Children {
 		c := s.collectNode(level)
@@ -397,6 +411,8 @@ func (s *searcher) collectChildren(n *disktree.Node, level, d int, dist float64)
 // on sparse trees, the D_tw-lb2 candidates for the non-stored suffixes
 // inside the leaf's leading run (Definition 4: shift j up to
 // min(runLen, d) - 1).
+//
+//twlint:steady-state
 func (s *searcher) emitLeaf(leaf *disktree.Node, d int, dist float64) {
 	seq := int(leaf.LabelSeq)
 	pos := int(leaf.Pos)
@@ -423,6 +439,8 @@ func (s *searcher) emitLeaf(leaf *disktree.Node, d int, dist float64) {
 // answer outright; otherwise it joins its start's pending group for the
 // post-processing scan. (No bound-source marker: the summary fixpoint
 // infers that lb receives lower bounds from the emitLeaf call sites.)
+//
+//twlint:steady-state
 func (s *searcher) candidate(seq, start, end int, lb float64, exact bool) {
 	if end-start < s.ix.minAnswerLen {
 		return
@@ -444,6 +462,8 @@ func (s *searcher) candidate(seq, start, end int, lb float64, exact bool) {
 // touched offsets visits only this query's candidates — O(candidates), not
 // a scan of the whole database — in the same (seq, start) order the dense
 // scan used, since the global offset is monotone in (seq, start).
+//
+//twlint:steady-state
 func (s *searcher) postProcess() {
 	seq := 0
 	for _, off := range s.pend.Sorted() {

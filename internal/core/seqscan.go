@@ -14,6 +14,8 @@ import (
 // and abandoning the suffix as soon as every column of a row exceeds eps.
 // Its exact answers double as the ground truth the index searches are
 // verified against. window < 0 disables the warping-window constraint.
+//
+//twlint:ctx-root public compatibility wrapper for pre-context callers; cancellable scans use SeqScanCtx
 func SeqScan(data *sequence.Dataset, q []float64, eps float64, window int) ([]Match, SearchStats, error) {
 	return seqScan(context.Background(), data, q, eps, window, true)
 }
@@ -29,6 +31,8 @@ func SeqScanCtx(ctx context.Context, data *sequence.Dataset, q []float64, eps fl
 // cumulative table per suffix, O(M·L̄²·|Q|) regardless of eps — no early
 // abandon, which is why the paper's measured scan times barely vary with
 // the threshold. Table 3's speedup factors are quoted against this.
+//
+//twlint:ctx-root measurement baseline, run to completion by design; the paper's timings assume no early abort
 func SeqScanFull(data *sequence.Dataset, q []float64, eps float64, window int) ([]Match, SearchStats, error) {
 	return seqScan(context.Background(), data, q, eps, window, false)
 }

@@ -68,6 +68,8 @@ func (t *Table) Reset() {
 }
 
 // Pop removes the most recently added row. It panics on an empty table.
+//
+//twlint:steady-state
 func (t *Table) Pop() {
 	if t.depth == 0 {
 		//lint:ignore panicpath row-discipline assertion: an unmatched Pop means AddRow/Pop bookkeeping is already corrupt, so lower bounds can no longer be trusted
@@ -78,6 +80,8 @@ func (t *Table) Pop() {
 }
 
 // Truncate pops rows until exactly depth rows remain.
+//
+//twlint:steady-state
 func (t *Table) Truncate(depth int) {
 	if depth < 0 || depth > t.depth {
 		//lint:ignore panicpath row-discipline assertion: truncating past the stack means traversal bookkeeping is already corrupt
@@ -128,6 +132,7 @@ func (t *Table) CopyFrom(src *Table) {
 // column (the Theorem-1 pruning value).
 //
 //twlint:bound-source results=1
+//twlint:steady-state
 func (t *Table) AddRowValue(v float64) (dist, minDist float64) {
 	q := t.q
 	n := len(q)
@@ -192,6 +197,7 @@ func (t *Table) AddRowValue(v float64) (dist, minDist float64) {
 // Definition 3.
 //
 //twlint:bound-source results=0,1
+//twlint:steady-state
 func (t *Table) AddRowInterval(lo, hi float64) (dist, minDist float64) {
 	q := t.q
 	n := len(q)

@@ -286,6 +286,81 @@ b5(if.then) [return err] -> b1
 b6(if.done) [defer f.Close()] -> b2
 `,
 		},
+		{
+			// The canonical cancellation poll: an unbounded loop whose body
+			// selects on ctx.Done each turn. There is no select head->done
+			// edge — every path through the loop passes a comm clause, which
+			// is what makes the select a per-iteration poll.
+			name: "select-ctx-done-poll",
+			src: `package p
+func f(ctx Ctx, work chan int) int {
+	total := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return total
+		case v := <-work:
+			total += v
+		}
+	}
+}`,
+			want: `b0(entry) [total := 0] -> b2
+b1(exit)
+b2(for.head) -> b3
+b3(for.body) -> b6 b7
+b4(for.done) -> b1
+b5(select.done) -> b2
+b6(select.comm) [<-ctx.Done(); return total] -> b1
+b7(select.comm) [v := <-work; total += v] -> b5
+`,
+		},
+		{
+			// The masked-counter poll: the checkCancel call is guarded by a
+			// counter test, so the poll sits on a conditional branch inside
+			// the loop body rather than on every path.
+			name: "masked-counter-poll",
+			src: `package p
+func f(s *searcher) int {
+	for {
+		s.n++
+		if s.n&63 == 0 {
+			if s.checkCancel() {
+				return s.n
+			}
+		}
+	}
+}`,
+			want: `b0(entry) -> b2
+b1(exit)
+b2(for.head) -> b3
+b3(for.body) [s.n++; s.n&63 == 0] -> b5 b6
+b4(for.done) -> b1
+b5(if.then) [s.checkCancel()] -> b7 b8
+b6(if.done) -> b2
+b7(if.then) [return s.n] -> b1
+b8(if.done) -> b6
+`,
+		},
+		{
+			// A for-range over a channel needs no poll: the loop exits via
+			// the range head when the channel closes, so the head->done edge
+			// is the cancellation path.
+			name: "range-done-channel",
+			src: `package p
+func f(ch chan int) int {
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}`,
+			want: `b0(entry) [total := 0] -> b2
+b1(exit)
+b2(range.head) [v := range ch] -> b3 b4
+b3(range.body) [total += v] -> b2
+b4(range.done) [return total] -> b1
+`,
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

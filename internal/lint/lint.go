@@ -126,6 +126,9 @@ func Analyzers() []*Analyzer {
 		PoolBalance,
 		AtomicMix,
 		JoinBarrier,
+		WireConform,
+		CtxFlow,
+		SteadyState,
 	}
 }
 

@@ -72,6 +72,9 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"poolbalance", PoolBalance, 2},
 		{"atomicmix", AtomicMix, 2},
 		{"joinbarrier", JoinBarrier, 2},
+		{"wireconform", WireConform, 2},
+		{"ctxflow", CtxFlow, 4},
+		{"steadystate", SteadyState, 7},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {

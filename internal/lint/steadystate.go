@@ -1,0 +1,226 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SteadyState enforces PR 4's allocation contract statically. A function
+// marked
+//
+//	//twlint:steady-state [reason]
+//
+// is on the pooled per-query path — the AddRow* kernels, the pending-set
+// ops, the visitor plumbing — where TestSearchAllocationSteadyState pins
+// ~0 bytes/query after warmup. Such a body may not contain:
+//
+//   - make/new calls or slice/map/chan composite literals
+//   - address-taken composite literals (&T{} escapes to the heap)
+//   - append calls (a growing append reallocates the backing array)
+//   - function literals that capture enclosing variables (a capturing
+//     closure allocates per call)
+//   - interface-boxing call sites (a concrete value passed to an interface
+//     parameter allocates), unless the call goes through an audited pool
+//     acquire (a package-local function carrying //twlint:pool-transfer)
+//
+// Warmup-phase allocation that a growth guard bounds — the pending-set
+// Reset's touched-slice doubling, for instance — is audited in place with
+// //lint:ignore steadystate <reason>, so each amortization argument is
+// written down where it holds. A floating marker not attached to a
+// function declaration is itself a finding, like bound-source.
+var SteadyState = &Analyzer{
+	Name: "steadystate",
+	Doc: "a //twlint:steady-state function allocates: make/new, composite " +
+		"literal escape, growing append, capturing closure, or interface " +
+		"boxing; hoist into the pooled query context or audit the warmup " +
+		"with //lint:ignore steadystate",
+	Run: runSteadyState,
+}
+
+// steadyStateComment returns the //twlint:steady-state line of a doc
+// comment, or nil.
+func steadyStateComment(doc *ast.CommentGroup) *ast.Comment {
+	if doc == nil {
+		return nil
+	}
+	for _, cm := range doc.List {
+		if strings.HasPrefix(cm.Text, "//twlint:steady-state") {
+			return cm
+		}
+	}
+	return nil
+}
+
+func runSteadyState(pass *Pass) {
+	if !pass.Library {
+		return
+	}
+	// Audited pool acquires: calls to these are the sanctioned way a value
+	// enters a steady-state body, so their call sites are exempt from the
+	// boxing check.
+	pooled := make(map[*types.Func]bool)
+	attached := make(map[*ast.Comment]bool)
+	var markedDecls []*ast.FuncDecl
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset.Position(file.Pos())) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if c, _ := poolTransferComment(fd.Doc); c != nil {
+				if fn, _ := pass.Info.Defs[fd.Name].(*types.Func); fn != nil {
+					pooled[fn] = true
+				}
+			}
+			c := steadyStateComment(fd.Doc)
+			if c == nil {
+				continue
+			}
+			attached[c] = true
+			if fd.Body == nil {
+				continue
+			}
+			markedDecls = append(markedDecls, fd)
+		}
+	}
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset.Position(file.Pos())) {
+			continue
+		}
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				if strings.HasPrefix(c.Text, "//twlint:steady-state") && !attached[c] {
+					pass.ReportPos(c.Pos(), "stale //twlint:steady-state: the directive is not the doc comment of a function declaration, so it pins nothing; move it onto the kernel or delete it")
+				}
+			}
+		}
+	}
+	for _, fd := range markedDecls {
+		checkSteadyState(pass, fd, pooled)
+	}
+}
+
+// checkSteadyState walks one marked body and reports every allocation site.
+func checkSteadyState(pass *Pass, fd *ast.FuncDecl, pooled map[*types.Func]bool) {
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Report(n, "steady-state %s heap-allocates an address-taken composite literal; acquire the value from the pool or hoist it into the query context", name)
+				}
+			}
+		case *ast.CompositeLit:
+			if t := pass.Info.TypeOf(n); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map, *types.Chan:
+					pass.Report(n, "steady-state %s allocates a %s literal per call; preallocate it in the pool warmup", name, compositeKind(t))
+				}
+			}
+		case *ast.FuncLit:
+			if caps := capturedVars(pass, fd, n); len(caps) > 0 {
+				pass.Report(n, "steady-state %s builds a closure capturing %s, allocating per call; hoist the literal to a method or pass the state explicitly", name, strings.Join(caps, ", "))
+			}
+		case *ast.CallExpr:
+			checkSteadyCall(pass, name, n, pooled)
+		}
+		return true
+	})
+}
+
+// compositeKind names the allocating literal kind for the report.
+func compositeKind(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	case *types.Chan:
+		return "channel"
+	}
+	return "composite"
+}
+
+// checkSteadyCall reports allocating calls: make/new/append builtins and
+// interface-boxing argument passing.
+func checkSteadyCall(pass *Pass, name string, call *ast.CallExpr, pooled map[*types.Func]bool) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, builtin := pass.Info.Uses[id].(*types.Builtin); builtin {
+			switch id.Name {
+			case "make", "new":
+				pass.Report(call, "steady-state %s calls %s, allocating per call; move the allocation into the pool warmup", name, id.Name)
+			case "append":
+				pass.Report(call, "steady-state %s appends, which may grow the backing array; preallocate capacity in the warmup or audit the amortization with //lint:ignore steadystate", name)
+			}
+			return
+		}
+	}
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || pooled[fn] {
+		return // dynamic call, or an audited pool acquire
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		j := paramIndex(sig, i)
+		if j < 0 {
+			continue
+		}
+		ptype := sig.Params().At(j).Type()
+		if sig.Variadic() && j == sig.Params().Len()-1 {
+			if s, ok := ptype.Underlying().(*types.Slice); ok && !call.Ellipsis.IsValid() {
+				ptype = s.Elem()
+			}
+		}
+		if !types.IsInterface(ptype.Underlying()) {
+			continue
+		}
+		if _, tp := ptype.(*types.TypeParam); tp {
+			continue // generic instantiation, not boxing
+		}
+		at := pass.Info.TypeOf(arg)
+		if at == nil || types.IsInterface(at.Underlying()) {
+			continue
+		}
+		if basic, ok := at.Underlying().(*types.Basic); ok && basic.Kind() == types.UntypedNil {
+			continue
+		}
+		pass.Report(arg, "steady-state %s boxes a concrete %s into interface parameter %q of %s, allocating per call; take a concrete type or route the value through an audited pool acquire", name, at.String(), paramName(fn, j), fn.Name())
+	}
+}
+
+// capturedVars lists the enclosing local variables a function literal
+// captures: identifiers resolving to objects declared inside the enclosing
+// function but outside the literal (parameters and receivers included).
+func capturedVars(pass *Pass, fd *ast.FuncDecl, lit *ast.FuncLit) []string {
+	var out []string
+	seen := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok || seen[obj] || obj.IsField() {
+			return true
+		}
+		if obj.Pos() < fd.Pos() || obj.Pos() > fd.End() {
+			return true // package-level or foreign: no closure cell
+		}
+		if lit.Pos() <= obj.Pos() && obj.Pos() <= lit.End() {
+			return true // the literal's own local or parameter
+		}
+		seen[obj] = true
+		out = append(out, obj.Name())
+		return true
+	})
+	return out
+}

@@ -313,12 +313,14 @@ func orInto(dst, src []bool) {
 }
 
 // pkgAnalysis caches one package's interprocedural artifacts: the call
-// graph, the parsed bound-source markers, and the full-fixpoint summaries
-// (markers included as seeds).
+// graph, the parsed bound-source markers, the full-fixpoint bound-taint
+// summaries (markers included as seeds), and the context-flow summaries
+// ctxflow resolves cross-package calls through.
 type pkgAnalysis struct {
 	cg      *callGraph
 	markers []markerInfo
 	sums    map[*types.Func]*FuncSummary
+	ctx     map[*types.Func]*ctxSummary
 }
 
 // analysisFor computes (and caches) a package's call graph and bound-taint
@@ -334,6 +336,7 @@ func (l *Loader) analysisFor(pkg *Package) *pkgAnalysis {
 		markers: collectBoundMarkers(pkg.Fset, pkg.Files, pkg.Info),
 	}
 	a.sums = computeSummaries(a.cg, markerMasks(a.markers, nil), l.depResolver(pkg))
+	a.ctx = computeCtxSummaries(a.cg, l.ctxDepResolver(pkg))
 	l.analyses[pkg.Path] = a
 	return a
 }
@@ -350,5 +353,22 @@ func (l *Loader) depResolver(pkg *Package) func(*types.Func) *FuncSummary {
 			return nil
 		}
 		return l.analysisFor(dpkg).sums[fn]
+	}
+}
+
+// ctxDepResolver is depResolver's context-flow twin: it resolves a function
+// of another module package to its ctxSummary, or nil for stdlib and
+// unresolved callees.
+func (l *Loader) ctxDepResolver(pkg *Package) func(*types.Func) *ctxSummary {
+	return func(fn *types.Func) *ctxSummary {
+		tp := fn.Pkg()
+		if tp == nil || tp.Path() == pkg.Path {
+			return nil
+		}
+		dpkg := l.cache[tp.Path()]
+		if dpkg == nil {
+			return nil
+		}
+		return l.analysisFor(dpkg).ctx[fn]
 	}
 }

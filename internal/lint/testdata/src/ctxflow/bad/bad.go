@@ -1,0 +1,41 @@
+// Package server exercises every ctxflow rule: an unmarked re-root, a
+// re-root beneath a context parameter, a request path calling an audited
+// wrapper, and a handler loop that never polls. The package is named
+// server so the handle*/serve* root convention applies.
+package server
+
+import "context"
+
+// Scan is an audited compatibility wrapper; the marker covers its root for
+// outside callers, not request-path calls to it.
+//
+//twlint:ctx-root fixture: compat wrapper for context-free callers
+func Scan() int {
+	_ = context.Background()
+	return 1
+}
+
+// Fresh roots a context with no audit trail.
+func Fresh() context.Context {
+	return context.Background()
+}
+
+// handleQuery is a request root by the server handle* convention; calling
+// the wrapper discards the request deadline beneath it.
+func handleQuery(q int) int {
+	return q + Scan()
+}
+
+// serveBatch re-roots despite receiving ctx, and spins without polling.
+func serveBatch(ctx context.Context, jobs []int) int {
+	c := context.TODO()
+	_ = c
+	i, n := 0, 0
+	for {
+		n += jobs[i%len(jobs)]
+		i++
+		if i == len(jobs) {
+			return n
+		}
+	}
+}

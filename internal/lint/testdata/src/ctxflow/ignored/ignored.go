@@ -1,0 +1,18 @@
+// Package ignored must pass ctxflow only because the poll-free loop's
+// iteration bound is audited with a directive.
+package ignored
+
+import "context"
+
+// Spin busy-waits a bounded number of turns; the bound, not a poll, caps
+// how long the request can be held.
+func Spin(ctx context.Context) int {
+	n := 0
+	//lint:ignore ctxflow fixture: the loop is bounded by the counter check below, so it cannot outlive the request
+	for {
+		n++
+		if n == 100 {
+			return n
+		}
+	}
+}

@@ -1,0 +1,42 @@
+// Package bad puts one allocation of every kind inside a steady-state
+// kernel — make, growing append, an address-taken literal, a slice
+// literal, a capturing closure, and an interface box — plus one floating
+// marker that pins nothing.
+package bad
+
+type point struct {
+	x int
+}
+
+type sink interface {
+	Write(v int)
+}
+
+// record boxes whatever is passed to it.
+func record(v interface{}) int {
+	if v == nil {
+		return 0
+	}
+	return 1
+}
+
+type kernel struct {
+	buf   []float64
+	count int
+}
+
+// step violates the allocation contract six ways.
+//
+//twlint:steady-state
+func (k *kernel) step(s sink, v int) {
+	tmp := make([]float64, 4)
+	k.buf = append(k.buf, tmp...)
+	p := &point{x: v}
+	ws := []int{v}
+	f := func() int { return v + k.count }
+	k.count = record(v)
+	s.Write(f() + p.x + ws[0])
+}
+
+//twlint:steady-state
+var scratch []float64

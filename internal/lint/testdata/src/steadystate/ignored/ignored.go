@@ -1,0 +1,16 @@
+// Package ignored must pass steadystate only because the warmup-amortized
+// append is audited with a directive.
+package ignored
+
+type set struct {
+	touched []int32
+}
+
+// add records an offset into storage that doubles toward a high-water mark
+// once, then is resliced and reused by every later query.
+//
+//twlint:steady-state
+func (s *set) add(off int32) {
+	//lint:ignore steadystate fixture: touched doubles to the high-water mark once, then reset reslices and reuses the array
+	s.touched = append(s.touched, off)
+}

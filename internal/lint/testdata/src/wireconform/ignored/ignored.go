@@ -1,0 +1,40 @@
+// Package ignored must pass wireconform only because the deliberate nonce
+// truncation is audited with a directive.
+package ignored
+
+import "encoding/binary"
+
+// Reader is the fixture's decode cursor.
+type Reader struct {
+	buf []byte
+	off int
+}
+
+func (r *Reader) U32() uint32 {
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+// Header carries a magic word and an 8-byte nonce.
+type Header struct {
+	Magic uint32
+	Nonce uint64
+}
+
+// EncodeHeader writes the full 8-byte nonce.
+func EncodeHeader(b []byte, h Header) []byte {
+	b = binary.LittleEndian.AppendUint32(b, h.Magic)
+	b = binary.LittleEndian.AppendUint64(b, h.Nonce)
+	return b
+}
+
+// DecodeHeader keeps only the nonce's low half; the directive records why
+// the tail bytes may be dropped.
+func DecodeHeader(r *Reader) Header {
+	var h Header
+	h.Magic = r.U32()
+	//lint:ignore wireconform fixture: legacy peers use only the low nonce word; the high word is reserved padding until the flag day
+	h.Nonce = uint64(r.U32())
+	return h
+}

@@ -52,6 +52,8 @@ func (t *Table) Cells() uint64 { return t.cells }
 
 // Truncate pops rows until depth rows remain (the cell counter keeps
 // accumulating).
+//
+//twlint:steady-state
 func (t *Table) Truncate(depth int) {
 	if depth < 0 || depth > t.depth {
 		//lint:ignore panicpath row-discipline assertion: truncating past the stack means traversal bookkeeping is already corrupt
@@ -102,6 +104,7 @@ func (t *Table) Row(r int) []float64 {
 // distance; returns the last column (prefix distance) and row minimum.
 //
 //twlint:bound-source results=1
+//twlint:steady-state
 func (t *Table) AddRowPoint(p []float64) (dist, minDist float64) {
 	q := t.q
 	n := len(q)
@@ -163,6 +166,7 @@ func (t *Table) AddRowPoint(p []float64) (dist, minDist float64) {
 // lower-bound base distance.
 //
 //twlint:bound-source results=0,1
+//twlint:steady-state
 func (t *Table) AddRowBox(b Box) (dist, minDist float64) {
 	q := t.q
 	n := len(q)

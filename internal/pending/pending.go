@@ -32,9 +32,13 @@ type Set struct {
 // Reset prepares the set for a new query over a database of n elements,
 // forgetting all entries in O(touched) — or O(n) on first use, growth, or
 // epoch wraparound.
+//
+//twlint:steady-state
 func (s *Set) Reset(n int) {
 	if len(s.stamp) != n {
+		//lint:ignore steadystate warmup only: the arrays are sized to the database once per pooled searcher and reused until the dataset changes
 		s.stamp = make([]uint32, n)
+		//lint:ignore steadystate warmup only: sized with stamp above, reused across every query on this searcher
 		s.maxEnd = make([]int32, n)
 		s.epoch = 0
 	}
@@ -48,6 +52,8 @@ func (s *Set) Reset(n int) {
 
 // Add records a candidate [offset, end]; if the offset already holds a
 // candidate this query, the larger end wins.
+//
+//twlint:steady-state
 func (s *Set) Add(offset, end int32) {
 	if s.stamp[offset] == s.epoch {
 		if end > s.maxEnd[offset] {
@@ -57,6 +63,7 @@ func (s *Set) Add(offset, end int32) {
 	}
 	s.stamp[offset] = s.epoch
 	s.maxEnd[offset] = end
+	//lint:ignore steadystate amortized: touched doubles toward the candidate high-water mark, then Reset reslices to 0 and reuses the array
 	s.touched = append(s.touched, offset)
 }
 
@@ -69,6 +76,8 @@ func (s *Set) Len() int { return len(s.touched) }
 // result is independent of merge order and of how candidates were sharded:
 // Add keeps the maximum end per offset, and Sorted orders the offsets, so
 // the union equals the set a serial pass would have built.
+//
+//twlint:steady-state
 func (s *Set) MergeFrom(o *Set) {
 	for _, off := range o.touched {
 		s.Add(off, o.maxEnd[off])
@@ -77,6 +86,8 @@ func (s *Set) MergeFrom(o *Set) {
 
 // Sorted returns this query's offsets in ascending order. The slice aliases
 // the set's storage and is invalidated by the next Reset.
+//
+//twlint:steady-state
 func (s *Set) Sorted() []int32 {
 	slices.Sort(s.touched)
 	return s.touched
@@ -84,4 +95,6 @@ func (s *Set) Sorted() []int32 {
 
 // MaxEnd returns the largest end recorded for an offset this query. It must
 // only be called with offsets returned by Sorted (or previously Added).
+//
+//twlint:steady-state
 func (s *Set) MaxEnd(offset int32) int32 { return s.maxEnd[offset] }

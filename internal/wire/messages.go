@@ -25,25 +25,39 @@ type SearchReq struct {
 	Query       []float64
 }
 
-// Encode appends the request body to b.
-func (m *SearchReq) Encode(b []byte) []byte {
+// Encode appends the request body to b at the current protocol version.
+func (m *SearchReq) Encode(b []byte) []byte { return m.EncodeAt(b, Version) }
+
+// EncodeAt appends the request body as protocol version `version` lays it
+// out: the Parallelism hint ships only at version >= 3.
+func (m *SearchReq) EncodeAt(b []byte, version uint16) []byte {
 	b = appendString(b, m.DB)
 	b = appendString(b, m.Index)
 	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(m.Eps))
 	b = binary.LittleEndian.AppendUint64(b, uint64(m.Timeout))
-	b = binary.LittleEndian.AppendUint32(b, uint32(m.Parallelism))
+	if version >= 3 {
+		b = binary.LittleEndian.AppendUint32(b, uint32(m.Parallelism))
+	}
 	return appendFloats(b, m.Query)
 }
 
-// DecodeSearchReq parses a TSearch body.
+// DecodeSearchReq parses a TSearch body at the current protocol version.
 func DecodeSearchReq(body []byte) (SearchReq, error) {
+	return DecodeSearchReqAt(body, Version)
+}
+
+// DecodeSearchReqAt parses a TSearch body as protocol version `version`
+// lays it out, mirroring EncodeAt gate for gate.
+func DecodeSearchReqAt(body []byte, version uint16) (SearchReq, error) {
 	r := NewReader(body)
 	m := SearchReq{
-		DB:          r.String(),
-		Index:       r.String(),
-		Eps:         r.F64(),
-		Timeout:     time.Duration(r.I64()),
-		Parallelism: int(r.U32()),
+		DB:      r.String(),
+		Index:   r.String(),
+		Eps:     r.F64(),
+		Timeout: time.Duration(r.I64()),
+	}
+	if version >= 3 {
+		m.Parallelism = int(r.U32())
 	}
 	m.Query = r.Floats()
 	return m, r.Err()
@@ -60,25 +74,39 @@ type KNNReq struct {
 	Query       []float64
 }
 
-// Encode appends the request body to b.
-func (m *KNNReq) Encode(b []byte) []byte {
+// Encode appends the request body to b at the current protocol version.
+func (m *KNNReq) Encode(b []byte) []byte { return m.EncodeAt(b, Version) }
+
+// EncodeAt appends the request body as protocol version `version` lays it
+// out: the Parallelism hint ships only at version >= 3.
+func (m *KNNReq) EncodeAt(b []byte, version uint16) []byte {
 	b = appendString(b, m.DB)
 	b = appendString(b, m.Index)
 	b = binary.LittleEndian.AppendUint32(b, uint32(m.K))
 	b = binary.LittleEndian.AppendUint64(b, uint64(m.Timeout))
-	b = binary.LittleEndian.AppendUint32(b, uint32(m.Parallelism))
+	if version >= 3 {
+		b = binary.LittleEndian.AppendUint32(b, uint32(m.Parallelism))
+	}
 	return appendFloats(b, m.Query)
 }
 
-// DecodeKNNReq parses a TKNN body.
+// DecodeKNNReq parses a TKNN body at the current protocol version.
 func DecodeKNNReq(body []byte) (KNNReq, error) {
+	return DecodeKNNReqAt(body, Version)
+}
+
+// DecodeKNNReqAt parses a TKNN body as protocol version `version` lays it
+// out, mirroring EncodeAt gate for gate.
+func DecodeKNNReqAt(body []byte, version uint16) (KNNReq, error) {
 	r := NewReader(body)
 	m := KNNReq{
-		DB:          r.String(),
-		Index:       r.String(),
-		K:           int(r.U32()),
-		Timeout:     time.Duration(r.I64()),
-		Parallelism: int(r.U32()),
+		DB:      r.String(),
+		Index:   r.String(),
+		K:       int(r.U32()),
+		Timeout: time.Duration(r.I64()),
+	}
+	if version >= 3 {
+		m.Parallelism = int(r.U32())
 	}
 	m.Query = r.Floats()
 	return m, r.Err()

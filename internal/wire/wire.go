@@ -41,6 +41,13 @@ import (
 // hint to SearchReq and KNNReq.
 const Version = 3
 
+// MinVersion is the oldest protocol version the versioned codecs
+// (EncodeAt / Decode*At) can still produce and parse. The live framing
+// negotiates Version exactly — the handshake makes no cross-version
+// promises — but the gated codecs keep the version-2 layouts encodable
+// so recorded frames and migration tooling can round-trip old captures.
+const MinVersion = 2
+
 // magic identifies a twsearchd connection.
 var magic = [4]byte{'T', 'W', 'S', 'D'}
 
@@ -268,8 +275,16 @@ func (r *Reader) U8() byte {
 	return s[0]
 }
 
-// Bool reads a byte as a boolean.
-func (r *Reader) Bool() bool { return r.U8() != 0 }
+// Bool reads a byte as a boolean. Only 0 and 1 are accepted: a canonical
+// encoding keeps decode∘encode the identity on valid frames, which the
+// round-trip fuzzer (FuzzFrameRoundTrip) relies on byte for byte.
+func (r *Reader) Bool() bool {
+	v := r.U8()
+	if r.err == nil && v > 1 {
+		r.err = fmt.Errorf("non-canonical boolean byte %#x", v)
+	}
+	return v == 1
+}
 
 // U32 reads a little-endian uint32.
 func (r *Reader) U32() uint32 {
@@ -326,7 +341,7 @@ func (r *Reader) Floats() []float64 {
 // undecoded trailing bytes — a frame must be consumed exactly.
 func (r *Reader) Err() error {
 	if r.err != nil {
-		return fmt.Errorf("wire: truncated frame: %w", r.err)
+		return fmt.Errorf("wire: bad frame: %w", r.err)
 	}
 	if r.off != len(r.b) {
 		return fmt.Errorf("wire: %d trailing bytes in frame", len(r.b)-r.off)

@@ -51,6 +51,8 @@ func Dial(addr string) (*Client, error) {
 }
 
 // DialOptions is Dial with explicit options.
+//
+//twlint:ctx-root connection setup outside any request; the dial deadline comes from opts.DialTimeout, not a caller ctx
 func DialOptions(addr string, opts Options) (*Client, error) {
 	if opts.DialTimeout <= 0 {
 		opts.DialTimeout = defaultDialTimeout

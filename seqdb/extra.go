@@ -16,6 +16,8 @@ import (
 // distance, through the named index. See the range Search for the matching
 // semantics; nearest-neighbor search expands the threshold until k answers
 // are certain.
+//
+//twlint:ctx-root public compatibility wrapper for pre-context callers; cancellable k-NN uses SearchKNNCtx
 func (db *DB) SearchKNN(indexName string, q []float64, k int) ([]Match, SearchStats, error) {
 	return db.SearchKNNCtx(context.Background(), indexName, q, k)
 }
@@ -26,6 +28,8 @@ func (db *DB) SearchKNN(indexName string, q []float64, k int) ([]Match, SearchSt
 // duplicate is opened and every worker benefits from the shared page cache.
 // Results are returned in query order. workers <= 0 means one worker per
 // query, capped at 8.
+//
+//twlint:ctx-root public batch wrapper with no caller deadline; each worker roots the batch's shared lifetime
 func (db *DB) SearchParallel(indexName string, queries [][]float64, eps float64, workers int) ([][]Match, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
@@ -55,7 +59,7 @@ func (db *DB) SearchParallel(indexName string, queries [][]float64, eps float64,
 		go func(w int) {
 			defer wg.Done()
 			for j := range jobs {
-				ms, _, err := oi.ix.Search(queries[j], eps)
+				ms, _, err := oi.ix.SearchCtx(context.Background(), queries[j], eps)
 				if err != nil {
 					errs[w] = err
 					continue
@@ -181,6 +185,8 @@ func (db *DB) ImportCSV(r io.Reader) (int, error) {
 // called once per answer (unordered); returning false stops the search.
 // Use it when a permissive threshold would produce answer sets too large
 // to hold in memory.
+//
+//twlint:ctx-root public compatibility wrapper for pre-context callers; cancellable streaming uses SearchVisitCtx
 func (db *DB) SearchVisit(indexName string, q []float64, eps float64, fn func(Match) bool) (SearchStats, error) {
 	return db.SearchVisitCtx(context.Background(), indexName, q, eps, fn)
 }

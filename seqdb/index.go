@@ -230,6 +230,8 @@ func (db *DB) Index(name string) (IndexInfo, error) {
 // subsequence with time warping distance at most eps from q, sorted by
 // (sequence, start, end). No false dismissals. Concurrent Search calls on
 // the same index run in parallel on the one shared handle.
+//
+//twlint:ctx-root public compatibility wrapper for pre-context callers; cancellable searches use SearchCtx
 func (db *DB) Search(indexName string, q []float64, eps float64) ([]Match, SearchStats, error) {
 	return db.SearchCtx(context.Background(), indexName, q, eps)
 }

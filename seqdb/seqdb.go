@@ -209,6 +209,8 @@ func (db *DB) Stats() Stats {
 }
 
 // SeqScan runs the exhaustive baseline: exact answers with no index.
+//
+//twlint:ctx-root public compatibility wrapper for pre-context callers; cancellable scans use SeqScanCtx
 func (db *DB) SeqScan(q []float64, eps float64) ([]Match, SearchStats, error) {
 	return db.SeqScanCtx(context.Background(), q, eps)
 }

@@ -101,6 +101,8 @@ type Server struct {
 }
 
 // New creates a Server with no databases attached.
+//
+//twlint:ctx-root server-lifetime root: every request ctx derives from it and Shutdown cancels it
 func New(cfg Config) *Server {
 	if cfg.MaxInFlight <= 0 {
 		cfg.MaxInFlight = defaultMaxInFlight
