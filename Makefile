@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-self lint-wire lint-golden lint-golden-update test race race-concurrency race-parallel cover bench bench-concurrency bench-parallel fuzz fuzz-ci smoke tables examples check ci clean
+.PHONY: all build vet lint lint-self lint-wire lint-golden lint-golden-update test race race-concurrency race-parallel race-shard cover bench bench-concurrency bench-parallel bench-shard fuzz fuzz-ci smoke tables examples check ci clean
 
 all: build vet lint test
 
@@ -51,7 +51,7 @@ check: build vet lint test race
 # targets, the server smoke drill, the linter over its own sources, the
 # fixture golden diff, and the machine-readable lint gate (any finding
 # fails the run; the JSON lines feed CI annotations).
-ci: check race-concurrency race-parallel fuzz-ci smoke lint-self lint-wire lint-golden
+ci: check race-concurrency race-parallel race-shard fuzz-ci smoke lint-self lint-wire lint-golden
 	$(GO) run ./cmd/twlint -json ./...
 
 # The concurrent-search suite under -race, run twice: many goroutines on
@@ -67,6 +67,15 @@ race-concurrency:
 # request-hint path.
 race-parallel:
 	$(GO) test -race -count=2 -run 'TestParallel|TestMultivarParallel|TestSearchWithDeterministic|TestServerParallelHint' ./internal/core/ ./internal/multivar/ ./seqdb/ ./seqdb/server/
+
+# Horizontal-sharding determinism under -race, run twice: at shard counts
+# {1,2,3,5}, range searches, streamed visits, k-NN and scans must return
+# answers byte-identical to the unsharded database — in process, through a
+# sharded twsearchd mount, through the routing tier (remote and mixed
+# legs), and over the v4 batch RPC. Also covers the scatter-gather
+# coordinator's partial-failure and merge paths.
+race-shard:
+	$(GO) test -race -count=2 -run 'TestSharded|TestShardedByteIdentical|TestServerSharded|TestServerBatch|TestRouterThroughDaemons|TestPartialFailure|TestSearch|TestScanMerges|TestManifest' ./internal/shard/ ./seqdb/ ./seqdb/server/
 
 # End-to-end server drill under the race detector: boot twsearchd on an
 # ephemeral port, stream matches over concurrent client connections,
@@ -104,6 +113,13 @@ bench-concurrency:
 # Speedup needs real cores; see the report's gomaxprocs field.
 bench-parallel:
 	$(GO) run ./cmd/benchpar
+
+# Sharded query throughput and latency: queries/sec plus avg/p50/p95
+# per-query latency at 1, 2, 4, and 8 shards against the unsharded
+# baseline, written to BENCH_shard.json. Shard fan-out needs real cores;
+# see the report's gomaxprocs field.
+bench-shard:
+	$(GO) run ./cmd/benchshard
 
 # Short fuzz session over every fuzz target.
 fuzz:

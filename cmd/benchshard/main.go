@@ -1,0 +1,191 @@
+// Command benchshard measures what horizontal sharding buys a query
+// workload. It builds the stock-like workload once, indexes it unsharded,
+// then partitions the same data into 1, 2, 4, and 8 shards and replays
+// the identical query batch against each layout. Every row reports
+// queries/sec and per-query latency (average, p50, p95), plus the answer
+// total — which must agree across all rows, since sharded searches are
+// byte-identical to unsharded ones. The result is written as JSON
+// (default BENCH_shard.json) for the CI trend line.
+//
+// Usage:
+//
+//	benchshard [-scale f] [-queries n] [-eps f] [-seed n] [-out file]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+
+	"twsearch/internal/workload"
+	"twsearch/seqdb"
+)
+
+// searcher is the common query surface of the unsharded and sharded
+// layouts.
+type searcher interface {
+	Search(name string, q []float64, eps float64) ([]seqdb.Match, seqdb.SearchStats, error)
+}
+
+// result is one layout measurement. Shards == 0 is the unsharded row.
+type result struct {
+	Shards     int     `json:"shards"`
+	Queries    int     `json:"queries"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+	QPS        float64 `json:"queries_per_sec"`
+	AvgMS      float64 `json:"latency_avg_ms"`
+	P50MS      float64 `json:"latency_p50_ms"`
+	P95MS      float64 `json:"latency_p95_ms"`
+	Speedup    float64 `json:"speedup_vs_unsharded"`
+	Answers    uint64  `json:"answers"`
+}
+
+// report is the emitted JSON document.
+type report struct {
+	Scale      float64  `json:"scale"`
+	Eps        float64  `json:"eps"`
+	Seed       int64    `json:"seed"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Runs       []result `json:"runs"`
+}
+
+func main() {
+	scale := flag.Float64("scale", 0.5, "workload scale; 1.0 = paper scale (545 sequences)")
+	queries := flag.Int("queries", 100, "queries per layout measurement")
+	eps := flag.Float64("eps", 10, "distance threshold")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("out", "BENCH_shard.json", "output JSON path")
+	flag.Parse()
+
+	if err := run(*scale, *queries, *eps, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchshard:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scale float64, numQueries int, eps float64, seed int64, out string) error {
+	dir, err := os.MkdirTemp("", "twsearch-benchshard-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	n := int(545*scale + 0.5)
+	if n < 8 {
+		n = 8 // every shard count below needs at least one sequence per shard
+	}
+	data := workload.Stocks(workload.StockConfig{NumSequences: n, Seed: seed})
+	qs := workload.QueriesRand(rand.New(rand.NewSource(seed+1)), data,
+		workload.QueryConfig{Count: numQueries})
+
+	spec := seqdb.IndexSpec{Method: seqdb.MethodMaxEntropy, Categories: 20, Sparse: true}
+	db, err := seqdb.Create(filepath.Join(dir, "flat"))
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	for i := 0; i < data.Len(); i++ {
+		seq := data.Seq(i)
+		if err := db.Add(seq.ID, seq.Values); err != nil {
+			return err
+		}
+	}
+	if err := db.BuildIndex("bench", spec); err != nil {
+		return err
+	}
+
+	rep := report{Scale: scale, Eps: eps, Seed: seed, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	base, err := measure(db, qs, eps, 0)
+	if err != nil {
+		return err
+	}
+	base.Speedup = 1
+	rep.Runs = append(rep.Runs, base)
+	printRow(base)
+
+	for _, shards := range []int{1, 2, 4, 8} {
+		sdb, err := db.PartitionInto(filepath.Join(dir, fmt.Sprintf("s%d", shards)), shards)
+		if err != nil {
+			return err
+		}
+		if err := sdb.BuildIndex("bench", spec); err != nil {
+			sdb.Close()
+			return err
+		}
+		r, err := measure(sdb, qs, eps, shards)
+		sdb.Close()
+		if err != nil {
+			return err
+		}
+		if r.Answers != base.Answers {
+			return fmt.Errorf("shards=%d returned %d answers, unsharded returned %d — sharding must not change results",
+				shards, r.Answers, base.Answers)
+		}
+		r.Speedup = r.QPS / base.QPS
+		rep.Runs = append(rep.Runs, r)
+		printRow(r)
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func printRow(r result) {
+	label := "unsharded"
+	if r.Shards > 0 {
+		label = fmt.Sprintf("shards=%d", r.Shards)
+	}
+	fmt.Printf("%-10s %8.1f queries/sec  avg=%.2fms p50=%.2fms p95=%.2fms  speedup=%.2fx  answers=%d\n",
+		label, r.QPS, r.AvgMS, r.P50MS, r.P95MS, r.Speedup, r.Answers)
+}
+
+// measure replays the query batch serially — per-query latency is the
+// point; shard parallelism lives inside each search — and reports the
+// latency distribution.
+func measure(s searcher, qs [][]float64, eps float64, shards int) (result, error) {
+	lat := make([]time.Duration, 0, len(qs))
+	var answers uint64
+	start := time.Now()
+	for _, q := range qs {
+		qStart := time.Now()
+		matches, _, err := s.Search("bench", q, eps)
+		if err != nil {
+			return result{}, err
+		}
+		lat = append(lat, time.Since(qStart))
+		answers += uint64(len(matches))
+	}
+	elapsed := time.Since(start)
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	var sum time.Duration
+	for _, d := range lat {
+		sum += d
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return result{
+		Shards:     shards,
+		Queries:    len(qs),
+		ElapsedSec: elapsed.Seconds(),
+		QPS:        float64(len(qs)) / elapsed.Seconds(),
+		AvgMS:      ms(sum / time.Duration(len(lat))),
+		P50MS:      ms(lat[len(lat)/2]),
+		P95MS:      ms(lat[len(lat)*95/100]),
+		Answers:    answers,
+	}, nil
+}

@@ -10,10 +10,18 @@
 //	seqdbctl drop    -db DIR -name NAME
 //	seqdbctl query   -db DIR -name NAME -eps E (-q "v1,v2,..." | -from SEQID -start P -len L) [-limit N] [-timeout D]
 //	seqdbctl scan    -db DIR -eps E (-q "v1,v2,..." | -from SEQID -start P -len L) [-limit N] [-timeout D]
+//	seqdbctl shard   -db DIR -out DIR -shards N [-name NAME -method ... -cats N]
+//	seqdbctl batch   -addr host:port -file FILE [-dbname NAME] [-timeout D]
+//
+// Wherever -db takes a directory, a sharded database root (a directory
+// holding a MANIFEST.shards, as written by the shard subcommand) works
+// too: stats, index, drop, query, scan, and knn auto-detect sharding and
+// fan out over the shards.
 //
 // query, scan, and knn also run against a twsearchd daemon instead of a
 // local directory: pass -addr host:port (with -q, since the server does
-// not expose raw sequence values for -from cuts).
+// not expose raw sequence values for -from cuts). batch is remote-only:
+// it ships a whole query file in one round-trip.
 //
 // Exit codes: 0 success, 1 generic error, 2 usage, 3 deadline exceeded
 // (-timeout hit locally or on the server), 4 server overloaded.
@@ -65,6 +73,10 @@ func main() {
 		err = cmdAlign(args)
 	case "tune":
 		err = cmdTune(args)
+	case "shard":
+		err = cmdShard(args)
+	case "batch":
+		err = cmdBatch(args)
 	default:
 		usage()
 	}
@@ -95,6 +107,31 @@ func queryContext(timeout time.Duration) (context.Context, context.CancelFunc) {
 	return context.Background(), func() {}
 }
 
+// database is the surface of a plain or sharded database that the
+// subcommands use; *seqdb.DB and *seqdb.ShardedDB both satisfy it.
+type database interface {
+	Close() error
+	Values(id string) []float64
+	Indexes() []string
+	Index(name string) (seqdb.IndexInfo, error)
+	Stats() seqdb.Stats
+	PoolStats() []seqdb.IndexPoolStats
+	BuildIndex(name string, spec seqdb.IndexSpec) error
+	DropIndex(name string) error
+	SearchCtx(ctx context.Context, name string, q []float64, eps float64) ([]seqdb.Match, seqdb.SearchStats, error)
+	SearchKNNCtx(ctx context.Context, name string, q []float64, k int) ([]seqdb.Match, seqdb.SearchStats, error)
+	SeqScanCtx(ctx context.Context, q []float64, eps float64) ([]seqdb.Match, seqdb.SearchStats, error)
+}
+
+// openAny opens dir as a sharded database when it holds a shard manifest
+// and as a plain database otherwise.
+func openAny(dir string) (database, error) {
+	if seqdb.IsSharded(dir) {
+		return seqdb.OpenSharded(dir)
+	}
+	return seqdb.Open(dir)
+}
+
 // parseQueryValues parses the -q "v1,v2,..." form.
 func parseQueryValues(s string) ([]float64, error) {
 	var q []float64
@@ -109,7 +146,7 @@ func parseQueryValues(s string) ([]float64, error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: seqdbctl create|gen|import|stats|index|drop|query|scan|knn|align|tune [flags]")
+	fmt.Fprintln(os.Stderr, "usage: seqdbctl create|gen|import|stats|index|drop|query|scan|knn|align|tune|shard|batch [flags]")
 	os.Exit(2)
 }
 
@@ -280,7 +317,7 @@ func cmdKNN(args []string) error {
 	if *db == "" || *from == "" {
 		return fmt.Errorf("knn: -db and -from required (or -addr with -q)")
 	}
-	d, err := seqdb.Open(*db)
+	d, err := openAny(*db)
 	if err != nil {
 		return err
 	}
@@ -408,7 +445,7 @@ func cmdStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	db := fs.String("db", "", "database directory")
 	fs.Parse(args)
-	d, err := seqdb.Open(*db)
+	d, err := openAny(*db)
 	if err != nil {
 		return err
 	}
@@ -469,7 +506,7 @@ func cmdIndex(args []string) error {
 	default:
 		return fmt.Errorf("index: unknown method %q", *method)
 	}
-	d, err := seqdb.Open(*db)
+	d, err := openAny(*db)
 	if err != nil {
 		return err
 	}
@@ -492,7 +529,7 @@ func cmdDrop(args []string) error {
 	db := fs.String("db", "", "database directory")
 	name := fs.String("name", "", "index name")
 	fs.Parse(args)
-	d, err := seqdb.Open(*db)
+	d, err := openAny(*db)
 	if err != nil {
 		return err
 	}
@@ -551,7 +588,7 @@ func cmdQuery(args []string, useIndex bool) error {
 		return printMatches(matches, stats, *limit)
 	}
 
-	d, err := seqdb.Open(*db)
+	d, err := openAny(*db)
 	if err != nil {
 		return err
 	}

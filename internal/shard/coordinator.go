@@ -1,0 +1,418 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"twsearch/internal/core"
+)
+
+// Stats re-exports the engine's per-search work counters: the coordinator
+// merges one per shard, exactly once, at the join barrier.
+type Stats = core.SearchStats
+
+// Backend is one shard as the coordinator sees it: a complete database that
+// answers range searches (and scans) over its own slice of the sequences.
+// Matches come back in the shard's local (sequence, start, end) order with
+// shard-local sequence numbers; the coordinator adds the shard's base
+// offset. A *seqdb.DB, a remote twsearchd reached through seqdb/client, and
+// a test fake all implement it.
+type Backend interface {
+	// Search runs a range search through the named index and returns the
+	// complete local answer set sorted by (sequence, start, end).
+	Search(ctx context.Context, index string, q []float64, eps float64, opts Options) ([]Match, Stats, error)
+	// Scan runs the exhaustive sequential-scan baseline.
+	Scan(ctx context.Context, q []float64, eps float64) ([]Match, Stats, error)
+}
+
+// PartialError reports a scatter-gather search in which one or more shards
+// failed. Answered lists the shards that returned complete results (their
+// matches may already have been streamed to the caller), Failed the shards
+// that did not; Cause is the first failure in shard order. Unwrap exposes
+// the cause, so errors.Is sees through to context.DeadlineExceeded, a
+// wire error code, or whatever the shard reported.
+type PartialError struct {
+	Answered []int
+	Failed   []int
+	Cause    error
+}
+
+func (e *PartialError) Error() string {
+	return fmt.Sprintf("shard: %d/%d shards answered (failed %v): %v",
+		len(e.Answered), len(e.Answered)+len(e.Failed), e.Failed, e.Cause)
+}
+
+// Unwrap exposes the first underlying shard failure.
+func (e *PartialError) Unwrap() error { return e.Cause }
+
+// Coordinator fans one search out over every shard in parallel and merges
+// the streams back in global order. It is stateless between calls and safe
+// for concurrent use: per-search state lives on the stack of each call.
+type Coordinator struct {
+	backends []Backend
+	bases    []int
+}
+
+// NewCoordinator assembles a coordinator from the shard backends and the
+// manifest ranges that place each shard in the global sequence numbering.
+func NewCoordinator(backends []Backend, ranges []Range) (*Coordinator, error) {
+	if len(backends) == 0 {
+		return nil, errors.New("shard: no backends")
+	}
+	if len(backends) != len(ranges) {
+		return nil, fmt.Errorf("shard: %d backends but %d manifest ranges", len(backends), len(ranges))
+	}
+	bases := make([]int, len(ranges))
+	for i, r := range ranges {
+		bases[i] = r.Start
+	}
+	return &Coordinator{backends: backends, bases: bases}, nil
+}
+
+// Shards returns the number of shards behind the coordinator.
+func (c *Coordinator) Shards() int { return len(c.backends) }
+
+// gather runs one scatter-gather round: `run` executes on every backend
+// concurrently, and completed shards' matches (rebased to global sequence
+// numbers) are delivered to fn strictly in shard order — which, with the
+// contiguous partitioner, is the global (sequence, start, end) order.
+// Delivery of shard i begins as soon as shards 0..i have completed, while
+// later shards are still searching, so the head of a large answer stream
+// reaches the caller before the slowest shard finishes.
+//
+// Work counters are aggregated exactly at the join barrier: each worker
+// owns its private Stats slot (core.SearchStats is //twlint:join-merged
+// state) and the driver sums the slots only after wg.Wait.
+func (c *Coordinator) gather(
+	ctx context.Context,
+	run func(ctx context.Context, b Backend) ([]Match, Stats, error),
+	fn func(Match) bool,
+) (Stats, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	n := len(c.backends)
+	matches := make([][]Match, n)
+	errs := make([]error, n)
+	stats := make([]Stats, n)
+	done := make([]chan struct{}, n)
+	started := time.Now()
+
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		done[i] = make(chan struct{})
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer close(done[i])
+			ms, st, err := run(ctx, c.backends[i])
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			rebase(ms, c.bases[i])
+			matches[i] = ms
+			stats[i] = st
+		}(i)
+	}
+
+	// Ordered incremental delivery: wait for each shard in shard order and
+	// stream its (already sorted) matches. The close of done[i] orders the
+	// worker's writes before the reads here. A visitor stop or a shard
+	// failure cancels the remaining shards; delivery never resumes after
+	// either, so the delivered stream is always an exact prefix of the
+	// global order.
+	stopped := false
+	var firstErr error
+	for i := 0; i < n && !stopped && firstErr == nil; i++ {
+		<-done[i]
+		if errs[i] != nil {
+			firstErr = errs[i]
+			cancel()
+			break
+		}
+		for _, m := range matches[i] {
+			if !fn(m) {
+				stopped = true
+				cancel()
+				break
+			}
+		}
+	}
+	wg.Wait()
+
+	var merged Stats
+	for i := range stats {
+		merged.Add(stats[i])
+	}
+	merged.Elapsed = time.Since(started)
+	if firstErr == nil || stopped {
+		return merged, nil
+	}
+	var answered, failed []int
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			failed = append(failed, i)
+		} else {
+			answered = append(answered, i)
+		}
+	}
+	return merged, &PartialError{Answered: answered, Failed: failed, Cause: firstErr}
+}
+
+// rebase maps a shard's local sequence numbers into the global numbering.
+func rebase(ms []Match, base int) {
+	for i := range ms {
+		ms[i].Seq += base
+	}
+}
+
+// SearchVisit streams a range search's answers to fn in global (sequence,
+// start, end) order; returning false stops the search and cancels the
+// remaining shards. The answer set — matches and exact distances — is
+// identical to the unsharded search over the same data at any shard count.
+func (c *Coordinator) SearchVisit(ctx context.Context, index string, q []float64, eps float64, fn func(Match) bool, opts Options) (Stats, error) {
+	return c.gather(ctx, func(ctx context.Context, b Backend) ([]Match, Stats, error) {
+		return b.Search(ctx, index, q, eps, opts)
+	}, fn)
+}
+
+// Search materializes a range search's full answer set in global order.
+func (c *Coordinator) Search(ctx context.Context, index string, q []float64, eps float64, opts Options) ([]Match, Stats, error) {
+	var out []Match
+	stats, err := c.SearchVisit(ctx, index, q, eps, func(m Match) bool {
+		out = append(out, m)
+		return true
+	}, opts)
+	if err != nil {
+		return nil, stats, err
+	}
+	return out, stats, nil
+}
+
+// Scan fans the exhaustive sequential-scan baseline out over the shards.
+func (c *Coordinator) Scan(ctx context.Context, q []float64, eps float64) ([]Match, Stats, error) {
+	var out []Match
+	stats, err := c.gather(ctx, func(ctx context.Context, b Backend) ([]Match, Stats, error) {
+		return b.Scan(ctx, q, eps)
+	}, func(m Match) bool {
+		out = append(out, m)
+		return true
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	return out, stats, nil
+}
+
+// knnMaxEps mirrors the engine's expansion ceiling: past any plausible
+// distance, everything reachable has been found.
+const knnMaxEps = 1e18
+
+// initialKNNEps is the engine's starting threshold — one typical step of
+// the query — reproduced here so the per-shard expansion schedule matches
+// the unsharded one round for round.
+func initialKNNEps(q []float64) float64 {
+	eps := 0.0
+	for i := 1; i < len(q); i++ {
+		eps += math.Abs(q[i] - q[i-1])
+	}
+	return eps/float64(len(q)) + 1e-9
+}
+
+// SearchKNN returns the k globally nearest subsequences in (sequence,
+// start, end) order — byte-identical to the unsharded SearchKNN. Every
+// shard runs its own threshold-expansion rounds concurrently; completed
+// shards feed a bounded merge heap of the k best candidates so far, and the
+// heap's current kth-best distance caps the remaining shards' expansion: a
+// shard may stop as soon as its threshold covers that bound, because any
+// match it has not yet found is strictly farther than the bound and can
+// never enter the global top k.
+func (c *Coordinator) SearchKNN(ctx context.Context, index string, q []float64, k int, opts Options) ([]Match, Stats, error) {
+	if k <= 0 {
+		return nil, Stats{}, errors.New("shard: k must be positive")
+	}
+	if len(q) == 0 {
+		return nil, Stats{}, errors.New("shard: empty query")
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	n := len(c.backends)
+	h := newKNNHeap(k)
+	errs := make([]error, n)
+	stats := make([]Stats, n)
+	started := time.Now()
+
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			eps := initialKNNEps(q)
+			for {
+				ms, st, err := c.backends[i].Search(ctx, index, q, eps, opts)
+				stats[i].Add(st)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				// The shard is exhausted for k-NN purposes when it holds k
+				// local answers (its kth best already bounds everything it
+				// has not found), when the shared bound says no unfound
+				// match can enter the global top k, or when the threshold
+				// has passed any plausible distance.
+				if len(ms) >= k || eps > knnMaxEps {
+					rebase(ms, c.bases[i])
+					h.merge(ms)
+					return
+				}
+				if bound, full := h.bound(); full && eps >= bound {
+					rebase(ms, c.bases[i])
+					h.merge(ms)
+					return
+				}
+				eps *= 4
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	var merged Stats
+	for i := range stats {
+		merged.Add(stats[i])
+	}
+	merged.Elapsed = time.Since(started)
+	var answered, failed []int
+	var firstErr error
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			failed = append(failed, i)
+			if firstErr == nil {
+				firstErr = errs[i]
+			}
+		} else {
+			answered = append(answered, i)
+		}
+	}
+	if firstErr != nil {
+		return nil, merged, &PartialError{Answered: answered, Failed: failed, Cause: firstErr}
+	}
+	out := h.take()
+	sort.Slice(out, func(i, j int) bool { return positionLess(out[i], out[j]) })
+	merged.Answers = uint64(len(out))
+	return out, merged, nil
+}
+
+// positionLess orders matches by (sequence, start, end) — the engine's
+// deterministic output order.
+func positionLess(a, b Match) bool {
+	if a.Seq != b.Seq {
+		return a.Seq < b.Seq
+	}
+	if a.Start != b.Start {
+		return a.Start < b.Start
+	}
+	return a.End < b.End
+}
+
+// knnWorse orders candidates by (distance, sequence, start, end): exactly
+// the order a stable by-distance sort of the position-sorted unsharded
+// answer set produces, so the heap's k survivors are byte-identical to the
+// unsharded selection, ties and all.
+func knnWorse(a, b Match) bool {
+	if a.Distance > b.Distance {
+		return true
+	}
+	if a.Distance < b.Distance {
+		return false
+	}
+	return positionLess(b, a)
+}
+
+// knnHeap is the bounded merge heap of the k best candidates seen so far,
+// shared by the shard workers under its own mutex. The root is the worst
+// retained candidate, so a full heap admits a new candidate only by
+// evicting the root, and the root's distance is the tightening bound.
+type knnHeap struct {
+	mu sync.Mutex
+	k  int
+	ms []Match
+}
+
+func newKNNHeap(k int) *knnHeap { return &knnHeap{k: k} }
+
+// bound returns the current kth-best distance and whether the heap is full;
+// the bound is only meaningful when full is true.
+func (h *knnHeap) bound() (float64, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.ms) < h.k {
+		return 0, false
+	}
+	return h.ms[0].Distance, true
+}
+
+// merge offers a shard's complete local answer set to the heap.
+func (h *knnHeap) merge(ms []Match) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, m := range ms {
+		h.add(m)
+	}
+}
+
+// add inserts one candidate, evicting the worst when full. Caller holds mu.
+func (h *knnHeap) add(m Match) {
+	if len(h.ms) < h.k {
+		h.ms = append(h.ms, m)
+		h.up(len(h.ms) - 1)
+		return
+	}
+	if !knnWorse(m, h.ms[0]) {
+		h.ms[0] = m
+		h.down(0)
+	}
+}
+
+// take drains the heap; the heap is unusable afterwards.
+func (h *knnHeap) take() []Match {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ms := h.ms
+	h.ms = nil
+	return ms
+}
+
+func (h *knnHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !knnWorse(h.ms[i], h.ms[parent]) {
+			return
+		}
+		h.ms[i], h.ms[parent] = h.ms[parent], h.ms[i]
+		i = parent
+	}
+}
+
+func (h *knnHeap) down(i int) {
+	for i < len(h.ms) {
+		worst := i
+		if l := 2*i + 1; l < len(h.ms) && knnWorse(h.ms[l], h.ms[worst]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < len(h.ms) && knnWorse(h.ms[r], h.ms[worst]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h.ms[i], h.ms[worst] = h.ms[worst], h.ms[i]
+		i = worst
+	}
+}

@@ -1,0 +1,248 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// fakeBackend is one shard holding a fixed answer set with precomputed
+// distances. Search returns the matches within eps in local (sequence,
+// start, end) order, mimicking the engine's exact threshold search; err
+// makes every call fail, exercising mid-stream shard loss while the other
+// shards succeed.
+type fakeBackend struct {
+	ms  []Match // local sequence numbers, any order
+	err error   // returned by every Search/Scan when set
+}
+
+func (b *fakeBackend) Search(ctx context.Context, index string, q []float64, eps float64, opts Options) ([]Match, Stats, error) {
+	if b.err != nil {
+		return nil, Stats{NodesVisited: 1}, b.err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, Stats{}, err
+	}
+	var out []Match
+	for _, m := range b.ms {
+		if m.Distance <= eps {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return positionLess(out[i], out[j]) })
+	return out, Stats{NodesVisited: 1, Answers: uint64(len(out))}, nil
+}
+
+func (b *fakeBackend) Scan(ctx context.Context, q []float64, eps float64) ([]Match, Stats, error) {
+	return b.Search(ctx, "", q, eps, Options{})
+}
+
+func mkCoord(t *testing.T, backends ...*fakeBackend) *Coordinator {
+	t.Helper()
+	bs := make([]Backend, len(backends))
+	ranges := make([]Range, len(backends))
+	start := 0
+	for i, b := range backends {
+		bs[i] = b
+		// Each fake covers enough of the numbering for its local Seq values.
+		ranges[i] = Range{Start: start, Count: 10}
+		start += 10
+	}
+	c, err := NewCoordinator(bs, ranges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewCoordinatorValidation(t *testing.T) {
+	if _, err := NewCoordinator(nil, nil); err == nil {
+		t.Error("no backends should be an error")
+	}
+	if _, err := NewCoordinator([]Backend{&fakeBackend{}}, []Range{{0, 1}, {1, 1}}); err == nil {
+		t.Error("backend/range count mismatch should be an error")
+	}
+}
+
+func TestSearchMergesInGlobalOrder(t *testing.T) {
+	// Shard 1 answers instantly, shard 0 slowly: the merged order must
+	// still be shard 0 first because the contiguous numbering puts its
+	// sequences first.
+	b0 := &fakeBackend{ms: []Match{{SeqID: "a", Seq: 1, Start: 5, End: 9, Distance: 1}, {SeqID: "b", Seq: 2, Start: 0, End: 4, Distance: 2}}}
+	b1 := &fakeBackend{ms: []Match{{SeqID: "c", Seq: 0, Start: 3, End: 8, Distance: 0.5}}}
+	c := mkCoord(t, b0, b1)
+
+	ms, stats, err := c.Search(context.Background(), "ix", []float64{1, 2}, 5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Match{
+		{SeqID: "a", Seq: 1, Start: 5, End: 9, Distance: 1},
+		{SeqID: "b", Seq: 2, Start: 0, End: 4, Distance: 2},
+		{SeqID: "c", Seq: 10, Start: 3, End: 8, Distance: 0.5}, // rebased by +10
+	}
+	if !reflect.DeepEqual(ms, want) {
+		t.Errorf("got %v, want %v", ms, want)
+	}
+	if stats.NodesVisited != 2 {
+		t.Errorf("stats merged %d node visits, want 2 (one per shard)", stats.NodesVisited)
+	}
+	if stats.Elapsed <= 0 {
+		t.Error("Elapsed not set to the scatter-gather wall clock")
+	}
+}
+
+func TestSearchVisitEarlyStop(t *testing.T) {
+	b0 := &fakeBackend{ms: []Match{{Seq: 0, Start: 0, End: 2, Distance: 1}, {Seq: 0, Start: 1, End: 3, Distance: 1}}}
+	b1 := &fakeBackend{ms: []Match{{Seq: 0, Start: 4, End: 6, Distance: 1}}}
+	c := mkCoord(t, b0, b1)
+
+	seen := 0
+	_, err := c.SearchVisit(context.Background(), "ix", []float64{1}, 5, func(Match) bool {
+		seen++
+		return false
+	}, Options{})
+	if err != nil {
+		t.Fatalf("visitor stop must not surface an error, got %v", err)
+	}
+	if seen != 1 {
+		t.Errorf("visitor ran %d times after stopping, want 1", seen)
+	}
+}
+
+func TestSearchPartialFailure(t *testing.T) {
+	cause := errors.New("disk gone")
+	b0 := &fakeBackend{ms: []Match{{Seq: 0, Start: 0, End: 2, Distance: 1}}}
+	b1 := &fakeBackend{err: cause}
+	b2 := &fakeBackend{ms: []Match{{Seq: 0, Start: 4, End: 6, Distance: 1}}}
+	c := mkCoord(t, b0, b1, b2)
+
+	var streamed []Match
+	_, err := c.SearchVisit(context.Background(), "ix", []float64{1}, 5, func(m Match) bool {
+		streamed = append(streamed, m)
+		return true
+	}, Options{})
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PartialError, got %v", err)
+	}
+	if !reflect.DeepEqual(pe.Answered, []int{0, 2}) || !reflect.DeepEqual(pe.Failed, []int{1}) {
+		t.Errorf("answered=%v failed=%v, want [0 2] and [1]", pe.Answered, pe.Failed)
+	}
+	if !errors.Is(err, cause) {
+		t.Error("errors.Is must see through PartialError to the cause")
+	}
+	// Delivery is strictly in shard order, so the matches streamed before
+	// the failure are exactly shard 0's — an exact prefix of the global
+	// answer stream, never a gapped subset.
+	if len(streamed) != 1 || streamed[0].Seq != 0 {
+		t.Errorf("streamed %v, want exactly shard 0's match", streamed)
+	}
+}
+
+func TestScanMerges(t *testing.T) {
+	b0 := &fakeBackend{ms: []Match{{Seq: 3, Start: 0, End: 2, Distance: 1}}}
+	b1 := &fakeBackend{ms: []Match{{Seq: 4, Start: 1, End: 3, Distance: 2}}}
+	c := mkCoord(t, b0, b1)
+	ms, _, err := c.Scan(context.Background(), []float64{1}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 || ms[0].Seq != 3 || ms[1].Seq != 14 {
+		t.Errorf("got %v, want seqs 3 and 14", ms)
+	}
+}
+
+func TestSearchKNNAcrossShards(t *testing.T) {
+	// 2 shards, k=3: the nearest three live on both sides, with a distance
+	// tie that must resolve by global position.
+	b0 := &fakeBackend{ms: []Match{
+		{SeqID: "a", Seq: 0, Start: 0, End: 4, Distance: 1.0},
+		{SeqID: "a", Seq: 0, Start: 2, End: 6, Distance: 7.0},
+	}}
+	b1 := &fakeBackend{ms: []Match{
+		{SeqID: "b", Seq: 0, Start: 1, End: 5, Distance: 2.0},
+		{SeqID: "b", Seq: 1, Start: 0, End: 3, Distance: 2.0},
+		{SeqID: "b", Seq: 2, Start: 0, End: 3, Distance: 9.0},
+	}}
+	c := mkCoord(t, b0, b1)
+
+	ms, stats, err := c.SearchKNN(context.Background(), "ix", []float64{1, 2, 30}, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Match{
+		{SeqID: "a", Seq: 0, Start: 0, End: 4, Distance: 1.0},
+		{SeqID: "b", Seq: 10, Start: 1, End: 5, Distance: 2.0},
+		{SeqID: "b", Seq: 11, Start: 0, End: 3, Distance: 2.0},
+	}
+	if !reflect.DeepEqual(ms, want) {
+		t.Errorf("got %v, want %v", ms, want)
+	}
+	if stats.Answers != 3 {
+		t.Errorf("Answers = %d, want 3", stats.Answers)
+	}
+}
+
+func TestSearchKNNTieEviction(t *testing.T) {
+	// k=2 with three candidates at the same distance: the survivors must be
+	// the two earliest in global position order, matching the unsharded
+	// engine's stable selection.
+	b0 := &fakeBackend{ms: []Match{{SeqID: "x", Seq: 5, Start: 0, End: 2, Distance: 3.0}}}
+	b1 := &fakeBackend{ms: []Match{
+		{SeqID: "y", Seq: 0, Start: 0, End: 2, Distance: 3.0},
+		{SeqID: "y", Seq: 0, Start: 1, End: 3, Distance: 3.0},
+	}}
+	c := mkCoord(t, b0, b1)
+	ms, _, err := c.SearchKNN(context.Background(), "ix", []float64{1, 50}, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Match{
+		{SeqID: "x", Seq: 5, Start: 0, End: 2, Distance: 3.0},
+		{SeqID: "y", Seq: 10, Start: 0, End: 2, Distance: 3.0},
+	}
+	if !reflect.DeepEqual(ms, want) {
+		t.Errorf("got %v, want %v", ms, want)
+	}
+}
+
+func TestSearchKNNPartialFailure(t *testing.T) {
+	cause := errors.New("leg down")
+	b0 := &fakeBackend{ms: []Match{{Seq: 0, Start: 0, End: 2, Distance: 1}}}
+	b1 := &fakeBackend{err: cause}
+	c := mkCoord(t, b0, b1)
+	_, _, err := c.SearchKNN(context.Background(), "ix", []float64{1, 2}, 1, Options{})
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PartialError, got %v", err)
+	}
+	if !reflect.DeepEqual(pe.Failed, []int{1}) {
+		t.Errorf("failed=%v, want [1]", pe.Failed)
+	}
+	if !errors.Is(err, cause) {
+		t.Error("errors.Is must see through PartialError to the cause")
+	}
+}
+
+func TestSearchKNNValidation(t *testing.T) {
+	c := mkCoord(t, &fakeBackend{})
+	if _, _, err := c.SearchKNN(context.Background(), "ix", []float64{1}, 0, Options{}); err == nil {
+		t.Error("k=0 should be an error")
+	}
+	if _, _, err := c.SearchKNN(context.Background(), "ix", nil, 1, Options{}); err == nil {
+		t.Error("empty query should be an error")
+	}
+}
+
+func TestCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := mkCoord(t, &fakeBackend{ms: []Match{{Seq: 0, Start: 0, End: 1, Distance: 0}}})
+	_, _, err := c.Search(ctx, "ix", []float64{1}, 5, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("want context.Canceled through the partial error, got %v", err)
+	}
+}

@@ -1,0 +1,126 @@
+package shard
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestContiguous(t *testing.T) {
+	cases := []struct {
+		n, shards int
+		want      []Range
+	}{
+		{10, 3, []Range{{0, 4}, {4, 3}, {7, 3}}},
+		{6, 3, []Range{{0, 2}, {2, 2}, {4, 2}}},
+		{5, 1, []Range{{0, 5}}},
+		{3, 5, []Range{{0, 1}, {1, 1}, {2, 1}, {3, 0}, {3, 0}}},
+		{0, 2, []Range{{0, 0}, {0, 0}}},
+	}
+	for _, tc := range cases {
+		got, err := Contiguous(tc.n, tc.shards)
+		if err != nil {
+			t.Fatalf("Contiguous(%d, %d): %v", tc.n, tc.shards, err)
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("Contiguous(%d, %d) = %v, want %v", tc.n, tc.shards, got, tc.want)
+		}
+	}
+	if _, err := Contiguous(5, 0); err == nil {
+		t.Error("Contiguous(5, 0) should fail")
+	}
+	if _, err := Contiguous(-1, 2); err == nil {
+		t.Error("Contiguous(-1, 2) should fail")
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), ManifestName)
+	m, err := NewContiguous(11, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Errorf("round trip: got %+v, want %+v", got, m)
+	}
+	if got.Sequences() != 11 {
+		t.Errorf("Sequences() = %d, want 11", got.Sequences())
+	}
+}
+
+func TestManifestIgnoresCommentsAndUnknownKeys(t *testing.T) {
+	path := filepath.Join(t.TempDir(), ManifestName)
+	content := "# a comment\nshards=2\nassign=contiguous\nfuture-key=whatever\n\nrange=0:0:3\nrange=1:3:2\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Shards != 2 || m.Sequences() != 5 {
+		t.Errorf("got %+v, want 2 shards over 5 sequences", m)
+	}
+}
+
+// TestManifestCorruption checks that every class of damage is a loud error:
+// a silently misread manifest would misroute sequences and drop answers.
+func TestManifestCorruption(t *testing.T) {
+	cases := []struct {
+		name    string
+		content string
+		wantSub string
+	}{
+		{"not key=value", "shards=2\nassign=contiguous\nbogus line\nrange=0:0:3\nrange=1:3:2\n", "not key=value"},
+		{"bad shards value", "shards=two\nassign=contiguous\nrange=0:0:3\nrange=1:3:2\n", "bad shards value"},
+		{"bad range arity", "shards=2\nassign=contiguous\nrange=0:0\nrange=1:3:2\n", "bad range"},
+		{"bad range number", "shards=2\nassign=contiguous\nrange=0:zero:3\nrange=1:3:2\n", "bad range"},
+		{"duplicate range", "shards=2\nassign=contiguous\nrange=0:0:3\nrange=0:3:2\n", "duplicate range"},
+		{"missing shards", "assign=contiguous\nrange=0:0:3\n", "missing shards="},
+		{"missing assign", "shards=1\nrange=0:0:3\n", "missing assign="},
+		{"unknown assign", "shards=1\nassign=hashed\nrange=0:0:3\n", "unknown assignment"},
+		{"shard id out of bounds", "shards=2\nassign=contiguous\nrange=0:0:3\nrange=5:3:2\n", "out of bounds"},
+		{"missing range", "shards=2\nassign=contiguous\nrange=0:0:3\n", "2 shards but holds 1 ranges"},
+		{"gap between ranges", "shards=2\nassign=contiguous\nrange=0:0:3\nrange=1:4:2\n", "must tile"},
+		{"overlapping ranges", "shards=2\nassign=contiguous\nrange=0:0:3\nrange=1:2:2\n", "must tile"},
+		{"negative count", "shards=2\nassign=contiguous\nrange=0:0:3\nrange=1:3:-1\n", "negative count"},
+		{"nonpositive shards", "shards=0\nassign=contiguous\n", "must be positive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), ManifestName)
+			if err := os.WriteFile(path, []byte(tc.content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err := ReadManifest(path)
+			if err == nil {
+				t.Fatalf("corrupt manifest accepted:\n%s", tc.content)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestManifestMissingFile(t *testing.T) {
+	if _, err := ReadManifest(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Error("missing manifest should be an error")
+	}
+}
+
+func TestWriteRejectsInvalid(t *testing.T) {
+	m := &Manifest{Shards: 2, Assign: AssignContiguous, Ranges: []Range{{0, 3}, {4, 2}}}
+	if err := m.Write(filepath.Join(t.TempDir(), ManifestName)); err == nil {
+		t.Error("Write accepted ranges with a gap")
+	}
+}

@@ -1,0 +1,324 @@
+package wire
+
+// The protocol-version-4 batch RPC: one TBatch frame carries many queries,
+// and the server answers with a multiplexed stream — every response frame
+// names the item it belongs to, so answers for different items may
+// interleave. The stream ends with exactly one TDone (aggregate work
+// counters for the whole batch) or one TError (the batch as a whole
+// failed: overload, deadline, malformed frame). An individual item's
+// failure is a TBatchItemError for that item; the rest of the batch still
+// runs. Every v4 message body is version-gated whole, so the versioned
+// codecs parse an empty body for protocol versions that predate the frame.
+
+import (
+	"encoding/binary"
+	"math"
+	"time"
+
+	"twsearch/internal/core"
+)
+
+// Batch item operations.
+const (
+	BatchOpSearch byte = 1 // range search: Eps is the threshold, K ignored
+	BatchOpKNN    byte = 2 // k-nearest-neighbor: K is the count, Eps ignored
+)
+
+// BatchItem is one query of a batch: a range search or a k-NN search
+// through the named index.
+type BatchItem struct {
+	Op    byte
+	Index string
+	Eps   float64
+	K     int
+	Query []float64
+}
+
+// BatchReq asks for many searches in one round-trip. Timeout and
+// Parallelism carry the same per-request semantics as SearchReq, applied
+// once to the whole batch: one deadline and one admission slot cover all
+// items.
+type BatchReq struct {
+	DB          string
+	Timeout     time.Duration
+	Parallelism int
+	Items       []BatchItem
+}
+
+// Encode appends the request body to b at the current protocol version.
+func (m *BatchReq) Encode(b []byte) []byte { return m.EncodeAt(b, Version) }
+
+// EncodeAt appends the request body as protocol version `version` lays it
+// out: the batch RPC exists only at version >= 4.
+func (m *BatchReq) EncodeAt(b []byte, version uint16) []byte {
+	if version >= 4 {
+		b = appendString(b, m.DB)
+		b = binary.LittleEndian.AppendUint64(b, uint64(m.Timeout))
+		b = binary.LittleEndian.AppendUint32(b, uint32(m.Parallelism))
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(m.Items)))
+		for _, it := range m.Items {
+			b = append(b, it.Op)
+			b = appendString(b, it.Index)
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(it.Eps))
+			b = binary.LittleEndian.AppendUint32(b, uint32(it.K))
+			b = appendFloats(b, it.Query)
+		}
+	}
+	return b
+}
+
+// DecodeBatchReq parses a TBatch body at the current protocol version.
+func DecodeBatchReq(body []byte) (BatchReq, error) {
+	return DecodeBatchReqAt(body, Version)
+}
+
+// DecodeBatchReqAt parses a TBatch body as protocol version `version` lays
+// it out, mirroring EncodeAt gate for gate.
+func DecodeBatchReqAt(body []byte, version uint16) (BatchReq, error) {
+	r := NewReader(body)
+	var m BatchReq
+	if version >= 4 {
+		m.DB = r.String()
+		m.Timeout = time.Duration(r.I64())
+		m.Parallelism = int(r.U32())
+		n := r.U32()
+		for i := uint32(0); i < n && r.err == nil; i++ {
+			it := BatchItem{
+				Op:    r.U8(),
+				Index: r.String(),
+				Eps:   r.F64(),
+				K:     int(r.U32()),
+			}
+			it.Query = r.Floats()
+			m.Items = append(m.Items, it)
+		}
+	}
+	return m, r.Err()
+}
+
+// BatchMatch is one streamed answer of one batch item: a Match plus the
+// item's index in the batch.
+type BatchMatch struct {
+	ID       int
+	SeqID    string
+	Seq      int
+	Start    int
+	End      int
+	Distance float64
+}
+
+// Encode appends the match body to b at the current protocol version.
+func (m *BatchMatch) Encode(b []byte) []byte { return m.EncodeAt(b, Version) }
+
+// EncodeAt appends the match body as protocol version `version` lays it
+// out: the batch RPC exists only at version >= 4.
+func (m *BatchMatch) EncodeAt(b []byte, version uint16) []byte {
+	if version >= 4 {
+		b = binary.LittleEndian.AppendUint32(b, uint32(m.ID))
+		b = appendString(b, m.SeqID)
+		b = binary.LittleEndian.AppendUint32(b, uint32(m.Seq))
+		b = binary.LittleEndian.AppendUint32(b, uint32(m.Start))
+		b = binary.LittleEndian.AppendUint32(b, uint32(m.End))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(m.Distance))
+	}
+	return b
+}
+
+// DecodeBatchMatch parses a TBatchMatch body at the current protocol
+// version.
+func DecodeBatchMatch(body []byte) (BatchMatch, error) {
+	return DecodeBatchMatchAt(body, Version)
+}
+
+// DecodeBatchMatchAt parses a TBatchMatch body as protocol version
+// `version` lays it out, mirroring EncodeAt gate for gate.
+func DecodeBatchMatchAt(body []byte, version uint16) (BatchMatch, error) {
+	r := NewReader(body)
+	var m BatchMatch
+	if version >= 4 {
+		m.ID = int(r.U32())
+		m.SeqID = r.String()
+		m.Seq = int(r.U32())
+		m.Start = int(r.U32())
+		m.End = int(r.U32())
+		m.Distance = r.F64()
+	}
+	return m, r.Err()
+}
+
+// BatchItemDone reports one batch item's completion, with that item's own
+// work counters; the terminating TDone carries the batch-wide aggregate.
+type BatchItemDone struct {
+	ID    int
+	Stats core.SearchStats
+}
+
+// Encode appends the body to b at the current protocol version.
+func (m *BatchItemDone) Encode(b []byte) []byte { return m.EncodeAt(b, Version) }
+
+// EncodeAt appends the body as protocol version `version` lays it out: the
+// batch RPC exists only at version >= 4.
+func (m *BatchItemDone) EncodeAt(b []byte, version uint16) []byte {
+	if version >= 4 {
+		b = binary.LittleEndian.AppendUint32(b, uint32(m.ID))
+		s := m.Stats
+		for _, v := range []uint64{
+			s.NodesVisited, s.FilterCells, s.PostCells, s.Candidates,
+			s.FalseAlarms, s.Answers, s.PagesRead, s.PoolHits, s.PoolMisses,
+		} {
+			b = binary.LittleEndian.AppendUint64(b, v)
+		}
+		b = binary.LittleEndian.AppendUint64(b, uint64(s.Elapsed))
+	}
+	return b
+}
+
+// DecodeBatchItemDone parses a TBatchItemDone body at the current protocol
+// version.
+func DecodeBatchItemDone(body []byte) (BatchItemDone, error) {
+	return DecodeBatchItemDoneAt(body, Version)
+}
+
+// DecodeBatchItemDoneAt parses a TBatchItemDone body as protocol version
+// `version` lays it out, mirroring EncodeAt gate for gate.
+func DecodeBatchItemDoneAt(body []byte, version uint16) (BatchItemDone, error) {
+	r := NewReader(body)
+	var m BatchItemDone
+	if version >= 4 {
+		m.ID = int(r.U32())
+		m.Stats.NodesVisited = r.U64()
+		m.Stats.FilterCells = r.U64()
+		m.Stats.PostCells = r.U64()
+		m.Stats.Candidates = r.U64()
+		m.Stats.FalseAlarms = r.U64()
+		m.Stats.Answers = r.U64()
+		m.Stats.PagesRead = r.U64()
+		m.Stats.PoolHits = r.U64()
+		m.Stats.PoolMisses = r.U64()
+		m.Stats.Elapsed = time.Duration(r.I64())
+	}
+	return m, r.Err()
+}
+
+// BatchItemError reports one batch item's failure; the rest of the batch
+// still runs.
+type BatchItemError struct {
+	ID   int
+	Code Code
+	Msg  string
+}
+
+// Encode appends the body to b at the current protocol version.
+func (m *BatchItemError) Encode(b []byte) []byte { return m.EncodeAt(b, Version) }
+
+// EncodeAt appends the body as protocol version `version` lays it out: the
+// batch RPC exists only at version >= 4.
+func (m *BatchItemError) EncodeAt(b []byte, version uint16) []byte {
+	if version >= 4 {
+		b = binary.LittleEndian.AppendUint32(b, uint32(m.ID))
+		b = append(b, byte(m.Code))
+		b = appendString(b, m.Msg)
+	}
+	return b
+}
+
+// DecodeBatchItemError parses a TBatchItemError body at the current
+// protocol version.
+func DecodeBatchItemError(body []byte) (BatchItemError, error) {
+	return DecodeBatchItemErrorAt(body, Version)
+}
+
+// DecodeBatchItemErrorAt parses a TBatchItemError body as protocol version
+// `version` lays it out, mirroring EncodeAt gate for gate.
+func DecodeBatchItemErrorAt(body []byte, version uint16) (BatchItemError, error) {
+	r := NewReader(body)
+	var m BatchItemError
+	if version >= 4 {
+		m.ID = int(r.U32())
+		m.Code = Code(r.U8())
+		m.Msg = r.String()
+	}
+	return m, r.Err()
+}
+
+// ShardsReq asks for a DB's shard topology: how many shards serve it and
+// which slice of the global sequence numbering each holds. An unsharded DB
+// answers with one range covering everything.
+type ShardsReq struct{ DB string }
+
+// Encode appends the request body to b at the current protocol version.
+func (m *ShardsReq) Encode(b []byte) []byte { return m.EncodeAt(b, Version) }
+
+// EncodeAt appends the request body as protocol version `version` lays it
+// out: the shards RPC exists only at version >= 4.
+func (m *ShardsReq) EncodeAt(b []byte, version uint16) []byte {
+	if version >= 4 {
+		b = appendString(b, m.DB)
+	}
+	return b
+}
+
+// DecodeShardsReq parses a TShards body at the current protocol version.
+func DecodeShardsReq(body []byte) (ShardsReq, error) {
+	return DecodeShardsReqAt(body, Version)
+}
+
+// DecodeShardsReqAt parses a TShards body as protocol version `version`
+// lays it out, mirroring EncodeAt gate for gate.
+func DecodeShardsReqAt(body []byte, version uint16) (ShardsReq, error) {
+	r := NewReader(body)
+	var m ShardsReq
+	if version >= 4 {
+		m.DB = r.String()
+	}
+	return m, r.Err()
+}
+
+// ShardRange is one shard's slice of the global sequence numbering in a
+// ShardsResp.
+type ShardRange struct {
+	Start int
+	Count int
+}
+
+// ShardsResp answers TShards.
+type ShardsResp struct{ Ranges []ShardRange }
+
+// Encode appends the body to b at the current protocol version.
+func (m *ShardsResp) Encode(b []byte) []byte { return m.EncodeAt(b, Version) }
+
+// EncodeAt appends the body as protocol version `version` lays it out: the
+// shards RPC exists only at version >= 4.
+func (m *ShardsResp) EncodeAt(b []byte, version uint16) []byte {
+	if version >= 4 {
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(m.Ranges)))
+		for _, sr := range m.Ranges {
+			b = binary.LittleEndian.AppendUint64(b, uint64(sr.Start))
+			b = binary.LittleEndian.AppendUint64(b, uint64(sr.Count))
+		}
+	}
+	return b
+}
+
+// DecodeShardsResp parses a TShardsResp body at the current protocol
+// version.
+func DecodeShardsResp(body []byte) (ShardsResp, error) {
+	return DecodeShardsRespAt(body, Version)
+}
+
+// DecodeShardsRespAt parses a TShardsResp body as protocol version
+// `version` lays it out, mirroring EncodeAt gate for gate.
+func DecodeShardsRespAt(body []byte, version uint16) (ShardsResp, error) {
+	r := NewReader(body)
+	var m ShardsResp
+	if version >= 4 {
+		n := r.U32()
+		for i := uint32(0); i < n && r.err == nil; i++ {
+			m.Ranges = append(m.Ranges, ShardRange{
+				Start: int(r.I64()),
+				Count: int(r.I64()),
+			})
+		}
+	}
+	return m, r.Err()
+}

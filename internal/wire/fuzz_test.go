@@ -26,6 +26,15 @@ func FuzzFrameRoundTrip(f *testing.F) {
 	done := Done{Stats: core.SearchStats{NodesVisited: 3, Answers: 1, Elapsed: time.Millisecond}}
 	stats := StatsResp{Pools: []PoolInfo{{Index: "ix", Shards: []PoolShard{{Hits: 1}}}}}
 	idx := IndexesResp{Indexes: []IndexInfo{{Name: "ix", Method: "paa", Sparse: true, Window: -1}}}
+	breq := BatchReq{DB: "db", Timeout: time.Second, Parallelism: 2, Items: []BatchItem{
+		{Op: BatchOpSearch, Index: "ix", Eps: 0.5, Query: []float64{1, 2}},
+		{Op: BatchOpKNN, Index: "ix", K: 3, Query: []float64{4}},
+	}}
+	bmatch := BatchMatch{ID: 1, SeqID: "s", Seq: 2, Start: 3, End: 9, Distance: 0.5}
+	bdone := BatchItemDone{ID: 1, Stats: core.SearchStats{Answers: 2, Elapsed: time.Millisecond}}
+	berr := BatchItemError{ID: 1, Code: CodeNotFound, Msg: "no such index"}
+	shresp := ShardsResp{Ranges: []ShardRange{{Start: 0, Count: 3}, {Start: 3, Count: 2}}}
+	partial := &Error{Code: CodeShardUnavailable, Msg: "shard 1 lost", Answered: []int{0, 2}}
 
 	f.Add(TSearch, uint16(Version), sreq.Encode(nil))
 	f.Add(TSearch, uint16(MinVersion), sreq.EncodeAt(nil, MinVersion))
@@ -37,8 +46,21 @@ func FuzzFrameRoundTrip(f *testing.F) {
 	f.Add(TMatch, uint16(Version), match.Encode(nil))
 	f.Add(TDone, uint16(Version), done.Encode(nil))
 	f.Add(TError, uint16(Version), EncodeError(nil, ErrOverloaded))
+	f.Add(TError, uint16(Version), EncodeErrorAt(nil, partial, Version))
+	f.Add(TError, uint16(MinVersion), EncodeErrorAt(nil, partial, MinVersion))
 	f.Add(TStatsResp, uint16(Version), stats.Encode(nil))
 	f.Add(TIndexes, uint16(Version), idx.Encode(nil))
+	// The protocol-v4 batch and shard-topology messages: their whole bodies
+	// sit behind the version gate, so the MinVersion seeds are empty bodies
+	// and the identity must hold at every clamped version.
+	f.Add(TBatch, uint16(Version), breq.Encode(nil))
+	f.Add(TBatch, uint16(MinVersion), breq.EncodeAt(nil, MinVersion))
+	f.Add(TBatchMatch, uint16(Version), bmatch.Encode(nil))
+	f.Add(TBatchItemDone, uint16(Version), bdone.Encode(nil))
+	f.Add(TBatchItemError, uint16(Version), berr.Encode(nil))
+	f.Add(TShards, uint16(Version), (&ShardsReq{DB: "db"}).Encode(nil))
+	f.Add(TShardsResp, uint16(Version), shresp.Encode(nil))
+	f.Add(TShardsResp, uint16(MinVersion), shresp.EncodeAt(nil, MinVersion))
 
 	f.Fuzz(func(t *testing.T, typ byte, version uint16, body []byte) {
 		// Clamp the fuzzed version into the codec-supported window so the
@@ -84,8 +106,8 @@ func FuzzFrameRoundTrip(f *testing.F) {
 			}
 		case TError:
 			var e *Error
-			if e, err = DecodeError(body); err == nil {
-				reenc = EncodeError(nil, e)
+			if e, err = DecodeErrorAt(body, v); err == nil {
+				reenc = EncodeErrorAt(nil, e, v)
 			}
 		case TStatsResp:
 			var m StatsResp
@@ -96,6 +118,36 @@ func FuzzFrameRoundTrip(f *testing.F) {
 			var m IndexesResp
 			if m, err = DecodeIndexesResp(body); err == nil {
 				reenc = m.Encode(nil)
+			}
+		case TBatch:
+			var m BatchReq
+			if m, err = DecodeBatchReqAt(body, v); err == nil {
+				reenc = m.EncodeAt(nil, v)
+			}
+		case TBatchMatch:
+			var m BatchMatch
+			if m, err = DecodeBatchMatchAt(body, v); err == nil {
+				reenc = m.EncodeAt(nil, v)
+			}
+		case TBatchItemDone:
+			var m BatchItemDone
+			if m, err = DecodeBatchItemDoneAt(body, v); err == nil {
+				reenc = m.EncodeAt(nil, v)
+			}
+		case TBatchItemError:
+			var m BatchItemError
+			if m, err = DecodeBatchItemErrorAt(body, v); err == nil {
+				reenc = m.EncodeAt(nil, v)
+			}
+		case TShards:
+			var m ShardsReq
+			if m, err = DecodeShardsReqAt(body, v); err == nil {
+				reenc = m.EncodeAt(nil, v)
+			}
+		case TShardsResp:
+			var m ShardsResp
+			if m, err = DecodeShardsRespAt(body, v); err == nil {
+				reenc = m.EncodeAt(nil, v)
 			}
 		default:
 			return

@@ -231,22 +231,50 @@ func DecodeDone(body []byte) (Done, error) {
 	return m, r.Err()
 }
 
-// EncodeError appends a TError body for err to b.
-func EncodeError(b []byte, err error) []byte {
+// EncodeError appends a TError body for err to b at the current protocol
+// version.
+func EncodeError(b []byte, err error) []byte { return EncodeErrorAt(b, err, Version) }
+
+// EncodeErrorAt appends a TError body as protocol version `version` lays it
+// out: the answered-shards list ships only at version >= 4.
+func EncodeErrorAt(b []byte, err error, version uint16) []byte {
 	b = append(b, byte(CodeOf(err)))
 	// A typed *Error ships its bare message: Error() adds the daemon
 	// prefix and code suffix, which the receiving side adds again.
 	var we *Error
 	if errors.As(err, &we) {
-		return appendString(b, we.Msg)
+		b = appendString(b, we.Msg)
+	} else {
+		b = appendString(b, err.Error())
 	}
-	return appendString(b, err.Error())
+	if version >= 4 {
+		var answered []int
+		if we != nil {
+			answered = we.Answered
+		}
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(answered)))
+		for _, s := range answered {
+			b = binary.LittleEndian.AppendUint32(b, uint32(s))
+		}
+	}
+	return b
 }
 
-// DecodeError parses a TError body into the typed *Error.
-func DecodeError(body []byte) (*Error, error) {
+// DecodeError parses a TError body into the typed *Error at the current
+// protocol version.
+func DecodeError(body []byte) (*Error, error) { return DecodeErrorAt(body, Version) }
+
+// DecodeErrorAt parses a TError body as protocol version `version` lays it
+// out, mirroring EncodeErrorAt gate for gate.
+func DecodeErrorAt(body []byte, version uint16) (*Error, error) {
 	r := NewReader(body)
 	e := &Error{Code: Code(r.U8()), Msg: r.String()}
+	if version >= 4 {
+		n := r.U32()
+		for i := uint32(0); i < n && r.err == nil; i++ {
+			e.Answered = append(e.Answered, int(r.U32()))
+		}
+	}
 	if err := r.Err(); err != nil {
 		return nil, err
 	}

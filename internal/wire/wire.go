@@ -38,8 +38,10 @@ import (
 // hellos with a different version: the framing makes no compatibility
 // promises across versions. Version 2 extended StatsResp with per-index
 // buffer-pool shard counters; version 3 added the per-request Parallelism
-// hint to SearchReq and KNNReq.
-const Version = 3
+// hint to SearchReq and KNNReq; version 4 added the batch-query RPC
+// (TBatch and its per-item response frames), the shard-topology RPC
+// (TShards), and the answered-shards list on TError.
+const Version = 4
 
 // MinVersion is the oldest protocol version the versioned codecs
 // (EncodeAt / Decode*At) can still produce and parse. The live framing
@@ -63,12 +65,18 @@ const (
 	TScan        byte = 0x03 // ScanReq: exhaustive sequential scan
 	TStats       byte = 0x04 // StatsReq: dataset summary statistics
 	TListIndexes byte = 0x05 // ListIndexesReq: open indexes of a DB
+	TBatch       byte = 0x06 // BatchReq: many queries in one round-trip (v4)
+	TShards      byte = 0x07 // ShardsReq: shard topology of a DB (v4)
 
-	TMatch     byte = 0x10 // Match: one streamed answer
-	TDone      byte = 0x11 // Done: end of a match stream, with stats
-	TError     byte = 0x12 // ErrorFrame: request failed
-	TStatsResp byte = 0x13 // StatsResp: answer to TStats
-	TIndexes   byte = 0x14 // IndexesResp: answer to TListIndexes
+	TMatch          byte = 0x10 // Match: one streamed answer
+	TDone           byte = 0x11 // Done: end of a match stream, with stats
+	TError          byte = 0x12 // ErrorFrame: request failed
+	TStatsResp      byte = 0x13 // StatsResp: answer to TStats
+	TIndexes        byte = 0x14 // IndexesResp: answer to TListIndexes
+	TBatchMatch     byte = 0x15 // BatchMatch: one answer of one batch item (v4)
+	TBatchItemDone  byte = 0x16 // BatchItemDone: one batch item finished (v4)
+	TBatchItemError byte = 0x17 // BatchItemError: one batch item failed (v4)
+	TShardsResp     byte = 0x18 // ShardsResp: answer to TShards (v4)
 )
 
 // ErrBadMagic reports a handshake that is not a twsearchd hello.
@@ -149,12 +157,13 @@ type Code uint8
 
 // The error codes a TError frame can carry.
 const (
-	CodeBadRequest Code = 1 // malformed or semantically invalid request
-	CodeNotFound   Code = 2 // unknown DB or index name
-	CodeOverloaded Code = 3 // admission semaphore full; retry later
-	CodeDeadline   Code = 4 // request deadline exceeded mid-search
-	CodeShutdown   Code = 5 // server draining; the search was canceled
-	CodeInternal   Code = 6 // anything else
+	CodeBadRequest       Code = 1 // malformed or semantically invalid request
+	CodeNotFound         Code = 2 // unknown DB or index name
+	CodeOverloaded       Code = 3 // admission semaphore full; retry later
+	CodeDeadline         Code = 4 // request deadline exceeded mid-search
+	CodeShutdown         Code = 5 // server draining; the search was canceled
+	CodeInternal         Code = 6 // anything else
+	CodeShardUnavailable Code = 7 // a sharded search lost one or more shards (v4)
 )
 
 func (c Code) String() string {
@@ -171,6 +180,8 @@ func (c Code) String() string {
 		return "shutdown"
 	case CodeInternal:
 		return "internal"
+	case CodeShardUnavailable:
+		return "shard-unavailable"
 	}
 	return fmt.Sprintf("code-%d", uint8(c))
 }
@@ -179,9 +190,13 @@ func (c Code) String() string {
 // of a TError frame; equality for errors.Is is by Code, and CodeDeadline /
 // CodeShutdown errors additionally match context.DeadlineExceeded /
 // context.Canceled so context-shaped callers need no wire-specific checks.
+// Answered, set on CodeShardUnavailable errors since protocol version 4,
+// lists the shards that returned complete results before the search lost
+// the rest.
 type Error struct {
-	Code Code
-	Msg  string
+	Code     Code
+	Msg      string
+	Answered []int
 }
 
 func (e *Error) Error() string {
@@ -203,11 +218,12 @@ func (e *Error) Is(target error) bool {
 	return false
 }
 
-// ErrOverloaded and ErrShutdown are errors.Is targets for the two admission
-// outcomes callers branch on.
+// ErrOverloaded, ErrShutdown and ErrShardUnavailable are errors.Is targets
+// for the admission and partial-failure outcomes callers branch on.
 var (
-	ErrOverloaded = &Error{Code: CodeOverloaded, Msg: "server overloaded"}
-	ErrShutdown   = &Error{Code: CodeShutdown, Msg: "server shutting down"}
+	ErrOverloaded       = &Error{Code: CodeOverloaded, Msg: "server overloaded"}
+	ErrShutdown         = &Error{Code: CodeShutdown, Msg: "server shutting down"}
+	ErrShardUnavailable = &Error{Code: CodeShardUnavailable, Msg: "shard unavailable"}
 )
 
 // CodeOf classifies err for transmission: a *Error keeps its code, context

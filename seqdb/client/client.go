@@ -14,7 +14,6 @@ import (
 	"context"
 	"fmt"
 	"net"
-	"sort"
 	"sync"
 	"time"
 
@@ -259,16 +258,7 @@ func (c *Client) SearchWith(ctx context.Context, db, index string, q []float64, 
 	if err != nil {
 		return nil, stats, err
 	}
-	sort.Slice(ms, func(i, j int) bool {
-		a, b := ms[i], ms[j]
-		if a.Seq != b.Seq {
-			return a.Seq < b.Seq
-		}
-		if a.Start != b.Start {
-			return a.Start < b.Start
-		}
-		return a.End < b.End
-	})
+	sortMatches(ms)
 	return ms, stats, nil
 }
 

@@ -1,0 +1,327 @@
+package seqdb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"twsearch/internal/shard"
+)
+
+// newShardedFrom partitions db into n shards under a fresh directory and
+// builds the same index on every shard.
+func newShardedFrom(t *testing.T, db *DB, n int, spec IndexSpec) *ShardedDB {
+	t.Helper()
+	sdb, err := db.PartitionInto(filepath.Join(t.TempDir(), "sharded"), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sdb.Close() })
+	if err := sdb.BuildIndex("s", spec); err != nil {
+		t.Fatal(err)
+	}
+	return sdb
+}
+
+// TestShardedByteIdentical is the subsystem's core contract: at every shard
+// count, range searches, streamed visits, k-NN searches, and sequential
+// scans return results deeply equal to the unsharded database — same
+// matches, same exact distances, same order. Run under -race (make
+// race-shard) this also exercises the scatter-gather concurrency.
+func TestShardedByteIdentical(t *testing.T) {
+	db := newTestDB(t, 11, 60, 3)
+	spec := IndexSpec{Method: MethodMaxEntropy, Categories: 10, Sparse: true}
+	if err := db.BuildIndex("s", spec); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(4))
+	queries := make([][]float64, 6)
+	for i := range queries {
+		queries[i] = testValues(rng, 8)
+	}
+	const eps = 12.0
+
+	for _, shards := range []int{1, 2, 3, 5} {
+		sdb := newShardedFrom(t, db, shards, spec)
+		for qi, q := range queries {
+			name := fmt.Sprintf("shards=%d/q%d", shards, qi)
+
+			want, _, err := db.Search("s", q, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := sdb.Search("s", q, eps)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s: Search diverged\n got %v\nwant %v", name, got, want)
+			}
+
+			// The sharded visitor must stream exactly the materialized
+			// answer set, in global (sequence, start, end) order.
+			var visited []Match
+			if _, err := sdb.SearchVisit("s", q, eps, func(m Match) bool {
+				visited = append(visited, m)
+				return true
+			}); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if len(visited) != len(want) || (len(want) > 0 && !reflect.DeepEqual(visited, want)) {
+				t.Errorf("%s: SearchVisit diverged from Search", name)
+			}
+
+			for _, k := range []int{1, 3, 7} {
+				wantK, _, err := db.SearchKNN("s", q, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotK, _, err := sdb.SearchKNN("s", q, k)
+				if err != nil {
+					t.Fatalf("%s k=%d: %v", name, k, err)
+				}
+				if !reflect.DeepEqual(gotK, wantK) {
+					t.Errorf("%s: SearchKNN(k=%d) diverged\n got %v\nwant %v", name, k, gotK, wantK)
+				}
+			}
+
+			wantScan, _, err := db.SeqScan(q, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotScan, _, err := sdb.SeqScan(q, eps)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if !reflect.DeepEqual(gotScan, wantScan) {
+				t.Errorf("%s: SeqScan diverged", name)
+			}
+		}
+	}
+}
+
+// TestShardedVisitEarlyStop checks that a visitor returning false stops a
+// sharded stream without error, delivering a prefix of the global order.
+func TestShardedVisitEarlyStop(t *testing.T) {
+	db := newTestDB(t, 6, 50, 5)
+	spec := IndexSpec{Method: MethodMaxEntropy, Categories: 10, Sparse: true}
+	if err := db.BuildIndex("s", spec); err != nil {
+		t.Fatal(err)
+	}
+	sdb := newShardedFrom(t, db, 3, spec)
+	q := db.Values("seq-0")[:8]
+
+	full, _, err := sdb.Search("s", q, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) < 2 {
+		t.Skipf("need at least 2 matches to test early stop, got %d", len(full))
+	}
+	var prefix []Match
+	if _, err := sdb.SearchVisit("s", q, 15, func(m Match) bool {
+		prefix = append(prefix, m)
+		return len(prefix) < 2
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(prefix, full[:2]) {
+		t.Errorf("early-stopped stream %v is not a prefix of %v", prefix, full[:4])
+	}
+}
+
+func TestShardedOpenAndTopology(t *testing.T) {
+	db := newTestDB(t, 7, 40, 9)
+	dir := filepath.Join(t.TempDir(), "sharded")
+	sdb, err := db.PartitionInto(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sdb.Close()
+
+	if !IsSharded(dir) {
+		t.Error("IsSharded must detect the manifest")
+	}
+	if IsSharded(t.TempDir()) {
+		t.Error("IsSharded on an empty dir")
+	}
+	if sdb.Len() != 7 || sdb.Shards() != 3 {
+		t.Errorf("Len=%d Shards=%d, want 7 and 3", sdb.Len(), sdb.Shards())
+	}
+	want := []ShardRange{{Start: 0, Count: 3}, {Start: 3, Count: 2}, {Start: 5, Count: 2}}
+	if got := sdb.ShardRanges(); !reflect.DeepEqual(got, want) {
+		t.Errorf("ShardRanges = %v, want %v", got, want)
+	}
+	if got := sdb.SequenceIDs(); !reflect.DeepEqual(got, db.SequenceIDs()) {
+		t.Errorf("SequenceIDs = %v, want the unsharded order", got)
+	}
+	// The unsharded topology answer: one range covering everything.
+	if got := db.ShardRanges(); !reflect.DeepEqual(got, []ShardRange{{Start: 0, Count: 7}}) {
+		t.Errorf("DB.ShardRanges = %v, want one full range", got)
+	}
+	// Stats must recombine to the single-pass summary.
+	flat, merged := db.Stats(), sdb.Stats()
+	if flat.Sequences != merged.Sequences || flat.TotalElements != merged.TotalElements ||
+		flat.MinLen != merged.MinLen || flat.MaxLen != merged.MaxLen ||
+		math.Abs(flat.MeanValue-merged.MeanValue) > 1e-9 ||
+		math.Abs(flat.StdDev-merged.StdDev) > 1e-9 {
+		t.Errorf("merged stats %+v diverge from unsharded %+v", merged, flat)
+	}
+}
+
+func TestPartitionRejectsTooManyShards(t *testing.T) {
+	db := newTestDB(t, 3, 30, 1)
+	if _, err := db.PartitionInto(filepath.Join(t.TempDir(), "s"), 4); err == nil {
+		t.Error("4 shards over 3 sequences must fail: every shard needs a sequence")
+	}
+}
+
+// TestOpenShardedCorruption: any divergence between the manifest and the
+// shard directories must be a loud open-time error, not silent misrouting.
+func TestOpenShardedCorruption(t *testing.T) {
+	db := newTestDB(t, 6, 30, 2)
+	dir := filepath.Join(t.TempDir(), "sharded")
+	sdb, err := db.PartitionInto(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdb.Close()
+	manifest := filepath.Join(dir, shard.ManifestName)
+
+	// Manifest says 3 sequences in shard 1, directory holds 3 but claims 4.
+	if err := os.WriteFile(manifest,
+		[]byte("shards=2\nassign=contiguous\nrange=0:0:2\nrange=1:2:4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSharded(dir); err == nil {
+		t.Error("count mismatch between manifest and shard dir must fail")
+	}
+
+	// Truncated manifest.
+	if err := os.WriteFile(manifest, []byte("shards=2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSharded(dir); err == nil {
+		t.Error("truncated manifest must fail")
+	}
+
+	// Manifest deleted: not a sharded root at all.
+	if err := os.Remove(manifest); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSharded(dir); err == nil {
+		t.Error("missing manifest must fail")
+	}
+
+	// A manifest naming a shard directory that does not exist.
+	if err := os.WriteFile(manifest,
+		[]byte("shards=3\nassign=contiguous\nrange=0:0:3\nrange=1:3:2\nrange=2:5:1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSharded(dir); err == nil {
+		t.Error("missing shard directory must fail")
+	}
+}
+
+func TestShardedIndexLifecycle(t *testing.T) {
+	db := newTestDB(t, 5, 40, 6)
+	spec := IndexSpec{Method: MethodMaxEntropy, Categories: 8, Sparse: true}
+	sdb, err := db.PartitionInto(filepath.Join(t.TempDir(), "s"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sdb.Close()
+	if err := sdb.BuildIndex("ix", spec); err != nil {
+		t.Fatal(err)
+	}
+	if got := sdb.Indexes(); !reflect.DeepEqual(got, []string{"ix"}) {
+		t.Errorf("Indexes = %v", got)
+	}
+	info, err := sdb.Index("ix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantLeaves uint64
+	for i := 0; i < sdb.Shards(); i++ {
+		ii, err := sdb.Shard(i).Index("ix")
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantLeaves += ii.Leaves
+	}
+	if info.Leaves != wantLeaves {
+		t.Errorf("aggregate Leaves = %d, want %d", info.Leaves, wantLeaves)
+	}
+	if err := sdb.DropIndex("ix"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sdb.DropIndex("ix"); !errors.Is(err, ErrNoIndex) {
+		t.Errorf("double drop: want ErrNoIndex, got %v", err)
+	}
+}
+
+// TestShardedSearchContext checks deadline propagation into the fan-out.
+func TestShardedSearchContext(t *testing.T) {
+	db := newTestDB(t, 6, 40, 8)
+	spec := IndexSpec{Method: MethodMaxEntropy, Categories: 8, Sparse: true}
+	sdb := newShardedFrom(t, db, 2, spec)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := sdb.SearchCtx(ctx, "s", db.Values("seq-0")[:6], 5)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("want context.Canceled through the fan-out, got %v", err)
+	}
+}
+
+func TestMergeStatsMoments(t *testing.T) {
+	// Hand-computable recombination: two parts whose union is {1..6} as one
+	// sequence of six elements... simpler: verify against a direct
+	// computation over the concatenated population.
+	vals := [][]float64{{1, 2, 3}, {10, 20, 30, 40}}
+	parts := make([]Stats, len(vals))
+	var all []float64
+	for i, vs := range vals {
+		parts[i] = statsOf(vs)
+		all = append(all, vs...)
+	}
+	got := MergeStats(parts)
+	want := statsOf(all)
+	if math.Abs(got.MeanValue-want.MeanValue) > 1e-9 || math.Abs(got.StdDev-want.StdDev) > 1e-9 {
+		t.Errorf("merged mean/stddev %.6f/%.6f, want %.6f/%.6f",
+			got.MeanValue, got.StdDev, want.MeanValue, want.StdDev)
+	}
+	if got.TotalElements != want.TotalElements ||
+		math.Abs(got.MinValue-want.MinValue) > 0 || math.Abs(got.MaxValue-want.MaxValue) > 0 {
+		t.Errorf("merged %+v, want %+v", got, want)
+	}
+	// Empty parts are identity elements.
+	if m := MergeStats([]Stats{{}, parts[0], {}}); m.TotalElements != parts[0].TotalElements {
+		t.Errorf("empty parts changed the merge: %+v", m)
+	}
+}
+
+// statsOf computes a population's summary the direct way.
+func statsOf(vs []float64) Stats {
+	st := Stats{Sequences: 1, TotalElements: len(vs), MinLen: len(vs), MaxLen: len(vs), AvgLen: float64(len(vs))}
+	st.MinValue, st.MaxValue = vs[0], vs[0]
+	sum := 0.0
+	for _, v := range vs {
+		st.MinValue = math.Min(st.MinValue, v)
+		st.MaxValue = math.Max(st.MaxValue, v)
+		sum += v
+	}
+	st.MeanValue = sum / float64(len(vs))
+	varSum := 0.0
+	for _, v := range vs {
+		varSum += (v - st.MeanValue) * (v - st.MeanValue)
+	}
+	st.StdDev = math.Sqrt(varSum / float64(len(vs)))
+	return st
+}
