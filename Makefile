@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-self lint-wire lint-golden lint-golden-update test race race-concurrency race-parallel race-shard cover bench bench-concurrency bench-parallel bench-shard fuzz fuzz-ci smoke tables examples check ci clean
+.PHONY: all build vet lint lint-self lint-wire lint-golden lint-golden-update test race race-concurrency race-parallel race-shard race-mmap cover bench bench-concurrency bench-parallel bench-shard bench-mmap fuzz fuzz-ci smoke tables examples check ci clean
 
 all: build vet lint test
 
@@ -51,7 +51,7 @@ check: build vet lint test race
 # targets, the server smoke drill, the linter over its own sources, the
 # fixture golden diff, and the machine-readable lint gate (any finding
 # fails the run; the JSON lines feed CI annotations).
-ci: check race-concurrency race-parallel race-shard fuzz-ci smoke lint-self lint-wire lint-golden
+ci: check race-concurrency race-parallel race-shard race-mmap fuzz-ci smoke lint-self lint-wire lint-golden
 	$(GO) run ./cmd/twlint -json ./...
 
 # The concurrent-search suite under -race, run twice: many goroutines on
@@ -76,6 +76,14 @@ race-parallel:
 # coordinator's partial-failure and merge paths.
 race-shard:
 	$(GO) test -race -count=2 -run 'TestSharded|TestShardedByteIdentical|TestServerSharded|TestServerBatch|TestRouterThroughDaemons|TestPartialFailure|TestSearch|TestScanMerges|TestManifest' ./internal/shard/ ./seqdb/ ./seqdb/server/
+
+# Storage-backend determinism under -race, run twice: mixed Search/KNN from
+# 8 goroutines through the buffer pool, mmap, and auto backends — over both
+# node record encodings — must return answers byte-identical to the pool
+# baseline, the PageSource contract and view-concurrency suites must hold
+# for every backend, and a v1<->v2 rewrite must be lossless.
+race-mmap:
+	$(GO) test -race -count=2 -run 'TestBackend|TestPageSource|TestMmap|TestViewConcurrent|TestBackingReadAt|TestRewrite|TestEncodingV2' ./seqdb/ ./internal/storage/ ./internal/disktree/
 
 # End-to-end server drill under the race detector: boot twsearchd on an
 # ephemeral port, stream matches over concurrent client connections,
@@ -121,6 +129,12 @@ bench-parallel:
 bench-shard:
 	$(GO) run ./cmd/benchshard
 
+# Storage backend and encoding comparison: cold-start latency plus
+# steady-state throughput for every (encoding, backend) pair, and bytes per
+# node for the v1 and v2 files, written to BENCH_mmap.json.
+bench-mmap:
+	$(GO) run ./cmd/benchmmap
+
 # Short fuzz session over every fuzz target.
 fuzz:
 	$(GO) test -fuzz FuzzDistanceProperties -fuzztime 10s ./internal/dtw/
@@ -130,6 +144,7 @@ fuzz:
 	$(GO) test -fuzz FuzzReadScheme -fuzztime 10s ./internal/categorize/
 	$(GO) test -fuzz FuzzFit -fuzztime 10s ./internal/categorize/
 	$(GO) test -fuzz FuzzValidateCorruption -fuzztime 10s ./internal/disktree/
+	$(GO) test -fuzz FuzzNodeCodecV2 -fuzztime 10s ./internal/disktree/
 	$(GO) test -fuzz FuzzFrameRoundTrip -fuzztime 10s ./internal/wire/
 	$(GO) test -fuzz FuzzSearchMatchesScan -fuzztime 20s ./internal/core/
 

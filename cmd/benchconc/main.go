@@ -11,17 +11,14 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"twsearch/internal/workload"
+	"twsearch/internal/benchrun"
 	"twsearch/seqdb"
 )
 
@@ -37,11 +34,11 @@ type result struct {
 
 // report is the emitted JSON document.
 type report struct {
-	Scale      float64  `json:"scale"`
-	Eps        float64  `json:"eps"`
-	Seed       int64    `json:"seed"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
-	Runs       []result `json:"runs"`
+	Scale float64 `json:"scale"`
+	Eps   float64 `json:"eps"`
+	Seed  int64   `json:"seed"`
+	benchrun.Env
+	Runs []result `json:"runs"`
 }
 
 func main() {
@@ -65,13 +62,7 @@ func run(scale float64, numQueries int, eps float64, seed int64, out string) err
 	}
 	defer os.RemoveAll(dir)
 
-	n := int(545*scale + 0.5)
-	if n < 2 {
-		n = 2
-	}
-	data := workload.Stocks(workload.StockConfig{NumSequences: n, Seed: seed})
-	qs := workload.QueriesRand(rand.New(rand.NewSource(seed+1)), data,
-		workload.QueryConfig{Count: numQueries})
+	data, qs := benchrun.StockWorkload(scale, 2, numQueries, seed)
 
 	db, err := seqdb.Create(dir)
 	if err != nil {
@@ -96,8 +87,9 @@ func run(scale float64, numQueries int, eps float64, seed int64, out string) err
 		return err
 	}
 
-	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
-	rep := report{Scale: scale, Eps: eps, Seed: seed, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	env := benchrun.CaptureEnv()
+	workerCounts := []int{1, 4, env.GOMAXPROCS}
+	rep := report{Scale: scale, Eps: eps, Seed: seed, Env: env}
 	seen := map[int]bool{}
 	for _, w := range workerCounts {
 		if seen[w] {
@@ -118,17 +110,7 @@ func run(scale float64, numQueries int, eps float64, seed int64, out string) err
 			r.Workers, r.QPS, r.Speedup, r.Answers)
 	}
 
-	f, err := os.Create(out)
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return benchrun.WriteJSON(out, rep)
 }
 
 // measure replays the query batch across w workers on the shared handle.

@@ -1,0 +1,235 @@
+// Command benchmmap measures what the storage backends and node record
+// encodings buy. It builds the stock-like workload once, indexes it under
+// both encodings (v1 fixed-width, v2 compact varint), then measures every
+// (encoding, backend) pair: cold-start latency (open the database and answer
+// the first query on an unwarmed handle, averaged over a few cycles) and
+// steady-state throughput (the query batch replayed across GOMAXPROCS
+// workers on one warmed handle). Answer totals must agree across all pairs —
+// the backends and encodings are different physics for the same tree. The
+// report also records each index file's size and bytes per node, where the
+// v2 shrink shows up. The result is written as JSON (default
+// BENCH_mmap.json) for the CI trend line.
+//
+// Usage:
+//
+//	benchmmap [-scale f] [-queries n] [-eps f] [-seed n] [-out file]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"twsearch/internal/benchrun"
+	"twsearch/seqdb"
+)
+
+// fileInfo describes one index file on disk.
+type fileInfo struct {
+	Encoding     string  `json:"encoding"`
+	SizeBytes    int64   `json:"size_bytes"`
+	Nodes        uint64  `json:"nodes"`
+	BytesPerNode float64 `json:"bytes_per_node"`
+}
+
+// result is one (encoding, backend) measurement.
+type result struct {
+	Encoding    string  `json:"encoding"`
+	Backend     string  `json:"backend"`
+	Queries     int     `json:"queries"`
+	ColdStartMS float64 `json:"cold_start_ms"`
+	ElapsedSec  float64 `json:"elapsed_sec"`
+	QPS         float64 `json:"queries_per_sec"`
+	Answers     uint64  `json:"answers"`
+}
+
+// report is the emitted JSON document.
+type report struct {
+	Scale float64 `json:"scale"`
+	Eps   float64 `json:"eps"`
+	Seed  int64   `json:"seed"`
+	benchrun.Env
+	Files []fileInfo `json:"files"`
+	Runs  []result   `json:"runs"`
+}
+
+// coldCycles is how many open-query-close cycles the cold-start number
+// averages over.
+const coldCycles = 3
+
+func main() {
+	scale := flag.Float64("scale", 0.5, "workload scale; 1.0 = paper scale (545 sequences)")
+	queries := flag.Int("queries", 100, "queries per steady-state measurement")
+	eps := flag.Float64("eps", 10, "distance threshold")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("out", "BENCH_mmap.json", "output JSON path")
+	flag.Parse()
+
+	if err := run(*scale, *queries, *eps, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchmmap:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scale float64, numQueries int, eps float64, seed int64, out string) error {
+	dir, err := os.MkdirTemp("", "twsearch-benchmmap-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	data, qs := benchrun.StockWorkload(scale, 2, numQueries, seed)
+
+	db, err := seqdb.Create(dir)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < data.Len(); i++ {
+		seq := data.Seq(i)
+		if err := db.Add(seq.ID, seq.Values); err != nil {
+			db.Close()
+			return err
+		}
+	}
+	// Persist the dataset: unlike the other bench commands, this one closes
+	// the build handle and re-opens per (encoding, backend) pair.
+	if err := db.Save(); err != nil {
+		db.Close()
+		return err
+	}
+	encodings := []seqdb.Encoding{seqdb.EncodingV1, seqdb.EncodingV2}
+	rep := report{Scale: scale, Eps: eps, Seed: seed, Env: benchrun.CaptureEnv()}
+	for _, enc := range encodings {
+		name := indexName(enc)
+		if err := db.BuildIndex(name, seqdb.IndexSpec{
+			Method: seqdb.MethodMaxEntropy, Categories: 20, Sparse: true, Encoding: enc,
+		}); err != nil {
+			db.Close()
+			return err
+		}
+		info, err := db.Index(name)
+		if err != nil {
+			db.Close()
+			return err
+		}
+		rep.Files = append(rep.Files, fileInfo{
+			Encoding:     enc.String(),
+			SizeBytes:    info.SizeBytes,
+			Nodes:        info.Nodes,
+			BytesPerNode: float64(info.SizeBytes) / float64(info.Nodes),
+		})
+		fmt.Printf("index %-3s %7d KB  %d nodes  %.1f bytes/node\n",
+			enc, info.SizeBytes/1024, info.Nodes, float64(info.SizeBytes)/float64(info.Nodes))
+	}
+	if err := db.Close(); err != nil {
+		return err
+	}
+
+	var baseAnswers uint64
+	for _, enc := range encodings {
+		for _, backend := range []seqdb.Backend{seqdb.BackendPool, seqdb.BackendMmap} {
+			r, err := measure(dir, indexName(enc), qs, eps, backend)
+			if err != nil {
+				return err
+			}
+			r.Encoding = enc.String()
+			if len(rep.Runs) == 0 {
+				baseAnswers = r.Answers
+			} else if r.Answers != baseAnswers {
+				return fmt.Errorf("%s/%s returned %d answers, baseline returned %d — backends must not change results",
+					r.Encoding, r.Backend, r.Answers, baseAnswers)
+			}
+			rep.Runs = append(rep.Runs, r)
+			fmt.Printf("%-3s %-5s cold=%7.3fms  %8.1f queries/sec  answers=%d\n",
+				r.Encoding, r.Backend, r.ColdStartMS, r.QPS, r.Answers)
+		}
+	}
+
+	return benchrun.WriteJSON(out, rep)
+}
+
+func indexName(enc seqdb.Encoding) string { return "bench-" + enc.String() }
+
+// measure times one (encoding, backend) pair: cold starts on fresh handles,
+// then steady-state throughput on one warmed handle across GOMAXPROCS
+// workers.
+func measure(dir, index string, qs [][]float64, eps float64, backend seqdb.Backend) (result, error) {
+	opts := seqdb.OpenOptions{Backend: backend}
+
+	// Cold start: open, answer the first query, close. The OS page cache
+	// stays warm across cycles, so this isolates the handle setup cost —
+	// pool allocation vs mmap — plus one unwarmed traversal.
+	var cold time.Duration
+	for i := 0; i < coldCycles; i++ {
+		t0 := time.Now()
+		db, err := seqdb.OpenWith(dir, opts)
+		if err != nil {
+			return result{}, err
+		}
+		if _, _, err := db.Search(index, qs[0], eps); err != nil {
+			db.Close()
+			return result{}, err
+		}
+		cold += time.Since(t0)
+		if err := db.Close(); err != nil {
+			return result{}, err
+		}
+	}
+
+	db, err := seqdb.OpenWith(dir, opts)
+	if err != nil {
+		return result{}, err
+	}
+	defer db.Close()
+	if _, _, err := db.Search(index, qs[0], eps); err != nil {
+		return result{}, err
+	}
+
+	env := benchrun.CaptureEnv()
+	var (
+		next    atomic.Int64
+		answers atomic.Uint64
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		firstE  error
+	)
+	start := time.Now()
+	for i := 0; i < env.GOMAXPROCS; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				j := int(next.Add(1)) - 1
+				if j >= len(qs) {
+					return
+				}
+				matches, _, err := db.Search(index, qs[j], eps)
+				if err != nil {
+					mu.Lock()
+					if firstE == nil {
+						firstE = err
+					}
+					mu.Unlock()
+					return
+				}
+				answers.Add(uint64(len(matches)))
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstE != nil {
+		return result{}, firstE
+	}
+	return result{
+		Backend:     string(backend),
+		Queries:     len(qs),
+		ColdStartMS: float64(cold.Microseconds()) / 1000 / coldCycles,
+		ElapsedSec:  elapsed.Seconds(),
+		QPS:         float64(len(qs)) / elapsed.Seconds(),
+		Answers:     answers.Load(),
+	}, nil
+}

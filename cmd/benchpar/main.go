@@ -18,15 +18,13 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
-	"runtime"
+	"sort"
 	"time"
 
-	"twsearch/internal/workload"
+	"twsearch/internal/benchrun"
 	"twsearch/seqdb"
 )
 
@@ -43,11 +41,11 @@ type result struct {
 
 // report is the emitted JSON document.
 type report struct {
-	Scale      float64  `json:"scale"`
-	Eps        float64  `json:"eps"`
-	Seed       int64    `json:"seed"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
-	Runs       []result `json:"runs"`
+	Scale float64 `json:"scale"`
+	Eps   float64 `json:"eps"`
+	Seed  int64   `json:"seed"`
+	benchrun.Env
+	Runs []result `json:"runs"`
 }
 
 func main() {
@@ -71,13 +69,7 @@ func run(scale float64, numQueries int, eps float64, seed int64, out string) err
 	}
 	defer os.RemoveAll(dir)
 
-	n := int(545*scale + 0.5)
-	if n < 2 {
-		n = 2
-	}
-	data := workload.Stocks(workload.StockConfig{NumSequences: n, Seed: seed})
-	qs := workload.QueriesRand(rand.New(rand.NewSource(seed+1)), data,
-		workload.QueryConfig{Count: numQueries})
+	data, qs := benchrun.StockWorkload(scale, 2, numQueries, seed)
 
 	db, err := seqdb.Create(dir)
 	if err != nil {
@@ -102,9 +94,9 @@ func run(scale float64, numQueries int, eps float64, seed int64, out string) err
 		return err
 	}
 
-	maxProcs := runtime.GOMAXPROCS(0)
-	workerCounts := []int{1, 2, 4, maxProcs}
-	rep := report{Scale: scale, Eps: eps, Seed: seed, GOMAXPROCS: maxProcs}
+	env := benchrun.CaptureEnv()
+	workerCounts := []int{1, 2, 4, env.GOMAXPROCS}
+	rep := report{Scale: scale, Eps: eps, Seed: seed, Env: env}
 	seen := map[int]bool{}
 	for _, w := range workerCounts {
 		if seen[w] {
@@ -129,17 +121,7 @@ func run(scale float64, numQueries int, eps float64, seed int64, out string) err
 			r.Workers, r.MeanMs, r.P99Ms, r.Speedup, r.Answers)
 	}
 
-	f, err := os.Create(out)
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return benchrun.WriteJSON(out, rep)
 }
 
 // measure runs the query batch one query at a time, each search using par
@@ -167,14 +149,9 @@ func measure(db *seqdb.DB, qs [][]float64, eps float64, label, par int) (result,
 	for _, l := range lats {
 		sum += l
 	}
-	// p99 by nearest-rank on the sorted latencies.
 	sorted := append([]time.Duration(nil), lats...)
-	for i := 1; i < len(sorted); i++ {
-		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
-			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
-		}
-	}
-	p99 := sorted[(len(sorted)*99+99)/100-1]
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	p99 := benchrun.Percentile(sorted, 99)
 	return result{
 		Workers:    label,
 		Queries:    len(qs),

@@ -13,17 +13,13 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"path/filepath"
-	"runtime"
-	"sort"
 	"time"
 
-	"twsearch/internal/workload"
+	"twsearch/internal/benchrun"
 	"twsearch/seqdb"
 )
 
@@ -39,20 +35,18 @@ type result struct {
 	Queries    int     `json:"queries"`
 	ElapsedSec float64 `json:"elapsed_sec"`
 	QPS        float64 `json:"queries_per_sec"`
-	AvgMS      float64 `json:"latency_avg_ms"`
-	P50MS      float64 `json:"latency_p50_ms"`
-	P95MS      float64 `json:"latency_p95_ms"`
-	Speedup    float64 `json:"speedup_vs_unsharded"`
-	Answers    uint64  `json:"answers"`
+	benchrun.LatencySummary
+	Speedup float64 `json:"speedup_vs_unsharded"`
+	Answers uint64  `json:"answers"`
 }
 
 // report is the emitted JSON document.
 type report struct {
-	Scale      float64  `json:"scale"`
-	Eps        float64  `json:"eps"`
-	Seed       int64    `json:"seed"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
-	Runs       []result `json:"runs"`
+	Scale float64 `json:"scale"`
+	Eps   float64 `json:"eps"`
+	Seed  int64   `json:"seed"`
+	benchrun.Env
+	Runs []result `json:"runs"`
 }
 
 func main() {
@@ -76,13 +70,9 @@ func run(scale float64, numQueries int, eps float64, seed int64, out string) err
 	}
 	defer os.RemoveAll(dir)
 
-	n := int(545*scale + 0.5)
-	if n < 8 {
-		n = 8 // every shard count below needs at least one sequence per shard
-	}
-	data := workload.Stocks(workload.StockConfig{NumSequences: n, Seed: seed})
-	qs := workload.QueriesRand(rand.New(rand.NewSource(seed+1)), data,
-		workload.QueryConfig{Count: numQueries})
+	// Floor at 8 sequences: every shard count below needs at least one
+	// sequence per shard.
+	data, qs := benchrun.StockWorkload(scale, 8, numQueries, seed)
 
 	spec := seqdb.IndexSpec{Method: seqdb.MethodMaxEntropy, Categories: 20, Sparse: true}
 	db, err := seqdb.Create(filepath.Join(dir, "flat"))
@@ -100,7 +90,7 @@ func run(scale float64, numQueries int, eps float64, seed int64, out string) err
 		return err
 	}
 
-	rep := report{Scale: scale, Eps: eps, Seed: seed, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	rep := report{Scale: scale, Eps: eps, Seed: seed, Env: benchrun.CaptureEnv()}
 	base, err := measure(db, qs, eps, 0)
 	if err != nil {
 		return err
@@ -132,17 +122,7 @@ func run(scale float64, numQueries int, eps float64, seed int64, out string) err
 		printRow(r)
 	}
 
-	f, err := os.Create(out)
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return benchrun.WriteJSON(out, rep)
 }
 
 func printRow(r result) {
@@ -172,20 +152,12 @@ func measure(s searcher, qs [][]float64, eps float64, shards int) (result, error
 	}
 	elapsed := time.Since(start)
 
-	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
-	var sum time.Duration
-	for _, d := range lat {
-		sum += d
-	}
-	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 	return result{
-		Shards:     shards,
-		Queries:    len(qs),
-		ElapsedSec: elapsed.Seconds(),
-		QPS:        float64(len(qs)) / elapsed.Seconds(),
-		AvgMS:      ms(sum / time.Duration(len(lat))),
-		P50MS:      ms(lat[len(lat)/2]),
-		P95MS:      ms(lat[len(lat)*95/100]),
-		Answers:    answers,
+		Shards:         shards,
+		Queries:        len(qs),
+		ElapsedSec:     elapsed.Seconds(),
+		QPS:            float64(len(qs)) / elapsed.Seconds(),
+		LatencySummary: benchrun.Summarize(lat),
+		Answers:        answers,
 	}, nil
 }

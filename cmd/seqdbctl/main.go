@@ -5,11 +5,11 @@
 //	seqdbctl create  -db DIR
 //	seqdbctl gen     -db DIR [-kind stocks|artificial] [-n N] [-len L] [-seed S]
 //	seqdbctl import  -db DIR -csv FILE
-//	seqdbctl stats   -db DIR
-//	seqdbctl index   -db DIR -name NAME [-method me|el|kmeans|exact] [-cats N] [-sparse] [-window W]
+//	seqdbctl stats   -db DIR [-backend pool|mmap|auto]
+//	seqdbctl index   -db DIR -name NAME [-method me|el|kmeans|exact] [-cats N] [-sparse] [-window W] [-encoding v1|v2]
 //	seqdbctl drop    -db DIR -name NAME
-//	seqdbctl query   -db DIR -name NAME -eps E (-q "v1,v2,..." | -from SEQID -start P -len L) [-limit N] [-timeout D]
-//	seqdbctl scan    -db DIR -eps E (-q "v1,v2,..." | -from SEQID -start P -len L) [-limit N] [-timeout D]
+//	seqdbctl query   -db DIR -name NAME -eps E (-q "v1,v2,..." | -from SEQID -start P -len L) [-limit N] [-timeout D] [-backend B]
+//	seqdbctl scan    -db DIR -eps E (-q "v1,v2,..." | -from SEQID -start P -len L) [-limit N] [-timeout D] [-backend B]
 //	seqdbctl shard   -db DIR -out DIR -shards N [-name NAME -method ... -cats N]
 //	seqdbctl batch   -addr host:port -file FILE [-dbname NAME] [-timeout D]
 //
@@ -124,12 +124,23 @@ type database interface {
 }
 
 // openAny opens dir as a sharded database when it holds a shard manifest
-// and as a plain database otherwise.
-func openAny(dir string) (database, error) {
-	if seqdb.IsSharded(dir) {
-		return seqdb.OpenSharded(dir)
+// and as a plain database otherwise, reading index trees through the
+// -backend storage backend ("" = buffer pool).
+func openAny(dir, backendName string) (database, error) {
+	backend, err := seqdb.ParseBackend(backendName)
+	if err != nil {
+		return nil, err
 	}
-	return seqdb.Open(dir)
+	opts := seqdb.OpenOptions{Backend: backend}
+	if seqdb.IsSharded(dir) {
+		return seqdb.OpenShardedWith(dir, opts)
+	}
+	return seqdb.OpenWith(dir, opts)
+}
+
+// backendFlag registers the shared -backend flag on a subcommand FlagSet.
+func backendFlag(fs *flag.FlagSet) *string {
+	return fs.String("backend", "", "storage backend for index trees: pool (default), mmap, or auto")
 }
 
 // parseQueryValues parses the -q "v1,v2,..." form.
@@ -285,6 +296,7 @@ func cmdKNN(args []string) error {
 	timeout := fs.Duration("timeout", 0, "abort the search after this long (0 = none)")
 	addr := fs.String("addr", "", "twsearchd address for remote mode (requires -q)")
 	dbName := fs.String("dbname", "", "database name on the server (remote mode; empty = sole db)")
+	backend := backendFlag(fs)
 	fs.Parse(args)
 	if *name == "" {
 		return fmt.Errorf("knn: -name required")
@@ -317,7 +329,7 @@ func cmdKNN(args []string) error {
 	if *db == "" || *from == "" {
 		return fmt.Errorf("knn: -db and -from required (or -addr with -q)")
 	}
-	d, err := openAny(*db)
+	d, err := openAny(*db, *backend)
 	if err != nil {
 		return err
 	}
@@ -444,8 +456,9 @@ func cmdImport(args []string) error {
 func cmdStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	db := fs.String("db", "", "database directory")
+	backend := backendFlag(fs)
 	fs.Parse(args)
-	d, err := openAny(*db)
+	d, err := openAny(*db, *backend)
 	if err != nil {
 		return err
 	}
@@ -462,9 +475,9 @@ func cmdStats(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("index %q: method=%s cats=%d sparse=%v window=%d size=%dKB nodes=%d leaves=%d\n",
+		fmt.Printf("index %q: method=%s cats=%d sparse=%v window=%d encoding=%s size=%dKB nodes=%d leaves=%d\n",
 			name, info.Spec.Method, info.Spec.Categories, info.Spec.Sparse, info.Spec.Window,
-			info.SizeBytes/1024, info.Nodes, info.Leaves)
+			info.Spec.Encoding, info.SizeBytes/1024, info.Nodes, info.Leaves)
 	}
 	// Counters are near zero on a fresh handle; the interesting numbers come
 	// from a long-lived daemon via `query -addr`. The shard count is static.
@@ -489,9 +502,15 @@ func cmdIndex(args []string) error {
 	cats := fs.Int("cats", 20, "number of categories")
 	sparse := fs.Bool("sparse", false, "sparse suffix tree (SSTc)")
 	window := fs.Int("window", 0, "warping window half-width (0 = none)")
+	encName := fs.String("encoding", "", "node record encoding: v1 (default) or v2 (compact varint)")
+	backend := backendFlag(fs)
 	fs.Parse(args)
 	if *db == "" || *name == "" {
 		return fmt.Errorf("index: -db and -name required")
+	}
+	enc, err := seqdb.ParseEncoding(*encName)
+	if err != nil {
+		return fmt.Errorf("index: %w", err)
 	}
 	var m seqdb.Method
 	switch *method {
@@ -506,13 +525,13 @@ func cmdIndex(args []string) error {
 	default:
 		return fmt.Errorf("index: unknown method %q", *method)
 	}
-	d, err := openAny(*db)
+	d, err := openAny(*db, *backend)
 	if err != nil {
 		return err
 	}
 	defer d.Close()
 	if err := d.BuildIndex(*name, seqdb.IndexSpec{
-		Method: m, Categories: *cats, Sparse: *sparse, Window: *window,
+		Method: m, Categories: *cats, Sparse: *sparse, Window: *window, Encoding: enc,
 	}); err != nil {
 		return err
 	}
@@ -529,7 +548,7 @@ func cmdDrop(args []string) error {
 	db := fs.String("db", "", "database directory")
 	name := fs.String("name", "", "index name")
 	fs.Parse(args)
-	d, err := openAny(*db)
+	d, err := openAny(*db, "")
 	if err != nil {
 		return err
 	}
@@ -554,6 +573,7 @@ func cmdQuery(args []string, useIndex bool) error {
 	timeout := fs.Duration("timeout", 0, "abort the search after this long (0 = none)")
 	addr := fs.String("addr", "", "twsearchd address for remote mode (requires -q)")
 	dbName := fs.String("dbname", "", "database name on the server (remote mode; empty = sole db)")
+	backend := backendFlag(fs)
 	fs.Parse(args)
 	ctx, cancel := queryContext(*timeout)
 	defer cancel()
@@ -588,7 +608,7 @@ func cmdQuery(args []string, useIndex bool) error {
 		return printMatches(matches, stats, *limit)
 	}
 
-	d, err := openAny(*db)
+	d, err := openAny(*db, *backend)
 	if err != nil {
 		return err
 	}

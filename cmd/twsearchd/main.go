@@ -120,6 +120,7 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 	maxPar := fs.Int("max-par", 0, "max worker goroutines one search may use; caps the client hint (0 = serial only)")
 	idleTimeout := fs.Duration("idle-timeout", 0, "drop connections idle this long (0 = default)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
+	backendName := fs.String("backend", "", "storage backend for local index trees: pool (default), mmap, or auto")
 	quiet := fs.Bool("q", false, "suppress per-request access logs")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -127,6 +128,11 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 	if len(dbs.dirs) == 0 && len(routes.specs) == 0 {
 		return errors.New("no databases: pass at least one -db [name=]dir or -route [name=]leg,...")
 	}
+	backend, err := seqdb.ParseBackend(*backendName)
+	if err != nil {
+		return err
+	}
+	openOpts := seqdb.OpenOptions{Backend: backend}
 
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(stdout, time.Now().Format("2006-01-02T15:04:05.000 ")+format+"\n", args...)
@@ -149,7 +155,7 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 	}()
 	for i, dir := range dbs.dirs {
 		if seqdb.IsSharded(dir) {
-			db, err := seqdb.OpenSharded(dir)
+			db, err := seqdb.OpenShardedWith(dir, openOpts)
 			if err != nil {
 				return fmt.Errorf("open sharded %s: %w", dir, err)
 			}
@@ -161,7 +167,7 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 				dbs.names[i], dir, db.Len(), db.Shards(), strings.Join(db.Indexes(), ", "))
 			continue
 		}
-		db, err := seqdb.Open(dir)
+		db, err := seqdb.OpenWith(dir, openOpts)
 		if err != nil {
 			return fmt.Errorf("open %s: %w", dir, err)
 		}
@@ -175,7 +181,7 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 	for i, legSpecs := range routes.specs {
 		legs := make([]server.Leg, len(legSpecs))
 		for j, spec := range legSpecs {
-			leg, closeFn, err := server.ParseLegSpec(spec)
+			leg, closeFn, err := server.ParseLegSpecWith(spec, openOpts)
 			if err != nil {
 				return fmt.Errorf("route %q leg %s: %w", routes.names[i], spec, err)
 			}

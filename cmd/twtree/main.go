@@ -1,10 +1,16 @@
-// Command twtree inspects and validates the disk-resident suffix tree of a
-// twsearch database index.
+// Command twtree inspects, validates, and migrates the disk-resident
+// suffix tree of a twsearch database index.
 //
 // Usage:
 //
 //	twtree -db DIR -name INDEX           # header + structural validation
 //	twtree -db DIR -name INDEX -dump 3   # also dump the tree to depth 3
+//	twtree rewrite -db DIR -name INDEX -encoding v2 [-out FILE] [-pool N]
+//
+// rewrite re-serializes an index tree under another node record encoding
+// (v1 fixed-width or v2 compact varint) without touching the logical tree.
+// Without -out it atomically replaces the index file in place; the database
+// must not be open elsewhere while it runs.
 package main
 
 import (
@@ -21,19 +27,71 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "rewrite" {
+		if err := cmdRewrite(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "twtree:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	db := flag.String("db", "", "database directory")
 	name := flag.String("name", "", "index name")
 	dump := flag.Int("dump", 0, "dump the tree to this depth (0 = no dump)")
 	pool := flag.Int("pool", 256, "buffer pool pages")
 	flag.Parse()
 	if *db == "" || *name == "" {
-		fmt.Fprintln(os.Stderr, "usage: twtree -db DIR -name INDEX [-dump N]")
+		fmt.Fprintln(os.Stderr, "usage: twtree -db DIR -name INDEX [-dump N] | twtree rewrite -db DIR -name INDEX -encoding v1|v2")
 		os.Exit(2)
 	}
 	if err := run(*db, *name, *dump, *pool); err != nil {
 		fmt.Fprintln(os.Stderr, "twtree:", err)
 		os.Exit(1)
 	}
+}
+
+// cmdRewrite migrates one index file between node record encodings.
+func cmdRewrite(args []string) error {
+	fs := flag.NewFlagSet("rewrite", flag.ExitOnError)
+	db := fs.String("db", "", "database directory")
+	name := fs.String("name", "", "index name")
+	encName := fs.String("encoding", "", "target encoding: v1 or v2")
+	out := fs.String("out", "", "write here instead of replacing the index file in place")
+	pool := fs.Int("pool", 256, "buffer pool pages")
+	fs.Parse(args)
+	if *db == "" || *name == "" || *encName == "" {
+		return fmt.Errorf("rewrite: -db, -name, and -encoding required")
+	}
+	enc, err := disktree.ParseEncoding(*encName)
+	if err != nil {
+		return fmt.Errorf("rewrite: %w", err)
+	}
+	inPath := filepath.Join(*db, "idx-"+*name+".twt")
+	outPath := *out
+	inPlace := outPath == ""
+	if inPlace {
+		outPath = inPath + ".rewrite"
+	}
+	f, err := disktree.Rewrite(inPath, outPath, *pool, enc)
+	if err != nil {
+		if inPlace {
+			os.Remove(outPath)
+		}
+		return err
+	}
+	size := f.SizeBytes()
+	nodes := f.NumNodes()
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if inPlace {
+		if err := os.Rename(outPath, inPath); err != nil {
+			os.Remove(outPath)
+			return err
+		}
+		outPath = inPath
+	}
+	fmt.Printf("rewrote %s as %s: %d KB, %d nodes -> %s\n", inPath, enc, size/1024, nodes, outPath)
+	return nil
 }
 
 func run(dbDir, name string, dump, pool int) error {
@@ -65,6 +123,7 @@ func run(dbDir, name string, dump, pool int) error {
 	fmt.Printf("  scheme:     %s, %d categories\n", scheme.Kind(), scheme.NumCategories())
 	fmt.Printf("  sparse:     %v\n", f.Sparse())
 	fmt.Printf("  layout:     %s\n", f.Layout())
+	fmt.Printf("  encoding:   %s\n", f.Encoding())
 	fmt.Printf("  file:       %d KB (%d nodes, %d leaves, %d label symbols)\n",
 		f.SizeBytes()/1024, f.NumNodes(), f.NumLeaves(), f.TotalLabelSymbols())
 

@@ -1,0 +1,110 @@
+package benchrun
+
+// This file is the shared plumbing of the cmd/bench* trend-line commands:
+// machine-context capture, the scaled stock workload they all replay, the
+// nearest-rank latency summary, and the JSON emit. The commands differ only
+// in what they measure; everything around the measurement lives here so the
+// reports stay field-compatible with each other.
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"twsearch/internal/sequence"
+	"twsearch/internal/workload"
+)
+
+// Env records the machine context a benchmark ran under. GOMAXPROCS is what
+// the Go scheduler will actually use; NumCPU is the hardware view — they
+// differ under cgroup CPU limits or an explicit GOMAXPROCS override, and a
+// trend line that mixes the two machine shapes is comparing nothing.
+type Env struct {
+	GOMAXPROCS int `json:"gomaxprocs"`
+	NumCPU     int `json:"num_cpu"`
+}
+
+// CaptureEnv snapshots the machine context for a benchmark report.
+func CaptureEnv() Env {
+	return Env{GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
+}
+
+// StockWorkload builds the scaled Section 7 stock dataset (scale 1.0 = the
+// paper's 545 sequences, floored at minSeqs) and a deterministic query batch
+// cut from it, exactly as every bench command replays it.
+func StockWorkload(scale float64, minSeqs, numQueries int, seed int64) (*sequence.Dataset, [][]float64) {
+	n := int(545*scale + 0.5)
+	if n < minSeqs {
+		n = minSeqs
+	}
+	data := workload.Stocks(workload.StockConfig{NumSequences: n, Seed: seed})
+	qs := workload.QueriesRand(rand.New(rand.NewSource(seed+1)), data,
+		workload.QueryConfig{Count: numQueries})
+	return data, qs
+}
+
+// LatencySummary is the per-query latency distribution of one measurement,
+// in the field names the CI trend lines key on.
+type LatencySummary struct {
+	AvgMS float64 `json:"latency_avg_ms"`
+	P50MS float64 `json:"latency_p50_ms"`
+	P95MS float64 `json:"latency_p95_ms"`
+	P99MS float64 `json:"latency_p99_ms"`
+}
+
+// Summarize reduces raw per-query latencies to the standard summary. It
+// sorts a copy; the input is not mutated. Empty input yields zeros.
+func Summarize(lats []time.Duration) LatencySummary {
+	if len(lats) == 0 {
+		return LatencySummary{}
+	}
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return LatencySummary{
+		AvgMS: ms(sum / time.Duration(len(sorted))),
+		P50MS: ms(Percentile(sorted, 50)),
+		P95MS: ms(Percentile(sorted, 95)),
+		P99MS: ms(Percentile(sorted, 99)),
+	}
+}
+
+// Percentile picks the p-th percentile of an ascending-sorted latency slice
+// by nearest rank: the smallest value with at least p percent of the sample
+// at or below it. p is clamped to [1, 100]; the slice must be non-empty.
+func Percentile(sorted []time.Duration, p int) time.Duration {
+	if p < 1 {
+		p = 1
+	}
+	if p > 100 {
+		p = 100
+	}
+	rank := (len(sorted)*p + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// WriteJSON writes v to path as indented JSON, the format every BENCH_*.json
+// trend file uses.
+func WriteJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

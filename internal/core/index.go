@@ -53,6 +53,9 @@ type Options struct {
 	// Layout selects the disk node format: reference (default, compact) or
 	// inline (the paper's storage model; Table 1's sizes).
 	Layout disktree.Layout
+	// Encoding selects the record serialization (v1 fixed-width by default;
+	// v2 compact varints).
+	Encoding disktree.Encoding
 	// InMemory builds the index into an in-memory page file instead of the
 	// given path — no filesystem footprint, no persistence. The tree is
 	// built wholly in memory (no spill-and-merge pipeline), so this is for
@@ -78,6 +81,7 @@ func (o Options) withDefaults() Options {
 	o.Build.Sparse = o.Sparse
 	o.Build.MinSuffixLen = o.MinAnswerLen
 	o.Build.Layout = o.Layout
+	o.Build.Encoding = o.Encoding
 	return o
 }
 
@@ -165,7 +169,7 @@ func BuildWithScheme(data *sequence.Dataset, scheme *categorize.Scheme, path str
 		if poolPages <= 0 {
 			poolPages = 256
 		}
-		tree, err = disktree.CreateMem(mem, poolPages, opts.Layout)
+		tree, err = disktree.CreateMemEncoded(mem, poolPages, opts.Layout, opts.Encoding)
 	} else {
 		tree, err = disktree.Build(store, seqs, path, opts.Build)
 	}
@@ -190,10 +194,15 @@ func BuildWithScheme(data *sequence.Dataset, scheme *categorize.Scheme, path str
 // Open attaches an existing tree file to its dataset and scheme. window < 0
 // disables the warping-window constraint.
 func Open(data *sequence.Dataset, scheme *categorize.Scheme, treePath string, poolPages, window int) (*Index, error) {
+	return OpenWith(data, scheme, treePath, poolPages, window, storage.BackendPool)
+}
+
+// OpenWith is Open with an explicit page-source backend for the tree file.
+func OpenWith(data *sequence.Dataset, scheme *categorize.Scheme, treePath string, poolPages, window int, backend storage.Backend) (*Index, error) {
 	if poolPages <= 0 {
 		poolPages = 256
 	}
-	tree, err := disktree.Open(treePath, poolPages, true)
+	tree, err := disktree.OpenBackend(treePath, poolPages, true, backend)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,155 @@
+package disktree
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"twsearch/internal/storage"
+)
+
+var errVarintOverflow = errors.New("disktree: varint overflows 64 bits")
+
+// pageCursor is a forward reader over node record bytes that borrows pages
+// from a PageSource one at a time. A record may cross page boundaries
+// (records are written at arbitrary byte offsets), so the cursor releases
+// the current view and borrows the next page as it advances. It holds at
+// most one borrowed view at any moment, and close releases it — the only
+// sanctioned way a view outlives the statement that created it.
+type pageCursor struct {
+	src storage.PageSource
+	// page is the borrowed view of the page the cursor is inside, and
+	// release its unpin. Both are owned by the cursor between open and
+	// close; ReadNodeInto closes the cursor on every return path.
+	page    []byte
+	release func()
+	id      storage.PageID
+	off     int
+}
+
+// open positions the cursor at absolute byte offset p.
+func (c *pageCursor) open(src storage.PageSource, p Ptr) error {
+	c.src = src
+	c.id = storage.PageID(uint64(p) / storage.PageSize)
+	c.off = int(uint64(p) % storage.PageSize)
+	//lint:ignore viewescape the cursor is the audited owner: the view is held in struct fields between open and close, released by close on every ReadNodeInto return path
+	page, release, err := src.View(c.id)
+	if err != nil {
+		return err
+	}
+	c.page, c.release = page, release
+	return nil
+}
+
+// close releases the borrowed view. Safe to call on an unopened or already
+// closed cursor.
+func (c *pageCursor) close() {
+	if c.release != nil {
+		c.release()
+	}
+	c.page, c.release, c.src = nil, nil, nil
+}
+
+// advance releases the current page and borrows the next one.
+func (c *pageCursor) advance() error {
+	c.release()
+	c.page, c.release = nil, nil
+	c.id++
+	//lint:ignore viewescape audited: same single-view ownership as open — the previous view was released on the line above
+	page, release, err := c.src.View(c.id)
+	if err != nil {
+		return err
+	}
+	c.page, c.release = page, release
+	c.off = 0
+	return nil
+}
+
+// readByte returns the next byte.
+func (c *pageCursor) readByte() (byte, error) {
+	if c.off == storage.PageSize {
+		if err := c.advance(); err != nil {
+			return 0, err
+		}
+	}
+	b := c.page[c.off]
+	c.off++
+	return b, nil
+}
+
+// read fills buf, crossing pages as needed.
+func (c *pageCursor) read(buf []byte) error {
+	for len(buf) > 0 {
+		if c.off == storage.PageSize {
+			if err := c.advance(); err != nil {
+				return err
+			}
+		}
+		n := copy(buf, c.page[c.off:])
+		c.off += n
+		buf = buf[n:]
+	}
+	return nil
+}
+
+// u32 reads a fixed-width little-endian uint32.
+func (c *pageCursor) u32() (uint32, error) {
+	if c.off+4 <= storage.PageSize {
+		v := binary.LittleEndian.Uint32(c.page[c.off:])
+		c.off += 4
+		return v, nil
+	}
+	var b [4]byte
+	if err := c.read(b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+// u64 reads a fixed-width little-endian uint64.
+func (c *pageCursor) u64() (uint64, error) {
+	if c.off+8 <= storage.PageSize {
+		v := binary.LittleEndian.Uint64(c.page[c.off:])
+		c.off += 8
+		return v, nil
+	}
+	var b [8]byte
+	if err := c.read(b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// uvarint reads an unsigned varint (the page-crossing analogue of
+// binary.ReadUvarint).
+func (c *pageCursor) uvarint() (uint64, error) {
+	var v uint64
+	var shift uint
+	for i := 0; i < binary.MaxVarintLen64; i++ {
+		b, err := c.readByte()
+		if err != nil {
+			return 0, err
+		}
+		if b < 0x80 {
+			if i == binary.MaxVarintLen64-1 && b > 1 {
+				return 0, errVarintOverflow
+			}
+			return v | uint64(b)<<shift, nil
+		}
+		v |= uint64(b&0x7f) << shift
+		shift += 7
+	}
+	return 0, errVarintOverflow
+}
+
+// varint reads a zigzag-encoded signed varint.
+func (c *pageCursor) varint() (int64, error) {
+	u, err := c.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	v := int64(u >> 1)
+	if u&1 != 0 {
+		v = ^v
+	}
+	return v, nil
+}

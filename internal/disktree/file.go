@@ -1,19 +1,24 @@
 package disktree
 
 import (
-	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 
 	"twsearch/internal/storage"
 	"twsearch/internal/suffixtree"
 )
 
-// File is a disk-resident suffix tree, read through a lock-striped LRU
-// buffer pool. The read path (ReadNode, ReadNodeInto, readAt) is safe for
-// any number of concurrent goroutines; one open File serves all searches on
-// an index. Creation is single-writer.
+// File is a disk-resident suffix tree, read through a PageSource — the
+// lock-striped LRU buffer pool by default, or a zero-copy mmap source. The
+// read path (ReadNode, ReadNodeInto, ReadAhead) is safe for any number of
+// concurrent goroutines; one open File serves all searches on an index.
+// Creation is single-writer and always goes through a pool (the only source
+// that writes).
 type File struct {
-	pf   *storage.File
+	pf  *storage.File
+	src storage.PageSource
+	// pool is set when src is the buffer pool (always during creation);
+	// nil for mmap/pread sources.
 	pool *storage.Pool
 	meta meta
 }
@@ -22,30 +27,43 @@ type File struct {
 // returns the open file. poolPages bounds the buffer pool during the write
 // (and afterwards).
 func Create(path string, tree *suffixtree.Tree, poolPages int) (*File, error) {
-	return CreateLayout(path, tree, poolPages, LayoutReference)
+	return CreateEncoded(path, tree, poolPages, LayoutReference, EncodingV1)
 }
 
 // CreateLayout is Create with an explicit node record layout.
 func CreateLayout(path string, tree *suffixtree.Tree, poolPages int, layout Layout) (*File, error) {
+	return CreateEncoded(path, tree, poolPages, layout, EncodingV1)
+}
+
+// CreateEncoded is Create with an explicit layout and record encoding.
+func CreateEncoded(path string, tree *suffixtree.Tree, poolPages int, layout Layout, enc Encoding) (*File, error) {
 	pf, err := storage.CreateFile(path)
 	if err != nil {
 		return nil, err
 	}
-	return createOn(pf, tree, poolPages, layout)
+	return createOn(pf, tree, poolPages, layout, enc)
 }
 
 // CreateMem serializes a tree into an in-memory page file — an index with
 // no filesystem footprint, for ephemeral use and tests. Everything else
 // (search, Validate, Load) works identically.
 func CreateMem(tree *suffixtree.Tree, poolPages int, layout Layout) (*File, error) {
+	return CreateMemEncoded(tree, poolPages, layout, EncodingV1)
+}
+
+// CreateMemEncoded is CreateMem with an explicit record encoding.
+func CreateMemEncoded(tree *suffixtree.Tree, poolPages int, layout Layout, enc Encoding) (*File, error) {
 	pf, err := storage.CreateMemFile()
 	if err != nil {
 		return nil, err
 	}
-	return createOn(pf, tree, poolPages, layout)
+	return createOn(pf, tree, poolPages, layout, enc)
 }
 
-func createOn(pf *storage.File, tree *suffixtree.Tree, poolPages int, layout Layout) (*File, error) {
+func createOn(pf *storage.File, tree *suffixtree.Tree, poolPages int, layout Layout, enc Encoding) (*File, error) {
+	if enc == 0 {
+		enc = EncodingV1
+	}
 	pool, err := storage.NewPool(pf, poolPages)
 	if err != nil {
 		pf.Close()
@@ -55,7 +73,7 @@ func createOn(pf *storage.File, tree *suffixtree.Tree, poolPages int, layout Lay
 	if tree.MinSuffixLen > 1 {
 		minLen = uint32(tree.MinSuffixLen)
 	}
-	f := &File{pf: pf, pool: pool, meta: meta{sparse: tree.Sparse, minSuffixLen: minLen, layout: layout}}
+	f := &File{pf: pf, src: pool, pool: pool, meta: meta{sparse: tree.Sparse, minSuffixLen: minLen, layout: layout, enc: enc}}
 	app, err := newAppender(pool)
 	if err != nil {
 		pf.Close()
@@ -95,7 +113,7 @@ func createOn(pf *storage.File, tree *suffixtree.Tree, poolPages int, layout Lay
 		f.meta.nodes++
 		f.meta.labelSyms += uint64(n.LabelLen)
 		ptr := app.offset()
-		scratch = encodeNode(scratch[:0], &out, layout)
+		scratch = encodeNode(scratch[:0], &out, layout, enc)
 		if err := app.write(scratch); err != nil {
 			return NilPtr, err
 		}
@@ -127,8 +145,15 @@ func (f *File) finish() error {
 	return f.pf.Sync()
 }
 
-// Open opens an existing tree file.
+// Open opens an existing tree file through the buffer pool.
 func Open(path string, poolPages int, readOnly bool) (*File, error) {
+	return OpenBackend(path, poolPages, readOnly, storage.BackendPool)
+}
+
+// OpenBackend opens an existing tree file through the chosen page source.
+// poolPages bounds the buffer pool when the pool backend is selected (or
+// picked by auto).
+func OpenBackend(path string, poolPages int, readOnly bool, backend storage.Backend) (*File, error) {
 	pf, err := storage.OpenFile(path, readOnly)
 	if err != nil {
 		return nil, err
@@ -143,16 +168,20 @@ func Open(path string, poolPages int, readOnly bool) (*File, error) {
 		pf.Close()
 		return nil, err
 	}
-	pool, err := storage.NewPool(pf, poolPages)
+	src, err := storage.NewSource(pf, backend, poolPages)
 	if err != nil {
 		pf.Close()
 		return nil, err
 	}
-	return &File{pf: pf, pool: pool, meta: m}, nil
+	f := &File{pf: pf, src: src, meta: m}
+	if p, ok := src.(*storage.Pool); ok {
+		f.pool = p
+	}
+	return f, nil
 }
 
-// Close closes the underlying page file.
-func (f *File) Close() error { return f.pf.Close() }
+// Close closes the page source and the underlying page file.
+func (f *File) Close() error { return f.src.Close() }
 
 // Root returns the root node's offset.
 func (f *File) Root() Ptr { return f.meta.root }
@@ -177,22 +206,31 @@ func (f *File) MinSuffixLen() int { return int(f.meta.minSuffixLen) }
 // Layout returns the node record layout of the file.
 func (f *File) Layout() Layout { return f.meta.layout }
 
+// Encoding returns the node record encoding of the file.
+func (f *File) Encoding() Encoding { return f.meta.enc }
+
 // SizeBytes returns the index file size — the paper's Table 1 metric.
 func (f *File) SizeBytes() int64 { return f.pf.SizeBytes() }
 
 // Path returns the file path.
 func (f *File) Path() string { return f.pf.Path() }
 
-// PoolStats returns buffer pool counters summed over all shards.
-func (f *File) PoolStats() storage.PoolStats { return f.pool.Stats() }
+// PoolStats returns the page source's unified counters (cache hits, misses
+// and evictions for the pool; view counts for mmap/pread sources).
+func (f *File) PoolStats() storage.PoolStats { return f.src.Stats() }
 
-// PoolShardStats returns per-shard buffer pool counters, in shard order.
-func (f *File) PoolShardStats() []storage.PoolStats { return f.pool.ShardStats() }
+// PoolShardStats returns per-stripe counters, in stripe order; unstriped
+// sources report a single entry.
+func (f *File) PoolShardStats() []storage.PoolStats { return f.src.ShardStats() }
 
 // PagesRead returns physical page reads since open.
 func (f *File) PagesRead() uint64 { return f.pf.PagesRead() }
 
-// ReadAhead warms the buffer pool with the first page of each child node,
+// readAheadSink publishes a byte of each prefetched page so the compiler
+// cannot elide the touch that faults mmap'd pages in.
+var readAheadSink atomic.Uint32
+
+// ReadAhead warms the page source with the first page of each child node,
 // deduplicating consecutive pages (children are laid out in DFS write
 // order, so siblings usually share pages). Parallel search workers call it
 // before descending into a node's children: one worker blocked on the
@@ -201,115 +239,215 @@ func (f *File) PagesRead() uint64 { return f.pf.PagesRead() }
 // Best-effort: a read error is left for ReadNodeInto to surface.
 func (f *File) ReadAhead(children []ChildRef) {
 	last := storage.PageID(0)
+	var sink byte
 	for i := range children {
 		id := storage.PageID(uint64(children[i].Ptr) / storage.PageSize)
 		if i > 0 && id == last {
 			continue
 		}
 		last = id
-		fr, err := f.pool.Get(id)
+		page, release, err := f.src.View(id)
 		if err != nil {
 			return
 		}
-		f.pool.Release(fr)
+		sink += page[0]
+		release()
 	}
+	readAheadSink.Store(uint32(sink))
 }
 
-// readAt fills buf from absolute byte offset p, crossing pages as needed.
-func (f *File) readAt(p Ptr, buf []byte) error {
-	for len(buf) > 0 {
-		pageID := storage.PageID(uint64(p) / storage.PageSize)
-		off := int(uint64(p) % storage.PageSize)
-		fr, err := f.pool.Get(pageID)
-		if err != nil {
-			return err
-		}
-		n := copy(buf, fr.Data()[off:])
-		f.pool.Release(fr)
-		p += Ptr(n)
-		buf = buf[n:]
-	}
-	return nil
-}
-
-// ReadNodeInto decodes the node at p into n, reusing n's Children and
-// Label slices plus its decode scratch buffer: a warm scratch node makes
-// the read allocation-free.
+// ReadNodeInto decodes the node at p into n, reusing n's Children and Label
+// slices plus its embedded page cursor: a warm scratch node makes the read
+// allocation-free. The record is decoded directly from borrowed page views;
+// nothing is retained past the final cursor close.
 func (f *File) ReadNodeInto(p Ptr, n *Node) error {
 	n.Children = n.Children[:0]
 	n.Label = n.Label[:0]
-	var off Ptr
+	if err := n.cur.open(f.src, p); err != nil {
+		return err
+	}
+	var err error
+	if f.meta.enc == EncodingV2 {
+		err = decodeNodeV2(&n.cur, n, f.meta.layout, p)
+	} else {
+		err = decodeNodeV1(&n.cur, n, f.meta.layout, p)
+	}
+	n.cur.close()
+	return err
+}
+
+// decodeNodeV1 reads a fixed-width v1 record through the cursor.
+func decodeNodeV1(c *pageCursor, n *Node, layout Layout, p Ptr) error {
 	var flags byte
-	if f.meta.layout == LayoutInline {
-		var l [4]byte
-		if err := f.readAt(p, l[:]); err != nil {
+	if layout == LayoutInline {
+		labelLen, err := c.u32()
+		if err != nil {
 			return err
 		}
-		labelLen := binary.LittleEndian.Uint32(l[:])
 		if labelLen > 1<<24 {
 			return fmt.Errorf("disktree: implausible label length %d at %d", labelLen, p)
 		}
-		body := n.scratchBuf(int(labelLen)*4 + 1)
-		if err := f.readAt(p+4, body); err != nil {
-			return err
-		}
 		for i := 0; i < int(labelLen); i++ {
-			n.Label = append(n.Label, Symbol(int32(binary.LittleEndian.Uint32(body[i*4:]))))
+			s, err := c.u32()
+			if err != nil {
+				return err
+			}
+			n.Label = append(n.Label, Symbol(int32(s)))
 		}
 		n.LabelLen = int32(labelLen)
 		n.LabelSeq = -1
 		n.LabelStart = -1
-		flags = body[len(body)-1]
-		off = p + 4 + Ptr(labelLen)*4 + 1
-	} else {
-		var hdr [nodeHeaderSize]byte
-		if err := f.readAt(p, hdr[:]); err != nil {
+		if flags, err = c.readByte(); err != nil {
 			return err
 		}
-		n.LabelSeq = int32(binary.LittleEndian.Uint32(hdr[0:]))
-		n.LabelStart = int32(binary.LittleEndian.Uint32(hdr[4:]))
-		n.LabelLen = int32(binary.LittleEndian.Uint32(hdr[8:]))
-		flags = hdr[12]
-		off = p + nodeHeaderSize
+	} else {
+		seq, err := c.u32()
+		if err != nil {
+			return err
+		}
+		start, err := c.u32()
+		if err != nil {
+			return err
+		}
+		length, err := c.u32()
+		if err != nil {
+			return err
+		}
+		n.LabelSeq = int32(seq)
+		n.LabelStart = int32(start)
+		n.LabelLen = int32(length)
+		if flags, err = c.readByte(); err != nil {
+			return err
+		}
 	}
 	n.Leaf = flags&flagLeaf != 0
 	if n.Leaf {
-		if f.meta.layout == LayoutInline {
-			var body [4 + leafBodySize]byte
-			if err := f.readAt(off, body[:]); err != nil {
+		if layout == LayoutInline {
+			seq, err := c.u32()
+			if err != nil {
 				return err
 			}
-			n.LabelSeq = int32(binary.LittleEndian.Uint32(body[0:]))
-			n.Pos = int32(binary.LittleEndian.Uint32(body[4:]))
-			n.RunLen = int32(binary.LittleEndian.Uint32(body[8:]))
-			return nil
+			n.LabelSeq = int32(seq)
 		}
-		var body [leafBodySize]byte
-		if err := f.readAt(off, body[:]); err != nil {
+		pos, err := c.u32()
+		if err != nil {
 			return err
 		}
-		n.Pos = int32(binary.LittleEndian.Uint32(body[0:]))
-		n.RunLen = int32(binary.LittleEndian.Uint32(body[4:]))
+		runLen, err := c.u32()
+		if err != nil {
+			return err
+		}
+		n.Pos = int32(pos)
+		n.RunLen = int32(runLen)
 		return nil
 	}
-	var cnt [4]byte
-	if err := f.readAt(off, cnt[:]); err != nil {
+	count, err := c.u32()
+	if err != nil {
 		return err
 	}
-	count := binary.LittleEndian.Uint32(cnt[:])
 	if count > 1<<24 {
 		return fmt.Errorf("disktree: implausible child count %d at %d", count, p)
 	}
-	body := n.scratchBuf(int(count) * childEntrySize)
-	if err := f.readAt(off+4, body); err != nil {
+	for i := 0; i < int(count); i++ {
+		sym, err := c.u32()
+		if err != nil {
+			return err
+		}
+		ptr, err := c.u64()
+		if err != nil {
+			return err
+		}
+		n.Children = append(n.Children, ChildRef{Sym: Symbol(int32(sym)), Ptr: Ptr(ptr)})
+	}
+	return nil
+}
+
+// decodeNodeV2 reads a compact varint record through the cursor, undoing
+// the delta coding of encodeNodeV2 with the same wrapping arithmetic.
+func decodeNodeV2(c *pageCursor, n *Node, layout Layout, p Ptr) error {
+	var flags byte
+	if layout == LayoutInline {
+		labelLen, err := c.uvarint()
+		if err != nil {
+			return err
+		}
+		if labelLen > 1<<24 {
+			return fmt.Errorf("disktree: implausible label length %d at %d", labelLen, p)
+		}
+		for i := 0; i < int(labelLen); i++ {
+			s, err := c.varint()
+			if err != nil {
+				return err
+			}
+			n.Label = append(n.Label, Symbol(int32(s)))
+		}
+		n.LabelLen = int32(labelLen)
+		n.LabelSeq = -1
+		n.LabelStart = -1
+		if flags, err = c.readByte(); err != nil {
+			return err
+		}
+	} else {
+		seq, err := c.varint()
+		if err != nil {
+			return err
+		}
+		start, err := c.varint()
+		if err != nil {
+			return err
+		}
+		length, err := c.varint()
+		if err != nil {
+			return err
+		}
+		n.LabelSeq = int32(seq)
+		n.LabelStart = int32(start)
+		n.LabelLen = int32(length)
+		if flags, err = c.readByte(); err != nil {
+			return err
+		}
+	}
+	n.Leaf = flags&flagLeaf != 0
+	if n.Leaf {
+		if layout == LayoutInline {
+			seq, err := c.varint()
+			if err != nil {
+				return err
+			}
+			n.LabelSeq = int32(seq)
+		}
+		pos, err := c.varint()
+		if err != nil {
+			return err
+		}
+		runLen, err := c.varint()
+		if err != nil {
+			return err
+		}
+		n.Pos = int32(pos)
+		n.RunLen = int32(runLen)
+		return nil
+	}
+	count, err := c.uvarint()
+	if err != nil {
 		return err
 	}
+	if count > 1<<24 {
+		return fmt.Errorf("disktree: implausible child count %d at %d", count, p)
+	}
+	prevSym, prevPtr := int64(0), uint64(0)
 	for i := 0; i < int(count); i++ {
-		ent := body[i*childEntrySize:]
-		n.Children = append(n.Children, ChildRef{
-			Sym: Symbol(int32(binary.LittleEndian.Uint32(ent[0:]))),
-			Ptr: Ptr(binary.LittleEndian.Uint64(ent[4:])),
-		})
+		dSym, err := c.varint()
+		if err != nil {
+			return err
+		}
+		dPtr, err := c.varint()
+		if err != nil {
+			return err
+		}
+		prevSym += dSym
+		prevPtr += uint64(dPtr)
+		n.Children = append(n.Children, ChildRef{Sym: Symbol(int32(prevSym)), Ptr: Ptr(prevPtr)})
 	}
 	return nil
 }

@@ -50,7 +50,42 @@ func (l Layout) String() string {
 	return "reference"
 }
 
-// Node record layout (little endian).
+// Encoding selects how node records are serialized. It is orthogonal to
+// Layout: both layouts exist in both encodings.
+type Encoding uint8
+
+const (
+	// EncodingV1 is the original fixed-width little-endian record format —
+	// what every pre-v2 file holds, and what a zero Encoding value means.
+	EncodingV1 Encoding = 1
+	// EncodingV2 is the compact format: varint counts and labels, zigzag
+	// deltas for the child table's symbols and pointers. Children are
+	// written before parents at increasing offsets, so the pointer deltas
+	// of a real file are small positive numbers that varint-encode in a
+	// byte or two instead of eight.
+	EncodingV2 Encoding = 2
+)
+
+func (e Encoding) String() string {
+	if e == EncodingV2 {
+		return "v2"
+	}
+	return "v1"
+}
+
+// ParseEncoding reads an encoding name from a flag ("" means the default,
+// v1).
+func ParseEncoding(s string) (Encoding, error) {
+	switch s {
+	case "", "v1", "1":
+		return EncodingV1, nil
+	case "v2", "2":
+		return EncodingV2, nil
+	}
+	return 0, fmt.Errorf("disktree: unknown encoding %q (want v1 or v2)", s)
+}
+
+// Node record layout, encoding v1 (little endian, fixed width).
 //
 // Reference layout:
 //
@@ -68,6 +103,15 @@ func (l Layout) String() string {
 //	flags      uint8
 //	leaf/internal tails as above (leaf additionally stores seq explicitly,
 //	since there is no labelSeq to derive it from)
+//
+// Encoding v2 keeps the same field order but serializes integers as
+// varints: signed fields (labelSeq, labelStart, labelLen, label symbols,
+// leaf seq/pos/runLen) as zigzag varints, counts as uvarints, and the
+// child table as delta pairs — each entry stores zigzag(sym − prevSym) and
+// zigzag(ptr − prevPtr) with prev starting at zero, exploiting the sorted
+// symbols and the post-order (strictly increasing) child offsets. The
+// flags byte is unchanged. Any float payloads a future record grows must
+// stay raw little-endian for bit-exactness; v2 compresses only integers.
 const (
 	nodeHeaderSize = 13
 	leafBodySize   = 8
@@ -97,22 +141,24 @@ type Node struct {
 	RunLen     int32 // leaf only: equal-symbol run length at Pos
 	Children   []ChildRef
 
-	// scratch is ReadNodeInto's decode buffer, kept on the node so a
-	// reused scratch node decodes without allocating.
-	scratch []byte
-}
-
-// scratchBuf returns n.scratch grown to at least size bytes.
-func (n *Node) scratchBuf(size int) []byte {
-	if cap(n.scratch) < size {
-		n.scratch = make([]byte, size)
-	}
-	return n.scratch[:size]
+	// cur is ReadNodeInto's page cursor, kept on the node so a reused
+	// scratch node decodes without allocating. It holds borrowed page
+	// views only for the duration of one decode.
+	cur pageCursor
 }
 
 // encodeNode appends n's record bytes to buf in the given layout and
-// returns the extended slice. For LayoutInline, n.Label must be filled.
-func encodeNode(buf []byte, n *Node, layout Layout) []byte {
+// encoding, returning the extended slice. For LayoutInline, n.Label must
+// be filled.
+func encodeNode(buf []byte, n *Node, layout Layout, enc Encoding) []byte {
+	if enc == EncodingV2 {
+		return encodeNodeV2(buf, n, layout)
+	}
+	return encodeNodeV1(buf, n, layout)
+}
+
+// encodeNodeV1 is the fixed-width little-endian record encoder.
+func encodeNodeV1(buf []byte, n *Node, layout Layout) []byte {
 	if layout == LayoutInline {
 		var l [4]byte
 		binary.LittleEndian.PutUint32(l[:], uint32(len(n.Label)))
@@ -154,6 +200,40 @@ func encodeNode(buf []byte, n *Node, layout Layout) []byte {
 	return buf
 }
 
+// encodeNodeV2 is the compact varint record encoder. Deltas are computed
+// with wrapping uint64 arithmetic, so the encode∘decode round trip is the
+// identity for any Node, not just well-formed trees (FuzzNodeCodecV2 pins
+// this).
+func encodeNodeV2(buf []byte, n *Node, layout Layout) []byte {
+	if layout == LayoutInline {
+		buf = binary.AppendUvarint(buf, uint64(len(n.Label)))
+		for _, s := range n.Label {
+			buf = binary.AppendVarint(buf, int64(s))
+		}
+	} else {
+		buf = binary.AppendVarint(buf, int64(n.LabelSeq))
+		buf = binary.AppendVarint(buf, int64(n.LabelStart))
+		buf = binary.AppendVarint(buf, int64(n.LabelLen))
+	}
+	if n.Leaf {
+		buf = append(buf, flagLeaf)
+		if layout == LayoutInline {
+			buf = binary.AppendVarint(buf, int64(n.LabelSeq))
+		}
+		buf = binary.AppendVarint(buf, int64(n.Pos))
+		return binary.AppendVarint(buf, int64(n.RunLen))
+	}
+	buf = append(buf, 0)
+	buf = binary.AppendUvarint(buf, uint64(len(n.Children)))
+	prevSym, prevPtr := int64(0), uint64(0)
+	for _, c := range n.Children {
+		buf = binary.AppendVarint(buf, int64(c.Sym)-prevSym)
+		buf = binary.AppendVarint(buf, int64(uint64(c.Ptr)-prevPtr))
+		prevSym, prevPtr = int64(c.Sym), uint64(c.Ptr)
+	}
+	return buf
+}
+
 // Meta blob layout stored in the page file's meta page.
 const metaMagic = "TWDTREE1"
 
@@ -173,10 +253,22 @@ type meta struct {
 	minSuffixLen uint32
 	// layout selects the node record format.
 	layout Layout
+	// enc is the record encoding version. v1 files carry the original
+	// 46-byte meta blob with no encoding byte (so pre-v2 readers and the
+	// frozen v1 format goldens are untouched); v2 files append one byte.
+	enc Encoding
 }
 
+// metaBaseSize is the original (v1) meta blob size; v2 blobs are one byte
+// longer, carrying the encoding version at the end.
+const metaBaseSize = len(metaMagic) + 8 + 8 + 8 + 8 + 1 + 4 + 1
+
 func encodeMeta(m meta) []byte {
-	buf := make([]byte, len(metaMagic)+8+8+8+8+1+4+1)
+	size := metaBaseSize
+	if m.enc > EncodingV1 {
+		size++
+	}
+	buf := make([]byte, size)
 	copy(buf, metaMagic)
 	binary.LittleEndian.PutUint64(buf[8:], uint64(m.root))
 	binary.LittleEndian.PutUint64(buf[16:], m.nodes)
@@ -187,12 +279,22 @@ func encodeMeta(m meta) []byte {
 	}
 	binary.LittleEndian.PutUint32(buf[41:], m.minSuffixLen)
 	buf[45] = byte(m.layout)
+	if m.enc > EncodingV1 {
+		buf[metaBaseSize] = byte(m.enc)
+	}
 	return buf
 }
 
 func decodeMeta(buf []byte) (meta, error) {
-	if len(buf) != len(metaMagic)+38 || string(buf[:8]) != metaMagic {
+	if (len(buf) != metaBaseSize && len(buf) != metaBaseSize+1) || string(buf[:8]) != metaMagic {
 		return meta{}, fmt.Errorf("disktree: bad meta blob (%d bytes)", len(buf))
+	}
+	enc := EncodingV1
+	if len(buf) == metaBaseSize+1 {
+		enc = Encoding(buf[metaBaseSize])
+		if enc < EncodingV1 || enc > EncodingV2 {
+			return meta{}, fmt.Errorf("disktree: unknown encoding %d", buf[metaBaseSize])
+		}
 	}
 	if buf[45] > 1 {
 		return meta{}, fmt.Errorf("disktree: unknown layout %d", buf[45])
@@ -205,6 +307,7 @@ func decodeMeta(buf []byte) (meta, error) {
 		sparse:       buf[40] == 1,
 		minSuffixLen: binary.LittleEndian.Uint32(buf[41:]),
 		layout:       Layout(buf[45]),
+		enc:          enc,
 	}, nil
 }
 

@@ -48,6 +48,7 @@ type merger struct {
 	out       *File
 	app       *appender
 	layout    Layout
+	enc       Encoding
 	scratch   []byte
 	nodes     uint64
 	leaves    uint64
@@ -78,6 +79,9 @@ func MergeFiles(store *suffixtree.TextStore, aPath, bPath, outPath string, poolP
 	if a.Layout() != b.Layout() {
 		return nil, fmt.Errorf("disktree: merging %s with %s layout", a.Layout(), b.Layout())
 	}
+	if a.Encoding() != b.Encoding() {
+		return nil, fmt.Errorf("disktree: merging %s with %s encoding", a.Encoding(), b.Encoding())
+	}
 
 	pf, err := storage.CreateFile(outPath)
 	if err != nil {
@@ -88,15 +92,15 @@ func MergeFiles(store *suffixtree.TextStore, aPath, bPath, outPath string, poolP
 		pf.Close()
 		return nil, err
 	}
-	out := &File{pf: pf, pool: pool, meta: meta{
-		sparse: a.Sparse(), minSuffixLen: a.meta.minSuffixLen, layout: a.Layout(),
+	out := &File{pf: pf, src: pool, pool: pool, meta: meta{
+		sparse: a.Sparse(), minSuffixLen: a.meta.minSuffixLen, layout: a.Layout(), enc: a.Encoding(),
 	}}
 	app, err := newAppender(pool)
 	if err != nil {
 		pf.Close()
 		return nil, err
 	}
-	m := &merger{store: store, out: out, app: app, layout: a.Layout()}
+	m := &merger{store: store, out: out, app: app, layout: a.Layout(), enc: a.Encoding()}
 
 	rootPtr, err := m.mergeRoots(a, b)
 	app.close()
@@ -125,7 +129,7 @@ func (m *merger) emit(n *Node) (Ptr, error) {
 		m.leaves++
 	}
 	ptr := m.app.offset()
-	m.scratch = encodeNode(m.scratch[:0], n, m.layout)
+	m.scratch = encodeNode(m.scratch[:0], n, m.layout, m.enc)
 	if err := m.app.write(m.scratch); err != nil {
 		return NilPtr, err
 	}
@@ -424,6 +428,9 @@ type BuildOptions struct {
 	// Layout selects the node record format (reference by default; inline
 	// is the paper's storage model).
 	Layout Layout
+	// Encoding selects the record serialization (v1 fixed-width by default;
+	// v2 compact varints).
+	Encoding Encoding
 	// Stats, when non-nil, receives construction statistics.
 	Stats *BuildStats
 }
@@ -446,6 +453,9 @@ func (o BuildOptions) withDefaults() BuildOptions {
 	}
 	if o.PoolPages <= 0 {
 		o.PoolPages = 256
+	}
+	if o.Encoding == 0 {
+		o.Encoding = EncodingV1
 	}
 	return o
 }
@@ -481,7 +491,7 @@ func Build(store *suffixtree.TextStore, seqs []int, outPath string, opts BuildOp
 		}
 		t := suffixtree.BuildMergedFiltered(store, seqs[start:end], opts.Sparse, opts.MinSuffixLen)
 		path := filepath.Join(dir, fmt.Sprintf(".twtree-batch-%d.tmp", len(paths)))
-		f, err := CreateLayout(path, t, opts.PoolPages, opts.Layout)
+		f, err := CreateEncoded(path, t, opts.PoolPages, opts.Layout, opts.Encoding)
 		if err != nil {
 			cleanup()
 			return nil, err
@@ -501,7 +511,7 @@ func Build(store *suffixtree.TextStore, seqs []int, outPath string, opts BuildOp
 			Store: store, Root: &suffixtree.Node{},
 			Sparse: opts.Sparse, MinSuffixLen: opts.MinSuffixLen,
 		}
-		return CreateLayout(outPath, t, opts.PoolPages, opts.Layout)
+		return CreateEncoded(outPath, t, opts.PoolPages, opts.Layout, opts.Encoding)
 	}
 
 	// Phase 2: rounds of pairwise disk merges.

@@ -1,0 +1,78 @@
+package disktree
+
+import (
+	"os"
+
+	"twsearch/internal/storage"
+)
+
+// Rewrite copies the tree at inPath into a new file at outPath with the
+// record encoding enc, preserving layout, sparseness and the length filter.
+// The copy is a pure structural walk — no text store is consulted — so it
+// migrates v1 files to the compact v2 encoding (or back) byte-for-byte
+// equivalently: the rewritten tree decodes to the identical node set.
+// poolPages bounds the two buffer pools. The open output file is returned.
+func Rewrite(inPath, outPath string, poolPages int, enc Encoding) (*File, error) {
+	if enc == 0 {
+		enc = EncodingV1
+	}
+	in, err := Open(inPath, poolPages, true)
+	if err != nil {
+		return nil, err
+	}
+	defer in.Close()
+
+	pf, err := storage.CreateFile(outPath)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := storage.NewPool(pf, poolPages)
+	if err != nil {
+		pf.Close()
+		return nil, err
+	}
+	out := &File{pf: pf, src: pool, pool: pool, meta: meta{
+		sparse: in.Sparse(), minSuffixLen: in.meta.minSuffixLen, layout: in.Layout(), enc: enc,
+	}}
+	app, err := newAppender(pool)
+	if err != nil {
+		pf.Close()
+		os.Remove(outPath)
+		return nil, err
+	}
+	// The merger's copySubtree is exactly the re-encode pass: it reads every
+	// node through the input's decoder and emits it through the output's
+	// encoder. The text store is never consulted on the pure copy path (no
+	// label comparisons happen), so nil is safe.
+	m := &merger{store: nil, out: out, app: app, layout: in.Layout(), enc: enc}
+
+	var rn Node
+	if err := in.ReadNodeInto(in.Root(), &rn); err != nil {
+		app.close()
+		pf.Close()
+		os.Remove(outPath)
+		return nil, err
+	}
+	rootEdge := edge{f: in, ptr: in.Root(), seq: rn.LabelSeq, start: rn.LabelStart, length: rn.LabelLen}
+	if in.Layout() == LayoutInline {
+		// rn is a local Node, so its Label slice is not shared with anything.
+		rootEdge.syms = rn.Label
+	}
+	rootPtr, err := m.copySubtree(rootEdge)
+	app.close()
+	if err != nil {
+		pf.Close()
+		os.Remove(outPath)
+		return nil, err
+	}
+	out.meta.root = rootPtr
+	out.meta.nodes = m.nodes
+	out.meta.leaves = m.leaves
+	out.meta.labelSyms = m.labelSyms
+	if err := out.finish(); err != nil {
+		pf.Close()
+		os.Remove(outPath)
+		return nil, err
+	}
+	return out, nil
+}

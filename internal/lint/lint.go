@@ -129,6 +129,7 @@ func Analyzers() []*Analyzer {
 		WireConform,
 		CtxFlow,
 		SteadyState,
+		ViewEscape,
 	}
 }
 

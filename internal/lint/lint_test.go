@@ -75,6 +75,7 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"wireconform", WireConform, 2},
 		{"ctxflow", CtxFlow, 4},
 		{"steadystate", SteadyState, 7},
+		{"viewescape", ViewEscape, 4},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {

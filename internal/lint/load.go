@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -192,8 +193,11 @@ func (l *Loader) Load(dir string) (*Package, error) {
 	return pkg, nil
 }
 
-// parseDir parses every non-test .go file of dir, in name order so runs are
-// deterministic.
+// parseDir parses every non-test .go file of dir that builds on the host
+// platform, in name order so runs are deterministic. Build constraints
+// (//go:build lines and GOOS file suffixes) are evaluated with the default
+// build context so platform-split files — like storage's mmap pair — don't
+// collide in one type-check.
 func (l *Loader) parseDir(dir string) ([]*ast.File, []string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -203,6 +207,9 @@ func (l *Loader) parseDir(dir string) ([]*ast.File, []string, error) {
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
 			continue
 		}
 		names = append(names, name)

@@ -1,0 +1,55 @@
+// Package bad must trigger viewescape four times: a view stored in a
+// struct field, a view returned, a release func discarded, and a view
+// captured by a goroutine closure.
+package bad
+
+type source struct{ data []byte }
+
+func (s *source) View(id uint64) ([]byte, func(), error) {
+	return s.data, func() {}, nil
+}
+
+type holder struct{ page []byte }
+
+// Keep stashes the borrowed view in a long-lived struct: the slice
+// outlives the release that ends the borrow.
+func Keep(s *source, h *holder) error {
+	page, release, err := s.View(0)
+	if err != nil {
+		return err
+	}
+	h.page = page
+	release()
+	return nil
+}
+
+// Leak hands the borrowed view to the caller after releasing it: the
+// caller reads recycled bytes.
+func Leak(s *source) ([]byte, error) {
+	page, release, err := s.View(0)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return page, nil
+}
+
+// Peek drops the release on the floor: the pin is never returned.
+func Peek(s *source) (byte, error) {
+	page, _, err := s.View(0)
+	if err != nil {
+		return 0, err
+	}
+	return page[0], nil
+}
+
+// Defer captures the view in a goroutine that may run after release.
+func Defer(s *source, out chan<- byte) error {
+	page, release, err := s.View(0)
+	if err != nil {
+		return err
+	}
+	defer release()
+	go func() { out <- page[0] }()
+	return nil
+}

@@ -1,0 +1,48 @@
+// Package good must pass viewescape: every borrowed view stays local and
+// every release runs before the function returns.
+package good
+
+type source struct{ data []byte }
+
+func (s *source) View(id uint64) ([]byte, func(), error) {
+	return s.data, func() {}, nil
+}
+
+// Read copies one byte out of the borrowed view and releases it.
+func Read(s *source, id uint64) (byte, error) {
+	page, release, err := s.View(id)
+	if err != nil {
+		return 0, err
+	}
+	defer release()
+	return page[0], nil
+}
+
+// Copy materializes the page before the borrow ends: the copy may escape,
+// the view does not.
+func Copy(s *source, id uint64) ([]byte, error) {
+	page, release, err := s.View(id)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(page))
+	copy(out, page)
+	release()
+	return out, nil
+}
+
+// Sum borrows pages in a loop, releasing each before the next.
+func Sum(s *source, n uint64) (int, error) {
+	total := 0
+	for id := uint64(0); id < n; id++ {
+		page, release, err := s.View(id)
+		if err != nil {
+			return 0, err
+		}
+		for _, b := range page {
+			total += int(b)
+		}
+		release()
+	}
+	return total, nil
+}

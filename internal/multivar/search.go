@@ -12,6 +12,7 @@ import (
 	"twsearch/internal/disktree"
 	"twsearch/internal/dtw"
 	"twsearch/internal/pending"
+	"twsearch/internal/storage"
 	"twsearch/internal/suffixtree"
 )
 
@@ -137,13 +138,18 @@ func Build(data *Dataset, path string, opts Options) (*Index, error) {
 // Open attaches an existing multivariate tree file to its dataset and grid.
 // window <= 0 disables the warping-window constraint.
 func Open(data *Dataset, grid *GridScheme, treePath string, poolPages, window int) (*Index, error) {
+	return OpenWith(data, grid, treePath, poolPages, window, storage.BackendPool)
+}
+
+// OpenWith is Open with an explicit page-source backend for the tree file.
+func OpenWith(data *Dataset, grid *GridScheme, treePath string, poolPages, window int, backend storage.Backend) (*Index, error) {
 	if poolPages <= 0 {
 		poolPages = 256
 	}
 	if window <= 0 {
 		window = -1
 	}
-	tree, err := disktree.Open(treePath, poolPages, true)
+	tree, err := disktree.OpenBackend(treePath, poolPages, true, backend)
 	if err != nil {
 		return nil, err
 	}

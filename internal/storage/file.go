@@ -47,12 +47,19 @@ type memBacking struct {
 }
 
 func (m *memBacking) ReadAt(p []byte, off int64) (int, error) {
-	if off < 0 || off >= int64(len(m.data)) {
-		return 0, fmt.Errorf("storage: mem read at %d of %d", off, len(m.data))
+	if off < 0 {
+		return 0, fmt.Errorf("storage: mem read at negative offset %d", off)
+	}
+	// io.ReaderAt contract: reads at or past end-of-data return io.EOF, and
+	// a partial read at the tail returns n < len(p) with io.EOF — the same
+	// answers an *os.File gives, so generic consumers (io.SectionReader,
+	// PageSource fallbacks) treat both backings alike.
+	if off >= int64(len(m.data)) {
+		return 0, io.EOF
 	}
 	n := copy(p, m.data[off:])
 	if n < len(p) {
-		return n, io.ErrUnexpectedEOF
+		return n, io.EOF
 	}
 	return n, nil
 }

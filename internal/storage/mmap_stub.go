@@ -1,0 +1,11 @@
+//go:build !unix
+
+package storage
+
+import "errors"
+
+// mapFile on platforms without the unix mmap surface: always refuses, so
+// NewSource degrades the mmap backend to preads and auto picks the pool.
+func mapFile(f *File) ([]byte, func([]byte) error, error) {
+	return nil, nil, errors.New("storage: mmap is not supported on this platform")
+}

@@ -1,0 +1,28 @@
+//go:build unix
+
+package storage
+
+import (
+	"errors"
+	"syscall"
+)
+
+// mapFile maps the whole of f read-only and returns the mapping plus its
+// unmap function. It fails — cleanly, so NewSource can fall back — when the
+// file is not backed by a real descriptor (in-memory backings) or the map
+// call itself is refused.
+func mapFile(f *File) ([]byte, func([]byte) error, error) {
+	fd, ok := f.f.(interface{ Fd() uintptr })
+	if !ok {
+		return nil, nil, errors.New("storage: backing is not file-descriptor based")
+	}
+	size := f.SizeBytes()
+	if size <= 0 {
+		return nil, nil, errors.New("storage: empty file cannot be mapped")
+	}
+	data, err := syscall.Mmap(int(fd.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, syscall.Munmap, nil
+}

@@ -19,6 +19,10 @@ type Frame struct {
 	dirty bool
 	shard *poolShard
 	elem  *list.Element // position in the shard's LRU list, for the frame's lifetime
+	// releaseFn is the frame's unpin closure, built once at frame creation
+	// so the pool's View hands it out without allocating per call — the
+	// same steady-state discipline as the LRU element above.
+	releaseFn func()
 }
 
 // ID returns the page id this frame holds.
@@ -186,13 +190,18 @@ func (sh *poolShard) newFrame(id PageID) (*Frame, error) {
 		}
 	}
 	fr := &Frame{id: id, data: make([]byte, PageSize), pins: 1, shard: sh}
+	fr.releaseFn = fr.release
 	fr.elem = sh.lru.PushFront(fr)
 	sh.frames[id] = fr
 	return fr, nil
 }
 
 // Release unpins a frame obtained from Get or Alloc.
-func (p *Pool) Release(fr *Frame) {
+func (p *Pool) Release(fr *Frame) { fr.release() }
+
+// release unpins the frame; it is both Release's body and the cached
+// closure View hands to borrowers.
+func (fr *Frame) release() {
 	sh := fr.shard
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -205,6 +214,23 @@ func (p *Pool) Release(fr *Frame) {
 		sh.lru.MoveToFront(fr.elem)
 	}
 }
+
+// View implements PageSource over the pool: it pins the page's frame and
+// returns the frame's bytes with the frame's cached unpin closure. On the
+// hit path nothing allocates; a miss allocates the frame (and its closure)
+// once for the frame's lifetime.
+func (p *Pool) View(id PageID) ([]byte, func(), error) {
+	fr, err := p.Get(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	return fr.data, fr.releaseFn, nil
+}
+
+// Close closes the underlying page file. Dirty frames are not flushed —
+// writers flush explicitly (FlushAll) before closing, and read-only pools
+// have nothing to write back.
+func (p *Pool) Close() error { return p.file.Close() }
 
 // pin marks a frame in use and refreshes its recency. The frame keeps its
 // list element for its whole lifetime — pin/unpin cycles move it, never

@@ -1,0 +1,45 @@
+package seqdb
+
+import (
+	"twsearch/internal/disktree"
+	"twsearch/internal/storage"
+)
+
+// Backend selects the page source index files are read through: the
+// lock-striped LRU buffer pool (portable, bounded memory), a zero-copy mmap
+// of the whole file, or automatic selection.
+type Backend = storage.Backend
+
+// The available storage backends. The zero value ("") means BackendPool.
+const (
+	BackendPool = storage.BackendPool
+	BackendMmap = storage.BackendMmap
+	BackendAuto = storage.BackendAuto
+)
+
+// ParseBackend validates a backend name from a flag or config value; the
+// empty string is the pool default.
+func ParseBackend(s string) (Backend, error) { return storage.ParseBackend(s) }
+
+// Encoding selects the on-disk node record serialization of an index tree:
+// v1 fixed-width (the default, readable by every version) or v2 compact
+// varints (smaller files). Existing v1 indexes can be migrated with the
+// twtree rewrite subcommand.
+type Encoding = disktree.Encoding
+
+// The available record encodings. The zero value means EncodingV1.
+const (
+	EncodingV1 = disktree.EncodingV1
+	EncodingV2 = disktree.EncodingV2
+)
+
+// ParseEncoding validates an encoding name from a flag or config value; the
+// empty string means EncodingV1.
+func ParseEncoding(s string) (Encoding, error) { return disktree.ParseEncoding(s) }
+
+// OpenOptions tunes how a database (or each shard of a sharded database) is
+// opened.
+type OpenOptions struct {
+	// Backend selects the page source for every index tree ("" = pool).
+	Backend Backend
+}

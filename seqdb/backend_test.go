@@ -1,0 +1,164 @@
+package seqdb
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// buildBackendDB creates a small database with one index per encoding so the
+// backend tests can cross every (encoding, backend) pair.
+func buildBackendDB(t *testing.T) string {
+	t.Helper()
+	db := newTestDB(t, 8, 60, 42)
+	for _, enc := range []Encoding{EncodingV1, EncodingV2} {
+		name := fmt.Sprintf("ix-%s", enc)
+		spec := IndexSpec{Method: MethodMaxEntropy, Categories: 8, Sparse: true, Encoding: enc}
+		if err := db.BuildIndex(name, spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dir := db.Dir()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestBackendByteIdentical checks the storage-layer contract end to end:
+// the same queries through the buffer pool, mmap, and auto backends — over
+// both node record encodings — return byte-identical answers, including
+// under concurrent mixed Search/SearchKNN load.
+func TestBackendByteIdentical(t *testing.T) {
+	dir := buildBackendDB(t)
+
+	base, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Close()
+
+	type query struct {
+		from  string
+		start int
+		qlen  int
+		eps   float64
+		k     int
+	}
+	queries := []query{
+		{"seq-0", 0, 12, 8, 3},
+		{"seq-3", 10, 18, 12, 5},
+		{"seq-5", 4, 9, 5, 2},
+		{"seq-7", 20, 15, 10, 4},
+	}
+	cut := func(db *DB, q query) []float64 {
+		vals := db.Values(q.from)
+		if vals == nil || q.start+q.qlen > len(vals) {
+			t.Fatalf("bad query cut %+v", q)
+		}
+		return append([]float64(nil), vals[q.start:q.start+q.qlen]...)
+	}
+
+	// Baseline answers through the default pool backend.
+	type answer struct {
+		search []Match
+		knn    []Match
+	}
+	indexNames := []string{"ix-v1", "ix-v2"}
+	want := map[string][]answer{}
+	for _, name := range indexNames {
+		for _, q := range queries {
+			vals := cut(base, q)
+			ms, _, err := base.Search(name, vals, q.eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			kms, _, err := base.SearchKNN(name, vals, q.k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[name] = append(want[name], answer{search: ms, knn: kms})
+		}
+	}
+	// Cross-encoding sanity: the two indexes describe the same data, so the
+	// range answers must agree before any backend comparison begins.
+	for i := range queries {
+		if !reflect.DeepEqual(want["ix-v1"][i].search, want["ix-v2"][i].search) {
+			t.Fatalf("query %d: v1 and v2 range answers differ", i)
+		}
+	}
+
+	for _, backend := range []Backend{BackendPool, BackendMmap, BackendAuto} {
+		t.Run(string(backend), func(t *testing.T) {
+			db, err := OpenWith(dir, OpenOptions{Backend: backend})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+
+			const goroutines = 8
+			const rounds = 12
+			var wg sync.WaitGroup
+			errCh := make(chan error, goroutines)
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for r := 0; r < rounds; r++ {
+						name := indexNames[(g+r)%len(indexNames)]
+						qi := (g + r) % len(queries)
+						q := queries[qi]
+						vals := cut(base, q)
+						if (g+r)%2 == 0 {
+							ms, _, err := db.Search(name, vals, q.eps)
+							if err != nil {
+								errCh <- err
+								return
+							}
+							if !reflect.DeepEqual(ms, want[name][qi].search) {
+								errCh <- fmt.Errorf("%s/%s query %d: range answers diverge from pool baseline", backend, name, qi)
+								return
+							}
+						} else {
+							ms, _, err := db.SearchKNN(name, vals, q.k)
+							if err != nil {
+								errCh <- err
+								return
+							}
+							if !reflect.DeepEqual(ms, want[name][qi].knn) {
+								errCh <- fmt.Errorf("%s/%s query %d: knn answers diverge from pool baseline", backend, name, qi)
+								return
+							}
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			close(errCh)
+			for err := range errCh {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestOpenWithRestoresEncoding checks that reopening a database reports each
+// index's persisted encoding rather than the zero value.
+func TestOpenWithRestoresEncoding(t *testing.T) {
+	dir := buildBackendDB(t)
+	db, err := OpenWith(dir, OpenOptions{Backend: BackendMmap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for enc, name := range map[Encoding]string{EncodingV1: "ix-v1", EncodingV2: "ix-v2"} {
+		info, err := db.Index(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Spec.Encoding != enc {
+			t.Fatalf("index %s: encoding = %v, want %v", name, info.Spec.Encoding, enc)
+		}
+	}
+}

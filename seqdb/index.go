@@ -49,6 +49,9 @@ type IndexSpec struct {
 	// in-memory tree; buffer pool pages per file).
 	BatchSize int
 	PoolPages int
+	// Encoding selects the node record serialization of the tree file
+	// (zero value = EncodingV1; EncodingV2 is the compact varint format).
+	Encoding Encoding
 }
 
 func (s IndexSpec) withDefaults() IndexSpec {
@@ -60,6 +63,9 @@ func (s IndexSpec) withDefaults() IndexSpec {
 	}
 	if s.Window <= 0 {
 		s.Window = -1
+	}
+	if s.Encoding == 0 {
+		s.Encoding = EncodingV1
 	}
 	return s
 }
@@ -109,6 +115,7 @@ func (db *DB) BuildIndex(name string, spec IndexSpec) error {
 		Sparse:       spec.Sparse,
 		Window:       spec.Window,
 		MinAnswerLen: spec.MinAnswerLen,
+		Encoding:     spec.Encoding,
 		Build: disktree.BuildOptions{
 			BatchSize: spec.BatchSize,
 			PoolPages: spec.PoolPages,
@@ -156,7 +163,7 @@ func (db *DB) openIndexFiles(name string) error {
 	if err != nil {
 		return err
 	}
-	ix, err := core.Open(db.data, scheme, db.treePath(name), poolPages, window)
+	ix, err := core.OpenWith(db.data, scheme, db.treePath(name), poolPages, window, db.backend)
 	if err != nil {
 		return err
 	}
@@ -168,6 +175,7 @@ func (db *DB) openIndexFiles(name string) error {
 			Window:       window,
 			MinAnswerLen: ix.MinAnswerLen(),
 			PoolPages:    poolPages,
+			Encoding:     ix.Tree.Encoding(),
 		},
 		ix: ix,
 	}

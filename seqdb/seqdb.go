@@ -68,6 +68,9 @@ type Stats = sequence.Stats
 // DB is a sequence database bound to a directory.
 type DB struct {
 	dir string
+	// backend is the page source every index tree is opened through;
+	// "" means the buffer pool.
+	backend Backend
 
 	// mu guards data and the indexes map: readers and searches share it,
 	// mutations hold it exclusively. Methods never call other locking
@@ -104,13 +107,20 @@ func Create(dir string) (*DB, error) {
 	return db, nil
 }
 
-// Open loads an existing database and all its indexes.
+// Open loads an existing database and all its indexes through the default
+// (buffer pool) backend.
 func Open(dir string) (*DB, error) {
+	return OpenWith(dir, OpenOptions{})
+}
+
+// OpenWith loads an existing database and all its indexes, reading index
+// trees through the chosen storage backend.
+func OpenWith(dir string, opts OpenOptions) (*DB, error) {
 	data, err := sequence.LoadFile(filepath.Join(dir, dataFileName))
 	if err != nil {
 		return nil, fmt.Errorf("seqdb: loading dataset: %w", err)
 	}
-	db := &DB{dir: dir, data: data, indexes: map[string]*openIndex{}}
+	db := &DB{dir: dir, backend: opts.Backend, data: data, indexes: map[string]*openIndex{}}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err

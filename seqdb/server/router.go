@@ -266,6 +266,12 @@ func (r *Router) ShardRanges() []seqdb.ShardRange {
 // for NewRouter; for local legs the returned closer owns the opened
 // database.
 func ParseLegSpec(spec string) (Leg, func() error, error) {
+	return ParseLegSpecWith(spec, seqdb.OpenOptions{})
+}
+
+// ParseLegSpecWith is ParseLegSpec with open options applied to local legs
+// (remote legs read through the far daemon's own backend and ignore them).
+func ParseLegSpecWith(spec string, opts seqdb.OpenOptions) (Leg, func() error, error) {
 	if rest, ok := strings.CutPrefix(spec, "@"); ok {
 		addr, db, ok := strings.Cut(rest, "/")
 		if !ok || addr == "" {
@@ -278,13 +284,13 @@ func ParseLegSpec(spec string) (Leg, func() error, error) {
 		return Leg{Remote: c, RemoteDB: db}, c.Close, nil
 	}
 	if seqdb.IsSharded(spec) {
-		db, err := seqdb.OpenSharded(spec)
+		db, err := seqdb.OpenShardedWith(spec, opts)
 		if err != nil {
 			return Leg{}, nil, err
 		}
 		return Leg{Local: shardedSource{db}}, db.Close, nil
 	}
-	db, err := seqdb.Open(spec)
+	db, err := seqdb.OpenWith(spec, opts)
 	if err != nil {
 		return Leg{}, nil, err
 	}

@@ -122,13 +122,19 @@ func (db *DB) PartitionInto(dir string, shards int) (*ShardedDB, error) {
 // directories have diverged, and searching would silently misnumber (or
 // drop) answers, so it is a loud error instead.
 func OpenSharded(dir string) (*ShardedDB, error) {
+	return OpenShardedWith(dir, OpenOptions{})
+}
+
+// OpenShardedWith is OpenSharded with open options — notably the storage
+// backend — applied to every shard.
+func OpenShardedWith(dir string, opts OpenOptions) (*ShardedDB, error) {
 	m, err := shard.ReadManifest(filepath.Join(dir, shard.ManifestName))
 	if err != nil {
 		return nil, err
 	}
 	sdb := &ShardedDB{dir: dir, manifest: m}
 	for i, r := range m.Ranges {
-		d, err := Open(filepath.Join(dir, shardDirName(i)))
+		d, err := OpenWith(filepath.Join(dir, shardDirName(i)), opts)
 		if err != nil {
 			sdb.Close()
 			return nil, fmt.Errorf("seqdb: opening shard %d: %w", i, err)
