@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-self lint-wire lint-golden lint-golden-update test race race-concurrency race-parallel race-shard race-mmap cover bench bench-concurrency bench-parallel bench-shard bench-mmap fuzz fuzz-ci smoke tables examples check ci clean
+.PHONY: all build vet lint lint-self lint-wire lint-golden lint-golden-update test race race-concurrency race-parallel race-shard race-mmap race-envelope cover bench bench-concurrency bench-parallel bench-shard bench-mmap bench-envelope fuzz fuzz-ci smoke tables examples check ci clean
 
 all: build vet lint test
 
@@ -51,7 +51,7 @@ check: build vet lint test race
 # targets, the server smoke drill, the linter over its own sources, the
 # fixture golden diff, and the machine-readable lint gate (any finding
 # fails the run; the JSON lines feed CI annotations).
-ci: check race-concurrency race-parallel race-shard race-mmap fuzz-ci smoke lint-self lint-wire lint-golden
+ci: check race-concurrency race-parallel race-shard race-mmap race-envelope fuzz-ci smoke lint-self lint-wire lint-golden
 	$(GO) run ./cmd/twlint -json ./...
 
 # The concurrent-search suite under -race, run twice: many goroutines on
@@ -84,6 +84,13 @@ race-shard:
 # for every backend, and a v1<->v2 rewrite must be lossless.
 race-mmap:
 	$(GO) test -race -count=2 -run 'TestBackend|TestPageSource|TestMmap|TestViewConcurrent|TestBackingReadAt|TestRewrite|TestEncodingV2' ./seqdb/ ./internal/storage/ ./internal/disktree/
+
+# Envelope-cascade invisibility under -race, run twice for warm pools: the
+# cascade (tier-B row gates and tier-A subtree hulls, serial and parallel)
+# must change only work counters, never answers, and the v3 hull profiles
+# must survive create, build+merge, and rewrite round trips.
+race-envelope:
+	$(GO) test -race -count=2 -run 'TestEnvelope|TestQuickLowerBoundChain|TestEncodingV3|TestBuildEncodingV3|TestRewriteV3|TestFormatStability' ./internal/dtw/ ./internal/core/ ./internal/disktree/ ./seqdb/
 
 # End-to-end server drill under the race detector: boot twsearchd on an
 # ephemeral port, stream matches over concurrent client connections,
@@ -135,6 +142,13 @@ bench-shard:
 bench-mmap:
 	$(GO) run ./cmd/benchmmap
 
+# Envelope lower-bound cascade scoreboard: FilterCells/NodesVisited with
+# the cascade on vs off over every (encoding, backend, parallelism) cell,
+# with a byte-identity cross-check of the answers, written to
+# BENCH_envelope.json.
+bench-envelope:
+	$(GO) run ./cmd/benchlb
+
 # Short fuzz session over every fuzz target.
 fuzz:
 	$(GO) test -fuzz FuzzDistanceProperties -fuzztime 10s ./internal/dtw/
@@ -145,6 +159,7 @@ fuzz:
 	$(GO) test -fuzz FuzzFit -fuzztime 10s ./internal/categorize/
 	$(GO) test -fuzz FuzzValidateCorruption -fuzztime 10s ./internal/disktree/
 	$(GO) test -fuzz FuzzNodeCodecV2 -fuzztime 10s ./internal/disktree/
+	$(GO) test -fuzz FuzzNodeCodecV3 -fuzztime 10s ./internal/disktree/
 	$(GO) test -fuzz FuzzFrameRoundTrip -fuzztime 10s ./internal/wire/
 	$(GO) test -fuzz FuzzSearchMatchesScan -fuzztime 20s ./internal/core/
 

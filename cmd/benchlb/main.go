@@ -1,0 +1,213 @@
+// Command benchlb measures what the envelope lower-bound cascade saves.
+// It builds the stock workload once, indexes it under the v2 (row-tier
+// envelopes only) and v3 (row tier plus persisted subtree hulls)
+// encodings, then replays the query batch over every (encoding, backend,
+// serial/parallel) combination twice — cascade on and cascade off — and
+// reports the FilterCells / NodesVisited reduction. The cascade is a
+// pure work optimization: every run's answers are cross-checked
+// match-for-match (IDs, offsets, and float64 distance bits) against the
+// cascade-disabled baseline, and any divergence is a hard failure. The
+// result is written as JSON (default BENCH_envelope.json) for the CI
+// trend line.
+//
+// Usage:
+//
+//	benchlb [-scale f] [-queries n] [-eps f] [-par n] [-seed n] [-out file]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"twsearch/internal/benchrun"
+	"twsearch/internal/workload"
+	"twsearch/seqdb"
+)
+
+// measurement is one cascade mode's totals over the query batch.
+type measurement struct {
+	FilterCells    uint64  `json:"filter_cells"`
+	NodesVisited   uint64  `json:"nodes_visited"`
+	PagesRead      uint64  `json:"pages_read"`
+	LBCells        uint64  `json:"lb_cells"`
+	EnvelopePruned uint64  `json:"envelope_pruned"`
+	Answers        uint64  `json:"answers"`
+	ElapsedSec     float64 `json:"elapsed_sec"`
+}
+
+// result compares cascade on vs off for one (encoding, backend,
+// parallelism) cell of the matrix.
+type result struct {
+	Encoding         string      `json:"encoding"`
+	Backend          string      `json:"backend"`
+	Parallelism      int         `json:"parallelism"`
+	Cascade          measurement `json:"cascade"`
+	Baseline         measurement `json:"baseline"`
+	FilterCellsRatio float64     `json:"filter_cells_ratio"`
+	NodesRatio       float64     `json:"nodes_ratio"`
+	Identical        bool        `json:"identical"`
+}
+
+// report is the emitted JSON document.
+type report struct {
+	Scale   float64 `json:"scale"`
+	Eps     float64 `json:"eps"`
+	Seed    int64   `json:"seed"`
+	Queries int     `json:"queries"`
+	benchrun.Env
+	Runs []result `json:"runs"`
+}
+
+func main() {
+	scale := flag.Float64("scale", 0.5, "workload scale; 1.0 = paper scale (545 sequences)")
+	queries := flag.Int("queries", 50, "queries per measurement")
+	qlen := flag.Int("qlen", 40, "average query length (queries are cut from the stock data)")
+	eps := flag.Float64("eps", 4, "distance threshold")
+	par := flag.Int("par", 3, "worker count for the parallel runs")
+	cats := flag.Int("cats", 200, "categories (fine-grained, so category intervals stay narrow against eps)")
+	window := flag.Int("window", 2, "warping window half-width (0 = none)")
+	sparse := flag.Bool("sparse", false, "sparse suffix tree")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("out", "BENCH_envelope.json", "output JSON path")
+	flag.Parse()
+
+	if err := run(*scale, *queries, *qlen, *eps, *par, *cats, *window, *sparse, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchlb:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scale float64, numQueries, qlen int, eps float64, par, cats, window int, sparse bool, seed int64, out string) error {
+	dir, err := os.MkdirTemp("", "twsearch-benchlb-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	data, _ := benchrun.StockWorkload(scale, 2, 0, seed)
+	qs := workload.QueriesRand(rand.New(rand.NewSource(seed+1)), data,
+		workload.QueryConfig{Count: numQueries, AvgLen: qlen})
+
+	db, err := seqdb.Create(dir)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < data.Len(); i++ {
+		seq := data.Seq(i)
+		if err := db.Add(seq.ID, seq.Values); err != nil {
+			db.Close()
+			return err
+		}
+	}
+	if err := db.Save(); err != nil {
+		db.Close()
+		return err
+	}
+	encodings := []seqdb.Encoding{seqdb.EncodingV2, seqdb.EncodingV3}
+	for _, enc := range encodings {
+		if err := db.BuildIndex("bench-"+enc.String(), seqdb.IndexSpec{
+			Method: seqdb.MethodMaxEntropy, Categories: cats, Sparse: sparse, Window: window, Encoding: enc,
+		}); err != nil {
+			db.Close()
+			return err
+		}
+	}
+	if err := db.Close(); err != nil {
+		return err
+	}
+
+	rep := report{Scale: scale, Eps: eps, Seed: seed, Queries: len(qs), Env: benchrun.CaptureEnv()}
+	for _, enc := range encodings {
+		for _, backend := range []seqdb.Backend{seqdb.BackendPool, seqdb.BackendMmap} {
+			for _, p := range []int{1, par} {
+				r, err := measure(dir, "bench-"+enc.String(), qs, eps, backend, p)
+				if err != nil {
+					return err
+				}
+				r.Encoding = enc.String()
+				rep.Runs = append(rep.Runs, r)
+				fmt.Printf("%-3s %-5s par=%d  cells %8d -> %8d (%5.1fx)  nodes %7d -> %7d (%4.1fx)  pruned=%d\n",
+					r.Encoding, r.Backend, r.Parallelism,
+					r.Baseline.FilterCells, r.Cascade.FilterCells, r.FilterCellsRatio,
+					r.Baseline.NodesVisited, r.Cascade.NodesVisited, r.NodesRatio,
+					r.Cascade.EnvelopePruned)
+			}
+		}
+	}
+
+	return benchrun.WriteJSON(out, rep)
+}
+
+// measure replays the query batch through two handles onto the same index
+// files — cascade enabled and disabled — and cross-checks every answer.
+func measure(dir, index string, qs [][]float64, eps float64, backend seqdb.Backend, par int) (result, error) {
+	on, err := seqdb.OpenWith(dir, seqdb.OpenOptions{Backend: backend})
+	if err != nil {
+		return result{}, err
+	}
+	defer on.Close()
+	off, err := seqdb.OpenWith(dir, seqdb.OpenOptions{Backend: backend, Envelopes: seqdb.EnvelopesOff})
+	if err != nil {
+		return result{}, err
+	}
+	defer off.Close()
+
+	res := result{Backend: string(backend), Parallelism: par, Identical: true}
+	ctx := context.Background()
+	opts := seqdb.SearchOptions{Parallelism: par}
+	for i, q := range qs {
+		wantMatches, offStats, err := off.SearchWith(ctx, index, q, eps, opts)
+		if err != nil {
+			return result{}, err
+		}
+		gotMatches, onStats, err := on.SearchWith(ctx, index, q, eps, opts)
+		if err != nil {
+			return result{}, err
+		}
+		if !identical(gotMatches, wantMatches) {
+			return result{}, fmt.Errorf("%s par=%d query %d: cascade changed answers (%d vs %d) — the cascade must be invisible",
+				backend, par, i, len(gotMatches), len(wantMatches))
+		}
+		accumulate(&res.Cascade, onStats, len(gotMatches))
+		accumulate(&res.Baseline, offStats, len(wantMatches))
+	}
+	res.FilterCellsRatio = ratio(res.Baseline.FilterCells, res.Cascade.FilterCells)
+	res.NodesRatio = ratio(res.Baseline.NodesVisited, res.Cascade.NodesVisited)
+	return res, nil
+}
+
+// identical is a field-for-field (float64 bits included) answer
+// comparison; order matters, since serial and parallel deliveries promise
+// the same order.
+func identical(a, b []seqdb.Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func accumulate(m *measurement, stats seqdb.SearchStats, answers int) {
+	m.FilterCells += stats.FilterCells
+	m.NodesVisited += stats.NodesVisited
+	m.PagesRead += stats.PagesRead
+	m.LBCells += stats.LBCells
+	m.EnvelopePruned += stats.EnvelopePruned
+	m.Answers += uint64(answers)
+	m.ElapsedSec += float64(stats.Elapsed) / float64(time.Second)
+}
+
+func ratio(base, opt uint64) float64 {
+	if opt == 0 {
+		return float64(base)
+	}
+	return float64(base) / float64(opt)
+}

@@ -6,10 +6,10 @@
 //	seqdbctl gen     -db DIR [-kind stocks|artificial] [-n N] [-len L] [-seed S]
 //	seqdbctl import  -db DIR -csv FILE
 //	seqdbctl stats   -db DIR [-backend pool|mmap|auto]
-//	seqdbctl index   -db DIR -name NAME [-method me|el|kmeans|exact] [-cats N] [-sparse] [-window W] [-encoding v1|v2]
+//	seqdbctl index   -db DIR -name NAME [-method me|el|kmeans|exact] [-cats N] [-sparse] [-window W] [-encoding v1|v2|v3]
 //	seqdbctl drop    -db DIR -name NAME
-//	seqdbctl query   -db DIR -name NAME -eps E (-q "v1,v2,..." | -from SEQID -start P -len L) [-limit N] [-timeout D] [-backend B]
-//	seqdbctl scan    -db DIR -eps E (-q "v1,v2,..." | -from SEQID -start P -len L) [-limit N] [-timeout D] [-backend B]
+//	seqdbctl query   -db DIR -name NAME -eps E (-q "v1,v2,..." | -from SEQID -start P -len L) [-limit N] [-timeout D] [-backend B] [-envelopes auto|on|off]
+//	seqdbctl scan    -db DIR -eps E (-q "v1,v2,..." | -from SEQID -start P -len L) [-limit N] [-timeout D] [-backend B] [-envelopes auto|on|off]
 //	seqdbctl shard   -db DIR -out DIR -shards N [-name NAME -method ... -cats N]
 //	seqdbctl batch   -addr host:port -file FILE [-dbname NAME] [-timeout D]
 //
@@ -125,13 +125,18 @@ type database interface {
 
 // openAny opens dir as a sharded database when it holds a shard manifest
 // and as a plain database otherwise, reading index trees through the
-// -backend storage backend ("" = buffer pool).
-func openAny(dir, backendName string) (database, error) {
+// -backend storage backend ("" = buffer pool) with the -envelopes cascade
+// mode ("" = on).
+func openAny(dir, backendName, envName string) (database, error) {
 	backend, err := seqdb.ParseBackend(backendName)
 	if err != nil {
 		return nil, err
 	}
-	opts := seqdb.OpenOptions{Backend: backend}
+	envelopes, err := seqdb.ParseEnvelopeMode(envName)
+	if err != nil {
+		return nil, err
+	}
+	opts := seqdb.OpenOptions{Backend: backend, Envelopes: envelopes}
 	if seqdb.IsSharded(dir) {
 		return seqdb.OpenShardedWith(dir, opts)
 	}
@@ -141,6 +146,12 @@ func openAny(dir, backendName string) (database, error) {
 // backendFlag registers the shared -backend flag on a subcommand FlagSet.
 func backendFlag(fs *flag.FlagSet) *string {
 	return fs.String("backend", "", "storage backend for index trees: pool (default), mmap, or auto")
+}
+
+// envelopesFlag registers the shared -envelopes flag on a subcommand
+// FlagSet.
+func envelopesFlag(fs *flag.FlagSet) *string {
+	return fs.String("envelopes", "", "envelope lower-bound cascade: auto (default, on), on, or off")
 }
 
 // parseQueryValues parses the -q "v1,v2,..." form.
@@ -297,6 +308,7 @@ func cmdKNN(args []string) error {
 	addr := fs.String("addr", "", "twsearchd address for remote mode (requires -q)")
 	dbName := fs.String("dbname", "", "database name on the server (remote mode; empty = sole db)")
 	backend := backendFlag(fs)
+	envmode := envelopesFlag(fs)
 	fs.Parse(args)
 	if *name == "" {
 		return fmt.Errorf("knn: -name required")
@@ -329,7 +341,7 @@ func cmdKNN(args []string) error {
 	if *db == "" || *from == "" {
 		return fmt.Errorf("knn: -db and -from required (or -addr with -q)")
 	}
-	d, err := openAny(*db, *backend)
+	d, err := openAny(*db, *backend, *envmode)
 	if err != nil {
 		return err
 	}
@@ -350,7 +362,8 @@ func cmdKNN(args []string) error {
 }
 
 func printKNN(matches []seqdb.Match, stats seqdb.SearchStats) error {
-	fmt.Printf("%d nearest subsequences in %v (cells=%d)\n", len(matches), stats.Elapsed, stats.Cells())
+	fmt.Printf("%d nearest subsequences in %v (cells=%d, lb=%d, pruned=%d)\n",
+		len(matches), stats.Elapsed, stats.Cells(), stats.LBCells, stats.EnvelopePruned)
 	sort.Slice(matches, func(i, j int) bool { return matches[i].Distance < matches[j].Distance })
 	for _, m := range matches {
 		fmt.Printf("  %-12s [%4d:%4d) dist=%.3f\n", m.SeqID, m.Start, m.End, m.Distance)
@@ -457,8 +470,9 @@ func cmdStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	db := fs.String("db", "", "database directory")
 	backend := backendFlag(fs)
+	envmode := envelopesFlag(fs)
 	fs.Parse(args)
-	d, err := openAny(*db, *backend)
+	d, err := openAny(*db, *backend, *envmode)
 	if err != nil {
 		return err
 	}
@@ -502,8 +516,9 @@ func cmdIndex(args []string) error {
 	cats := fs.Int("cats", 20, "number of categories")
 	sparse := fs.Bool("sparse", false, "sparse suffix tree (SSTc)")
 	window := fs.Int("window", 0, "warping window half-width (0 = none)")
-	encName := fs.String("encoding", "", "node record encoding: v1 (default) or v2 (compact varint)")
+	encName := fs.String("encoding", "", "node record encoding: v1 (default), v2 (compact varint), or v3 (varint + envelope hulls)")
 	backend := backendFlag(fs)
+	envmode := envelopesFlag(fs)
 	fs.Parse(args)
 	if *db == "" || *name == "" {
 		return fmt.Errorf("index: -db and -name required")
@@ -525,7 +540,7 @@ func cmdIndex(args []string) error {
 	default:
 		return fmt.Errorf("index: unknown method %q", *method)
 	}
-	d, err := openAny(*db, *backend)
+	d, err := openAny(*db, *backend, *envmode)
 	if err != nil {
 		return err
 	}
@@ -548,7 +563,7 @@ func cmdDrop(args []string) error {
 	db := fs.String("db", "", "database directory")
 	name := fs.String("name", "", "index name")
 	fs.Parse(args)
-	d, err := openAny(*db, "")
+	d, err := openAny(*db, "", "")
 	if err != nil {
 		return err
 	}
@@ -574,6 +589,7 @@ func cmdQuery(args []string, useIndex bool) error {
 	addr := fs.String("addr", "", "twsearchd address for remote mode (requires -q)")
 	dbName := fs.String("dbname", "", "database name on the server (remote mode; empty = sole db)")
 	backend := backendFlag(fs)
+	envmode := envelopesFlag(fs)
 	fs.Parse(args)
 	ctx, cancel := queryContext(*timeout)
 	defer cancel()
@@ -608,7 +624,7 @@ func cmdQuery(args []string, useIndex bool) error {
 		return printMatches(matches, stats, *limit)
 	}
 
-	d, err := openAny(*db, *backend)
+	d, err := openAny(*db, *backend, *envmode)
 	if err != nil {
 		return err
 	}
@@ -646,8 +662,9 @@ func cmdQuery(args []string, useIndex bool) error {
 }
 
 func printMatches(matches []seqdb.Match, stats seqdb.SearchStats, limit int) error {
-	fmt.Printf("%d matches in %v (cells=%d, candidates=%d, nodes=%d, pages=%d)\n",
-		len(matches), stats.Elapsed, stats.Cells(), stats.Candidates, stats.NodesVisited, stats.PagesRead)
+	fmt.Printf("%d matches in %v (cells=%d, candidates=%d, nodes=%d, pages=%d, lb=%d, pruned=%d)\n",
+		len(matches), stats.Elapsed, stats.Cells(), stats.Candidates, stats.NodesVisited, stats.PagesRead,
+		stats.LBCells, stats.EnvelopePruned)
 	sort.Slice(matches, func(i, j int) bool { return matches[i].Distance < matches[j].Distance })
 	for i, m := range matches {
 		if i >= limit {

@@ -121,6 +121,7 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 	idleTimeout := fs.Duration("idle-timeout", 0, "drop connections idle this long (0 = default)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
 	backendName := fs.String("backend", "", "storage backend for local index trees: pool (default), mmap, or auto")
+	envName := fs.String("envelopes", "", "envelope lower-bound cascade for local searches: auto (default, on), on, or off")
 	quiet := fs.Bool("q", false, "suppress per-request access logs")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -132,7 +133,11 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 	if err != nil {
 		return err
 	}
-	openOpts := seqdb.OpenOptions{Backend: backend}
+	envelopes, err := seqdb.ParseEnvelopeMode(*envName)
+	if err != nil {
+		return err
+	}
+	openOpts := seqdb.OpenOptions{Backend: backend, Envelopes: envelopes}
 
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(stdout, time.Now().Format("2006-01-02T15:04:05.000 ")+format+"\n", args...)

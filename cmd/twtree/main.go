@@ -8,12 +8,15 @@
 //	twtree rewrite -db DIR -name INDEX -encoding v2 [-out FILE] [-pool N]
 //
 // rewrite re-serializes an index tree under another node record encoding
-// (v1 fixed-width or v2 compact varint) without touching the logical tree.
-// Without -out it atomically replaces the index file in place; the database
-// must not be open elsewhere while it runs.
+// (v1 fixed-width, v2 compact varint, or v3 = v2 plus per-child envelope
+// hulls) without touching the logical tree. Rewriting to v3 reads the
+// database's data and scheme files to aggregate the hulls. Without -out it
+// atomically replaces the index file in place; the database must not be
+// open elsewhere while it runs.
 package main
 
 import (
+	"encoding/binary"
 	"flag"
 	"fmt"
 	"os"
@@ -40,7 +43,7 @@ func main() {
 	pool := flag.Int("pool", 256, "buffer pool pages")
 	flag.Parse()
 	if *db == "" || *name == "" {
-		fmt.Fprintln(os.Stderr, "usage: twtree -db DIR -name INDEX [-dump N] | twtree rewrite -db DIR -name INDEX -encoding v1|v2")
+		fmt.Fprintln(os.Stderr, "usage: twtree -db DIR -name INDEX [-dump N] | twtree rewrite -db DIR -name INDEX -encoding v1|v2|v3")
 		os.Exit(2)
 	}
 	if err := run(*db, *name, *dump, *pool); err != nil {
@@ -54,7 +57,7 @@ func cmdRewrite(args []string) error {
 	fs := flag.NewFlagSet("rewrite", flag.ExitOnError)
 	db := fs.String("db", "", "database directory")
 	name := fs.String("name", "", "index name")
-	encName := fs.String("encoding", "", "target encoding: v1 or v2")
+	encName := fs.String("encoding", "", "target encoding: v1, v2, or v3")
 	out := fs.String("out", "", "write here instead of replacing the index file in place")
 	pool := fs.Int("pool", 256, "buffer pool pages")
 	fs.Parse(args)
@@ -71,7 +74,17 @@ func cmdRewrite(args []string) error {
 	if inPlace {
 		outPath = inPath + ".rewrite"
 	}
-	f, err := disktree.Rewrite(inPath, outPath, *pool, enc)
+	// v3 aggregates envelope hulls from edge labels; reference-layout trees
+	// resolve labels through the categorized text store, so load it whenever
+	// the target might need it.
+	var store *suffixtree.TextStore
+	if enc == disktree.EncodingV3 {
+		store, err = loadStore(*db, *name)
+		if err != nil {
+			return fmt.Errorf("rewrite to v3: %w", err)
+		}
+	}
+	f, err := disktree.Rewrite(inPath, outPath, *pool, enc, store)
 	if err != nil {
 		if inPlace {
 			os.Remove(outPath)
@@ -94,11 +107,31 @@ func cmdRewrite(args []string) error {
 	return nil
 }
 
-func run(dbDir, name string, dump, pool int) error {
+// loadStore rebuilds the categorized text store of one index from the
+// database's data and scheme files — what both validation and v3 hull
+// aggregation resolve reference-layout edge labels through.
+func loadStore(dbDir, name string) (*suffixtree.TextStore, error) {
 	data, err := sequence.LoadFile(filepath.Join(dbDir, "data.twdb"))
 	if err != nil {
-		return fmt.Errorf("loading dataset: %w", err)
+		return nil, fmt.Errorf("loading dataset: %w", err)
 	}
+	sf, err := os.Open(filepath.Join(dbDir, "idx-"+name+".cat"))
+	if err != nil {
+		return nil, fmt.Errorf("loading scheme: %w", err)
+	}
+	scheme, err := categorize.ReadScheme(sf)
+	sf.Close()
+	if err != nil {
+		return nil, err
+	}
+	store := suffixtree.NewTextStore()
+	for i := 0; i < data.Len(); i++ {
+		store.Add(scheme.Encode(data.Values(i)))
+	}
+	return store, nil
+}
+
+func run(dbDir, name string, dump, pool int) error {
 	sf, err := os.Open(filepath.Join(dbDir, "idx-"+name+".cat"))
 	if err != nil {
 		return fmt.Errorf("loading scheme: %w", err)
@@ -108,9 +141,9 @@ func run(dbDir, name string, dump, pool int) error {
 	if err != nil {
 		return err
 	}
-	store := suffixtree.NewTextStore()
-	for i := 0; i < data.Len(); i++ {
-		store.Add(scheme.Encode(data.Values(i)))
+	store, err := loadStore(dbDir, name)
+	if err != nil {
+		return err
 	}
 
 	f, err := disktree.Open(filepath.Join(dbDir, "idx-"+name+".twt"), pool, true)
@@ -126,6 +159,20 @@ func run(dbDir, name string, dump, pool int) error {
 	fmt.Printf("  encoding:   %s\n", f.Encoding())
 	fmt.Printf("  file:       %d KB (%d nodes, %d leaves, %d label symbols)\n",
 		f.SizeBytes()/1024, f.NumNodes(), f.NumLeaves(), f.TotalLabelSymbols())
+	if f.Encoding() == disktree.EncodingV3 {
+		entries, bytes, err := envelopeStats(f)
+		if err != nil {
+			return fmt.Errorf("envelope stats: %w", err)
+		}
+		perNode := 0.0
+		if n := f.NumNodes(); n > 0 {
+			perNode = float64(bytes) / float64(n)
+		}
+		fmt.Printf("  envelopes:  present (format v3): %d child hulls, %d bytes (%.2f B/node)\n",
+			entries, bytes, perNode)
+	} else {
+		fmt.Printf("  envelopes:  none (format %s; `twtree rewrite -encoding v3` adds them)\n", f.Encoding())
+	}
 
 	st, err := f.Validate(store)
 	if err != nil {
@@ -138,6 +185,42 @@ func run(dbDir, name string, dump, pool int) error {
 		return dumpTree(f, store, dump)
 	}
 	return nil
+}
+
+// envelopeStats walks every internal node and totals the per-child hull
+// profiles a v3 file persists, sizing each exactly as the codec does (per
+// segment, two signed varints: the segment minimum and its span) so the
+// reported overhead is the real on-disk cost of the envelope tier.
+func envelopeStats(f *disktree.File) (entries int64, bytes int64, err error) {
+	var scratch [2 * binary.MaxVarintLen64]byte
+	var n disktree.Node
+	var walk func(p disktree.Ptr) error
+	walk = func(p disktree.Ptr) error {
+		if err := f.ReadNodeInto(p, &n); err != nil {
+			return err
+		}
+		if n.Leaf {
+			return nil
+		}
+		kids := make([]disktree.ChildRef, len(n.Children))
+		copy(kids, n.Children)
+		for _, c := range kids {
+			entries++
+			for _, g := range c.Seg {
+				w := binary.PutVarint(scratch[:], int64(g.Lo))
+				w += binary.PutVarint(scratch[:], int64(g.Hi)-int64(g.Lo))
+				bytes += int64(w)
+			}
+			if err := walk(c.Ptr); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(f.Root()); err != nil {
+		return 0, 0, err
+	}
+	return entries, bytes, nil
 }
 
 func dumpTree(f *disktree.File, store *suffixtree.TextStore, maxDepth int) error {

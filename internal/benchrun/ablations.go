@@ -7,6 +7,7 @@ import (
 
 	"twsearch/internal/categorize"
 	"twsearch/internal/core"
+	"twsearch/internal/disktree"
 	"twsearch/internal/workload"
 )
 
@@ -116,13 +117,19 @@ func AblationPruning(cfg Config) ([]AblationPruningRow, error) {
 }
 
 // AblationWindowRow compares warping-window constraints (the conclusion
-// extension).
+// extension), each measured with the envelope lower-bound cascade on
+// (Result) and off (NoEnvelope) so band wins and cascade wins stay
+// separable in the report.
 type AblationWindowRow struct {
-	Window int // -1 = unconstrained
-	Result AlgoResult
+	Window     int // -1 = unconstrained
+	Result     AlgoResult
+	NoEnvelope AlgoResult
 }
 
-// AblationWindow measures how a Sakoe–Chiba band changes work and answers.
+// AblationWindow measures how a Sakoe–Chiba band changes work and answers,
+// and what the envelope cascade saves on top at each band width. Indexes
+// are built with EncodingV3 so both cascade tiers (subtree hulls and
+// per-row envelope bounds) are in play.
 func AblationWindow(cfg Config) ([]AblationWindowRow, error) {
 	cfg = cfg.effective()
 	data, queries := cfg.stockWorkload()
@@ -130,28 +137,37 @@ func AblationWindow(cfg Config) ([]AblationWindowRow, error) {
 	for _, window := range []int{-1, 20, 10, 5} {
 		ix, err := core.Build(data, filepath.Join(cfg.Dir, "bench-win.twt"), core.Options{
 			Kind: categorize.KindMaxEntropy, Categories: 40, Window: window,
+			Encoding: disktree.EncodingV3,
 		})
 		if err != nil {
 			return nil, err
 		}
-		res, err := runIndexQueries(ix, queries, 30)
+		row := AblationWindowRow{Window: window}
+		if row.Result, err = runIndexQueries(ix, queries, 30); err != nil {
+			ix.RemoveFile()
+			return nil, err
+		}
+		ix.DisableEnvelopes = true
+		row.NoEnvelope, err = runIndexQueries(ix, queries, 30)
 		ix.RemoveFile()
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, AblationWindowRow{Window: window, Result: res})
+		rows = append(rows, row)
 	}
 
-	fmt.Fprintln(cfg.Out, "Ablation: warping-window constraint (STc ME-40, eps=30)")
+	fmt.Fprintln(cfg.Out, "Ablation: warping-window constraint × envelope cascade (STc ME-40 v3, eps=30)")
 	w := tabwriter.NewWriter(cfg.Out, 2, 0, 2, ' ', tabwriter.AlignRight)
-	fmt.Fprintln(w, "window\ttime\tfilter cells\tanswers/q\t")
+	fmt.Fprintln(w, "window\tenv t\tno-env t\tenv cells\tno-env cells\tpruned/q\tanswers/q\t")
 	for _, r := range rows {
 		win := "none"
 		if r.Window >= 0 {
 			win = fmt.Sprintf("%d", r.Window)
 		}
-		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t\n",
-			win, fmtDur(r.Result.AvgTime), fmtCount(r.Result.FilterCells), fmtCount(r.Result.Answers))
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t\n",
+			win, fmtDur(r.Result.AvgTime), fmtDur(r.NoEnvelope.AvgTime),
+			fmtCount(r.Result.FilterCells), fmtCount(r.NoEnvelope.FilterCells),
+			fmtCount(r.Result.EnvelopePruned), fmtCount(r.Result.Answers))
 	}
 	w.Flush()
 	return rows, nil

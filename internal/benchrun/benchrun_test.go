@@ -172,10 +172,19 @@ func TestAblations(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Narrower windows can only shrink the answer set.
-	for i := 1; i < len(winRows); i++ {
-		if winRows[i].Result.Answers > winRows[i-1].Result.Answers {
-			t.Errorf("window %d has more answers than %d", winRows[i].Window, winRows[i-1].Window)
+	// Narrower windows can only shrink the answer set, and the envelope
+	// cascade may change work but never answers.
+	for i, r := range winRows {
+		if i > 0 && r.Result.Answers > winRows[i-1].Result.Answers {
+			t.Errorf("window %d has more answers than %d", r.Window, winRows[i-1].Window)
+		}
+		if r.Result.Answers != r.NoEnvelope.Answers {
+			t.Errorf("window %d: envelope cascade changed answers: %v vs %v",
+				r.Window, r.Result.Answers, r.NoEnvelope.Answers)
+		}
+		if r.Result.FilterCells > r.NoEnvelope.FilterCells {
+			t.Errorf("window %d: envelope cascade increased filter work: %v > %v",
+				r.Window, r.Result.FilterCells, r.NoEnvelope.FilterCells)
 		}
 	}
 

@@ -99,13 +99,15 @@ func (c Config) stockWorkload() (*sequence.Dataset, [][]float64) {
 
 // AlgoResult is one algorithm's averaged measurement over the query set.
 type AlgoResult struct {
-	AvgTime     time.Duration
-	FilterCells float64
-	PostCells   float64
-	Candidates  float64
-	Answers     float64
-	NodesViews  float64
-	PagesRead   float64
+	AvgTime        time.Duration
+	FilterCells    float64
+	PostCells      float64
+	Candidates     float64
+	Answers        float64
+	NodesViews     float64
+	PagesRead      float64
+	EnvelopePruned float64
+	LBCells        float64
 }
 
 // Cells returns average total table cells.
@@ -114,13 +116,15 @@ func (r AlgoResult) Cells() float64 { return r.FilterCells + r.PostCells }
 func average(total core.SearchStats, n int) AlgoResult {
 	f := float64(n)
 	return AlgoResult{
-		AvgTime:     total.Elapsed / time.Duration(n),
-		FilterCells: float64(total.FilterCells) / f,
-		PostCells:   float64(total.PostCells) / f,
-		Candidates:  float64(total.Candidates) / f,
-		Answers:     float64(total.Answers) / f,
-		NodesViews:  float64(total.NodesVisited) / f,
-		PagesRead:   float64(total.PagesRead) / f,
+		AvgTime:        total.Elapsed / time.Duration(n),
+		FilterCells:    float64(total.FilterCells) / f,
+		PostCells:      float64(total.PostCells) / f,
+		Candidates:     float64(total.Candidates) / f,
+		Answers:        float64(total.Answers) / f,
+		NodesViews:     float64(total.NodesVisited) / f,
+		PagesRead:      float64(total.PagesRead) / f,
+		EnvelopePruned: float64(total.EnvelopePruned) / f,
+		LBCells:        float64(total.LBCells) / f,
 	}
 }
 

@@ -104,6 +104,11 @@ type Index struct {
 	// It exists only for the ablation benchmarks; results are unchanged,
 	// only the work done.
 	DisablePruning bool
+	// DisableEnvelopes turns off the envelope lower-bound cascade (the
+	// O(1)-per-row prefilter and, on v3 trees, the per-child subtree hull
+	// skip). Like DisablePruning it changes only the work done, never the
+	// answers; the ablation benchmarks toggle it to measure the cascade.
+	DisableEnvelopes bool
 	// BuildStats records how the disk tree was constructed (zero for
 	// indexes attached with Open).
 	BuildStats disktree.BuildStats

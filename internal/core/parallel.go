@@ -65,6 +65,13 @@ type parTask struct {
 	firstSym  suffixtree.Symbol
 	base0     float64
 
+	// envSum is the envelope cascade's LB_Keogh prefix sum at the fork
+	// depth, and envBase0 its per-shift discount unit — the two scalars a
+	// worker needs to resume tier B exactly where the serial descent would
+	// have been.
+	envSum   float64
+	envBase0 float64
+
 	// frontierMark is how many filter-pass matches the frontier expansion
 	// had emitted when this task was queued: in serial order, those matches
 	// precede this task's subtree.
@@ -132,6 +139,11 @@ func (ix *Index) searchParallel(ctx context.Context, q []float64, eps float64, v
 	if len(root.Children) >= frontierRootFanout*par {
 		prefix := s.table.Fork(0)
 		for i := range root.Children {
+			// Tier A on the fanout frontier: pruned subtrees never become
+			// tasks, so serial and parallel visit (and count) identically.
+			if s.pruneChild(root.Children[i], 0) {
+				continue
+			}
 			s.tasks = append(s.tasks, parTask{ptr: root.Children[i].Ptr, prefix: prefix})
 		}
 	} else {
@@ -139,6 +151,9 @@ func (ix *Index) searchParallel(ctx context.Context, q []float64, eps float64, v
 		for i := range root.Children {
 			if s.stopped {
 				break
+			}
+			if s.pruneChild(root.Children[i], 0) {
+				continue
 			}
 			if err := s.processEdge(root.Children[i].Ptr, 1, false, 0); err != nil {
 				return nil, SearchStats{}, err
@@ -181,6 +196,8 @@ func (ix *Index) searchParallel(ctx context.Context, q []float64, eps float64, v
 				w.table.CopyFrom(t.prefix)
 				w.firstSym = t.firstSym
 				w.base0 = t.base0
+				w.envBase0 = t.envBase0
+				w.setEnvSum(w.table.Depth(), t.envSum)
 				from := len(w.matches)
 				err := w.processEdge(t.ptr, 1, t.runBroken, t.firstRun)
 				results[k] = parResult{
@@ -255,6 +272,8 @@ func (ix *Index) searchParallel(ctx context.Context, q []float64, eps float64, v
 		s.stats.NodesVisited += w.stats.NodesVisited
 		s.stats.Candidates += w.stats.Candidates
 		s.stats.Answers += w.stats.Answers
+		s.stats.EnvelopePruned += w.stats.EnvelopePruned
+		s.stats.LBCells += w.stats.LBCells
 		s.pend.MergeFrom(&w.pend)
 		ix.queries.release(w)
 	}
@@ -300,10 +319,19 @@ func (ix *Index) searchParallel(ctx context.Context, q []float64, eps float64, v
 // spawnSubtreeTasks queues every child of n as a parallel task. The prefix
 // rows computed so far are forked once and shared read-only by all of n's
 // children; each task snapshots the path state a serial descent would carry
-// into that child.
-func (s *searcher) spawnSubtreeTasks(n *disktree.Node, runBroken bool, firstRun int) {
+// into that child. The envelope tier-A check runs here, on the frontier
+// goroutine, so a child the serial traversal would skip never becomes a
+// task — keeping counters and answers byte-identical to serial.
+func (s *searcher) spawnSubtreeTasks(n *disktree.Node, runBroken bool, firstRun int, edgeBound float64) {
 	prefix := s.table.Fork(s.table.Depth())
+	var envSum float64
+	if s.envOn {
+		envSum = s.envSums[s.table.Depth()]
+	}
 	for i := range n.Children {
+		if s.pruneChild(n.Children[i], edgeBound) {
+			continue
+		}
 		s.tasks = append(s.tasks, parTask{
 			ptr:          n.Children[i].Ptr,
 			prefix:       prefix,
@@ -311,7 +339,22 @@ func (s *searcher) spawnSubtreeTasks(n *disktree.Node, runBroken bool, firstRun 
 			firstRun:     firstRun,
 			firstSym:     s.firstSym,
 			base0:        s.base0,
+			envSum:       envSum,
+			envBase0:     s.envBase0,
 			frontierMark: len(s.matches),
 		})
 	}
+}
+
+// setEnvSum seeds the envelope prefix sum at a parallel task's fork depth;
+// shallower entries are never read by the resumed descent, so only the one
+// slot matters.
+//
+//twlint:steady-state
+func (s *searcher) setEnvSum(depth int, sum float64) {
+	for len(s.envSums) <= depth {
+		//lint:ignore steadystate pooled scratch: the prefix-sum slice grows once per context to the deepest fork depth, then every later task reuses the capacity
+		s.envSums = append(s.envSums, 0)
+	}
+	s.envSums[depth] = sum
 }

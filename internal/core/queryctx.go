@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"twsearch/internal/categorize"
+	"twsearch/internal/disktree"
 	"twsearch/internal/dtw"
 )
 
@@ -74,6 +75,19 @@ func (qp *queryPool) acquire(ix *Index, ctx context.Context, q []float64, eps fl
 		s.post.Bind(q, ix.Window)
 	}
 	s.pend.Reset(ix.totalElements)
+
+	// The envelope cascade runs under the same window as the filter table,
+	// so its bounds are never tighter than what the table itself enforces.
+	// Tier A (subtree hulls) additionally needs the v3 tree format: older
+	// files decode the hull fields as zeros, which look like real hulls.
+	s.envOn = !ix.DisableEnvelopes
+	s.hullOn = s.envOn && ix.Tree.Encoding() == disktree.EncodingV3
+	s.env.Bind(q, filterWindow)
+	if len(s.envSums) == 0 {
+		s.envSums = append(s.envSums, 0)
+	}
+	s.envSums[0] = 0
+	s.envBase0 = 0
 
 	// The symbol→interval cache depends only on the scheme, which is
 	// immutable and shared by every handle that shares this pool, so a

@@ -22,9 +22,10 @@ type Match struct {
 // counts on its own pooled context and the driver sums them at the join
 // barrier, so no counter is ever written by two goroutines. The traversal
 // counters — NodesVisited, FilterCells, PostCells, Candidates, FalseAlarms,
-// Answers — are exact and byte-identical to the serial run (pruning is
-// path-local and shared prefix rows are counted once, by the goroutine that
-// computed them). PagesRead, PoolHits and PoolMisses are approximate: they
+// Answers, EnvelopePruned, LBCells — are exact and byte-identical to the
+// serial run (pruning is path-local and shared prefix rows are counted once,
+// by the goroutine that computed them; the envelope cascade's decisions
+// depend only on the path, so its counters merge exactly too). PagesRead, PoolHits and PoolMisses are approximate: they
 // are deltas of index-wide atomic counters, so they attribute every
 // concurrent goroutine's traffic — including sibling workers and the
 // read-ahead batching — to this search. Elapsed is wall clock. After an
@@ -51,6 +52,14 @@ type SearchStats struct {
 	FalseAlarms uint64
 	// Answers counts returned matches.
 	Answers uint64
+	// EnvelopePruned counts envelope-cascade prune events: edge rows cut
+	// before their table row was computed (tier B) and child subtrees
+	// skipped before their node was read (tier A).
+	EnvelopePruned uint64
+	// LBCells counts envelope gap evaluations — the O(1) work the cascade
+	// spends to avoid O(|Q|) table rows. Compare against the FilterCells it
+	// saves: the cascade pays one LBCell per row or child it examines.
+	LBCells uint64
 	// PagesRead counts physical page reads; PoolHits/PoolMisses count
 	// buffer pool activity during this search.
 	PagesRead  uint64
@@ -71,6 +80,8 @@ func (s *SearchStats) Add(other SearchStats) {
 	s.Candidates += other.Candidates
 	s.FalseAlarms += other.FalseAlarms
 	s.Answers += other.Answers
+	s.EnvelopePruned += other.EnvelopePruned
+	s.LBCells += other.LBCells
 	s.PagesRead += other.PagesRead
 	s.PoolHits += other.PoolHits
 	s.PoolMisses += other.PoolMisses

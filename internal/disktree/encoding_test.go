@@ -140,7 +140,7 @@ func TestRewrite(t *testing.T) {
 		f.Close()
 
 		v2Path := filepath.Join(dir, "v2.twt")
-		rw, err := Rewrite(v1Path, v2Path, 32, EncodingV2)
+		rw, err := Rewrite(v1Path, v2Path, 32, EncodingV2, nil)
 		if err != nil {
 			t.Fatalf("%s: Rewrite to v2: %v", layout, err)
 		}
@@ -164,7 +164,7 @@ func TestRewrite(t *testing.T) {
 
 		// And back: v2 → v1 restores a byte-identical v1 file.
 		backPath := filepath.Join(dir, "back.twt")
-		back, err := Rewrite(v2Path, backPath, 32, EncodingV1)
+		back, err := Rewrite(v2Path, backPath, 32, EncodingV1, nil)
 		if err != nil {
 			t.Fatalf("%s: Rewrite back to v1: %v", layout, err)
 		}
@@ -194,7 +194,7 @@ func TestDecodeMetaRejectsUnknownEncoding(t *testing.T) {
 	if _, err := decodeMeta(blob); err != nil {
 		t.Fatalf("valid v2 blob rejected: %v", err)
 	}
-	for _, bad := range []byte{0, 3, 0xFF} {
+	for _, bad := range []byte{0, 4, 0xFF} {
 		blob[metaBaseSize] = bad
 		if _, err := decodeMeta(blob); err == nil {
 			t.Fatalf("encoding byte %d accepted", bad)

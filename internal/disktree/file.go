@@ -80,9 +80,14 @@ func createOn(pf *storage.File, tree *suffixtree.Tree, poolPages int, layout Lay
 		return nil, err
 	}
 
+	// v3 files persist per-child subtree envelopes. The write is post-order
+	// (children before parents), so each recursion returns its subtree's
+	// horizon-limited hull vector and the parent stamps the persisted bound
+	// onto the child table entry — one bottom-up pass, no second walk.
+	hulls := enc == EncodingV3
 	var scratch []byte
-	var writeNode func(n *suffixtree.Node) (Ptr, error)
-	writeNode = func(n *suffixtree.Node) (Ptr, error) {
+	var writeNode func(n *suffixtree.Node) (Ptr, depthHull, error)
+	writeNode = func(n *suffixtree.Node) (Ptr, depthHull, error) {
 		out := Node{
 			LabelSeq:   n.LabelSeq,
 			LabelStart: n.LabelStart,
@@ -91,6 +96,7 @@ func createOn(pf *storage.File, tree *suffixtree.Tree, poolPages int, layout Lay
 		if layout == LayoutInline {
 			out.Label = tree.LabelSymbols(n)
 		}
+		below := emptyDepthHull
 		if n.Leaf != nil {
 			out.Leaf = true
 			out.LabelSeq = n.Leaf.Seq
@@ -100,27 +106,40 @@ func createOn(pf *storage.File, tree *suffixtree.Tree, poolPages int, layout Lay
 		} else {
 			out.Children = make([]ChildRef, len(n.Children))
 			for i, c := range n.Children {
-				ptr, err := writeNode(c)
+				ptr, chHull, err := writeNode(c)
 				if err != nil {
-					return NilPtr, err
+					return NilPtr, emptyDepthHull, err
 				}
-				out.Children[i] = ChildRef{
+				ref := ChildRef{
 					Sym: tree.Store.Sym(int(c.LabelSeq), int(c.LabelStart)),
 					Ptr: ptr,
 				}
+				if hulls {
+					ref = hullRef(ref, chHull)
+					below = below.union(chHull)
+				}
+				out.Children[i] = ref
 			}
+		}
+		hull := emptyDepthHull
+		if hulls {
+			// Fold this node's own edge label in (n's fields, not out's: a
+			// leaf's out.LabelSeq was just repointed at the suffix owner).
+			hull = prependLabel(n.LabelLen, func(i int32) Symbol {
+				return tree.Store.Sym(int(n.LabelSeq), int(n.LabelStart+i))
+			}, below)
 		}
 		f.meta.nodes++
 		f.meta.labelSyms += uint64(n.LabelLen)
 		ptr := app.offset()
 		scratch = encodeNode(scratch[:0], &out, layout, enc)
 		if err := app.write(scratch); err != nil {
-			return NilPtr, err
+			return NilPtr, emptyDepthHull, err
 		}
-		return ptr, nil
+		return ptr, hull, nil
 	}
 
-	root, err := writeNode(tree.Root)
+	root, _, err := writeNode(tree.Root)
 	app.close()
 	if err != nil {
 		pf.Close()
@@ -267,9 +286,12 @@ func (f *File) ReadNodeInto(p Ptr, n *Node) error {
 		return err
 	}
 	var err error
-	if f.meta.enc == EncodingV2 {
+	switch f.meta.enc {
+	case EncodingV3:
+		err = decodeNodeV3(&n.cur, n, f.meta.layout, p)
+	case EncodingV2:
 		err = decodeNodeV2(&n.cur, n, f.meta.layout, p)
-	} else {
+	default:
 		err = decodeNodeV1(&n.cur, n, f.meta.layout, p)
 	}
 	n.cur.close()
@@ -365,6 +387,19 @@ func decodeNodeV1(c *pageCursor, n *Node, layout Layout, p Ptr) error {
 // decodeNodeV2 reads a compact varint record through the cursor, undoing
 // the delta coding of encodeNodeV2 with the same wrapping arithmetic.
 func decodeNodeV2(c *pageCursor, n *Node, layout Layout, p Ptr) error {
+	return decodeNodeCompact(c, n, layout, p, false)
+}
+
+// decodeNodeV3 reads a compact record plus the per-child envelope hulls —
+// still zero-copy through the same borrowed page views as v2; the hulls are
+// just two more varints per child entry.
+func decodeNodeV3(c *pageCursor, n *Node, layout Layout, p Ptr) error {
+	return decodeNodeCompact(c, n, layout, p, true)
+}
+
+// decodeNodeCompact is the shared v2/v3 decoder; hulls selects the v3
+// child-entry envelope tail.
+func decodeNodeCompact(c *pageCursor, n *Node, layout Layout, p Ptr, hulls bool) error {
 	var flags byte
 	if layout == LayoutInline {
 		labelLen, err := c.uvarint()
@@ -447,7 +482,22 @@ func decodeNodeV2(c *pageCursor, n *Node, layout Layout, p Ptr) error {
 		}
 		prevSym += dSym
 		prevPtr += uint64(dPtr)
-		n.Children = append(n.Children, ChildRef{Sym: Symbol(int32(prevSym)), Ptr: Ptr(prevPtr)})
+		ref := ChildRef{Sym: Symbol(int32(prevSym)), Ptr: Ptr(prevPtr)}
+		if hulls {
+			for s := range ref.Seg {
+				lo, err := c.varint()
+				if err != nil {
+					return err
+				}
+				span, err := c.varint()
+				if err != nil {
+					return err
+				}
+				ref.Seg[s] = HullRange{Lo: Symbol(int32(lo)), Hi: Symbol(int32(lo + span))}
+			}
+			ref.setOverall()
+		}
+		n.Children = append(n.Children, ref)
 	}
 	return nil
 }

@@ -64,10 +64,24 @@ const (
 	// of a real file are small positive numbers that varint-encode in a
 	// byte or two instead of eight.
 	EncodingV2 Encoding = 2
+	// EncodingV3 extends v2 with per-child subtree envelopes: each child
+	// table entry additionally stores a segmented depth profile of the
+	// child's subtree — HullSegs hulls, each bounding the non-terminator
+	// symbols at HullSegLen consecutive relative depths (edge labels
+	// included), covering the first HullHorizon rows below the child's
+	// parent. Each segment is coded as zigzag(Lo) plus zigzag(Hi-Lo). The
+	// search engine's lower-bound cascade charges each query column against
+	// only the segments its warping band can reach, dismissing whole
+	// subtrees before reading the child node. v1/v2 records are otherwise
+	// unchanged.
+	EncodingV3 Encoding = 3
 )
 
 func (e Encoding) String() string {
-	if e == EncodingV2 {
+	switch e {
+	case EncodingV3:
+		return "v3"
+	case EncodingV2:
 		return "v2"
 	}
 	return "v1"
@@ -81,8 +95,10 @@ func ParseEncoding(s string) (Encoding, error) {
 		return EncodingV1, nil
 	case "v2", "2":
 		return EncodingV2, nil
+	case "v3", "3":
+		return EncodingV3, nil
 	}
-	return 0, fmt.Errorf("disktree: unknown encoding %q (want v1 or v2)", s)
+	return 0, fmt.Errorf("disktree: unknown encoding %q (want v1, v2 or v3)", s)
 }
 
 // Node record layout, encoding v1 (little endian, fixed width).
@@ -125,6 +141,157 @@ const (
 type ChildRef struct {
 	Sym Symbol
 	Ptr Ptr
+	// MinSym and MaxSym bound every non-terminator symbol within the first
+	// HullHorizon rows of every path in the child's subtree — the edge
+	// label's leading symbols plus everything below, cut off at the
+	// horizon. They are the union of Seg, derived on decode rather than
+	// stored. Persisted only by EncodingV3; v1/v2 decodes leave the hull
+	// fields zero, so readers gate hull use on the file's encoding.
+	// MaxSym < MinSym is the explicit empty hull (a subtree holding only
+	// terminator symbols).
+	MinSym, MaxSym Symbol
+	// Seg is the subtree's segmented depth profile: Seg[s] bounds the
+	// non-terminator symbols at relative depths s*HullSegLen ..
+	// (s+1)*HullSegLen-1 below the child's parent (the child's own edge
+	// label occupying the leading depths). A path shorter than a segment's
+	// depth range contributes nothing to it, so an empty segment (Hi < Lo)
+	// proves every path in the subtree ends above that segment — empties
+	// always form a suffix of Seg. The profile is what lets a banded
+	// search charge each query column against only the depths its warping
+	// band can reach, instead of one hull that conflates a whole subtree's
+	// near-track prefix with its divergent continuations.
+	Seg [HullSegs]HullRange
+}
+
+// HullRange is one persisted segment hull: an inclusive symbol range, empty
+// when Hi < Lo.
+type HullRange struct{ Lo, Hi Symbol }
+
+// Segmented-hull geometry: a stored child profile covers the symbols at
+// relative depths 0..HullHorizon-1 below the child's parent, split into
+// HullSegs segments of HullSegLen depths each. Readers that charge one gap
+// per query column (the search engine's banded tail charge) must stop
+// charging at columns whose band reaches past the horizon. The horizon
+// comfortably exceeds |Q|+w for the workloads the engine targets; it exists
+// to keep deep-suffix hulls from absorbing value range the DP could never
+// reach, and the segmentation keeps a near-track subtree's prefix from
+// widening the bound on its tail.
+const (
+	HullSegLen  = 2
+	HullSegs    = 24
+	HullHorizon = HullSegs * HullSegLen
+)
+
+// symHull accumulates the [lo, hi] symbol bound of a subtree while its
+// records are written. The empty hull is hi < lo; users must start from
+// emptyHull, not the zero value (which would claim symbol 0 is present).
+type symHull struct{ lo, hi Symbol }
+
+var emptyHull = symHull{lo: 0, hi: -1}
+
+// depthHull is the bottom-up aggregation state of a horizon-limited hull
+// profile: p[k] bounds the non-terminator symbols at relative depth exactly
+// k over every path in the subtree (paths shorter than k contribute
+// nothing). As with symHull, the zero value is wrong — start from
+// emptyDepthHull.
+type depthHull struct{ p [HullHorizon]symHull }
+
+var emptyDepthHull = func() depthHull {
+	var d depthHull
+	for i := range d.p {
+		d.p[i] = emptyHull
+	}
+	return d
+}()
+
+func (d depthHull) union(o depthHull) depthHull {
+	for i := range d.p {
+		d.p[i] = d.p[i].union(o.p[i])
+	}
+	return d
+}
+
+// prependLabel is the one step of bottom-up hull aggregation: the profile
+// for a subtree entered over an edge of l label symbols (sym(i) reads the
+// i'th) whose below-the-edge profile is below. Depths 0..l-1 are the
+// label's own symbols; deeper slots splice in below's profile shifted by
+// the label length. Terminators only occur at the end of leaf edges
+// (nothing below them), so folding them as empty slots keeps the shift
+// arithmetic exact. The loop is horizon-bounded, not label-bounded — long
+// leaf edges cost O(HullHorizon), and their tail symbols stay out of the
+// profile by design.
+func prependLabel(l int32, sym func(int32) Symbol, below depthHull) depthHull {
+	var out depthHull
+	for k := int32(0); k < HullHorizon; k++ {
+		if k < l {
+			out.p[k] = emptyHull.add(sym(k))
+		} else {
+			out.p[k] = below.p[k-l]
+		}
+	}
+	return out
+}
+
+func (h symHull) empty() bool { return h.hi < h.lo }
+
+// add widens the hull with one symbol; terminators never enter a hull (the
+// cascade compares hulls against query-value envelopes, and terminators
+// carry no value).
+func (h symHull) add(s Symbol) symHull {
+	if suffixtree.IsTerminator(s) {
+		return h
+	}
+	if h.empty() {
+		return symHull{lo: s, hi: s}
+	}
+	if s < h.lo {
+		h.lo = s
+	}
+	if s > h.hi {
+		h.hi = s
+	}
+	return h
+}
+
+func (h symHull) union(o symHull) symHull {
+	if o.empty() {
+		return h
+	}
+	if h.empty() {
+		return o
+	}
+	if o.lo < h.lo {
+		h.lo = o.lo
+	}
+	if o.hi > h.hi {
+		h.hi = o.hi
+	}
+	return h
+}
+
+// hullRef stamps a subtree's depth profile onto a child table entry: the
+// persisted segments plus the derived overall hull.
+func hullRef(c ChildRef, d depthHull) ChildRef {
+	for s := 0; s < HullSegs; s++ {
+		h := emptyHull
+		for k := s * HullSegLen; k < (s+1)*HullSegLen; k++ {
+			h = h.union(d.p[k])
+		}
+		c.Seg[s] = HullRange{Lo: h.lo, Hi: h.hi}
+	}
+	c.setOverall()
+	return c
+}
+
+// setOverall derives MinSym/MaxSym as the union of the segment hulls — the
+// same derivation the decoder applies, since the overall hull is not
+// stored.
+func (c *ChildRef) setOverall() {
+	h := emptyHull
+	for _, g := range c.Seg {
+		h = h.union(symHull{lo: g.Lo, hi: g.Hi})
+	}
+	c.MinSym, c.MaxSym = h.lo, h.hi
 }
 
 // Node is a decoded node record. For reference-layout files the label is
@@ -151,7 +318,10 @@ type Node struct {
 // encoding, returning the extended slice. For LayoutInline, n.Label must
 // be filled.
 func encodeNode(buf []byte, n *Node, layout Layout, enc Encoding) []byte {
-	if enc == EncodingV2 {
+	switch enc {
+	case EncodingV3:
+		return encodeNodeV3(buf, n, layout)
+	case EncodingV2:
 		return encodeNodeV2(buf, n, layout)
 	}
 	return encodeNodeV1(buf, n, layout)
@@ -205,6 +375,23 @@ func encodeNodeV1(buf []byte, n *Node, layout Layout) []byte {
 // identity for any Node, not just well-formed trees (FuzzNodeCodecV2 pins
 // this).
 func encodeNodeV2(buf []byte, n *Node, layout Layout) []byte {
+	return encodeNodeCompact(buf, n, layout, false)
+}
+
+// encodeNodeV3 is the v2 compact encoder plus per-child envelope hulls
+// (FuzzNodeCodecV3 pins the round trip).
+func encodeNodeV3(buf []byte, n *Node, layout Layout) []byte {
+	return encodeNodeCompact(buf, n, layout, true)
+}
+
+// encodeNodeCompact is the shared v2/v3 varint encoder; hulls selects the
+// v3 child-entry envelope tail: HullSegs segment hulls per child, each as
+// zigzag(Lo) plus zigzag(Hi-Lo). On a real file a span is a small
+// non-negative number (or -1 for the empty segment), and the int64
+// difference of two int32 fields is exact, so the round trip is the
+// identity for any segment array; the overall MinSym/MaxSym hull is not
+// written — the decoder re-derives it as the segments' union.
+func encodeNodeCompact(buf []byte, n *Node, layout Layout, hulls bool) []byte {
 	if layout == LayoutInline {
 		buf = binary.AppendUvarint(buf, uint64(len(n.Label)))
 		for _, s := range n.Label {
@@ -230,6 +417,12 @@ func encodeNodeV2(buf []byte, n *Node, layout Layout) []byte {
 		buf = binary.AppendVarint(buf, int64(c.Sym)-prevSym)
 		buf = binary.AppendVarint(buf, int64(uint64(c.Ptr)-prevPtr))
 		prevSym, prevPtr = int64(c.Sym), uint64(c.Ptr)
+		if hulls {
+			for _, g := range c.Seg {
+				buf = binary.AppendVarint(buf, int64(g.Lo))
+				buf = binary.AppendVarint(buf, int64(g.Hi)-int64(g.Lo))
+			}
+		}
 	}
 	return buf
 }
@@ -292,7 +485,7 @@ func decodeMeta(buf []byte) (meta, error) {
 	enc := EncodingV1
 	if len(buf) == metaBaseSize+1 {
 		enc = Encoding(buf[metaBaseSize])
-		if enc < EncodingV1 || enc > EncodingV2 {
+		if enc < EncodingV1 || enc > EncodingV3 {
 			return meta{}, fmt.Errorf("disktree: unknown encoding %d", buf[metaBaseSize])
 		}
 	}

@@ -23,6 +23,11 @@ const (
 	// v2 changes, and vice versa.
 	refLayoutV2SHA256    = "024bbcd25960fd2fe96a5f72fb0bf6f39982c48709b4ac3a077231274993219f"
 	inlineLayoutV2SHA256 = "59cde46f546d5a64dcea956f9a1acab76387679f36906d1240d6db0f36a00de8"
+	// Encoding v3 (v2 plus per-child segmented subtree envelopes). The
+	// digests absorb the hull geometry (HullSegs, HullSegLen): changing
+	// either is a format revision even though the codec shape is unchanged.
+	refLayoutV3SHA256    = "00931d78b2d9efebd38a17a78d501b28cafa7da8b0e80462ad9f964508a62faf"
+	inlineLayoutV3SHA256 = "6d9c7a0fcbbe89cb99efe2e7a5ab1a74c681a98d4c6fba143d18aaf677eb6b20"
 )
 
 func formatFixtureStore() *suffixtree.TextStore {
@@ -45,6 +50,8 @@ func TestFormatStability(t *testing.T) {
 		{LayoutInline, EncodingV1, inlineLayoutSHA256},
 		{LayoutReference, EncodingV2, refLayoutV2SHA256},
 		{LayoutInline, EncodingV2, inlineLayoutV2SHA256},
+		{LayoutReference, EncodingV3, refLayoutV3SHA256},
+		{LayoutInline, EncodingV3, inlineLayoutV3SHA256},
 	} {
 		path := filepath.Join(t.TempDir(), "fixture.twt")
 		f, err := CreateEncoded(path, tree, 16, tc.layout, tc.enc)

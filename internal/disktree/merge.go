@@ -53,6 +53,22 @@ type merger struct {
 	nodes     uint64
 	leaves    uint64
 	labelSyms uint64
+	// hulls turns on subtree-envelope aggregation for EncodingV3 output:
+	// every copy/merge path returns its subtree's horizon-limited hull
+	// vector so parents stamp child table entries, mirroring createOn's
+	// bottom-up pass.
+	hulls bool
+}
+
+// prependEdge folds a (possibly trimmed) edge's label symbols in front of
+// the below-the-edge hull vector, or returns the empty vector when
+// aggregation is off. Reference-layout labels need the text store; the
+// merge path always has one, and Rewrite demands one before targeting v3.
+func (m *merger) prependEdge(e edge, below depthHull) depthHull {
+	if !m.hulls {
+		return emptyDepthHull
+	}
+	return prependLabel(e.length, func(i int32) Symbol { return e.sym(m.store, i) }, below)
 }
 
 // MergeFiles merges the trees in aPath and bPath (over the same text store,
@@ -100,7 +116,8 @@ func MergeFiles(store *suffixtree.TextStore, aPath, bPath, outPath string, poolP
 		pf.Close()
 		return nil, err
 	}
-	m := &merger{store: store, out: out, app: app, layout: a.Layout(), enc: a.Encoding()}
+	m := &merger{store: store, out: out, app: app, layout: a.Layout(), enc: a.Encoding(),
+		hulls: a.Encoding() == EncodingV3}
 
 	rootPtr, err := m.mergeRoots(a, b)
 	app.close()
@@ -138,11 +155,12 @@ func (m *merger) emit(n *Node) (Ptr, error) {
 
 // copySubtree copies the subtree at e.ptr into the output, with e's
 // (possibly trimmed) label on the top edge. Children are copied with their
-// stored labels.
-func (m *merger) copySubtree(e edge) (Ptr, error) {
+// stored labels. It returns the copied subtree's hull vector (top label
+// included) so the caller can stamp its child table entry.
+func (m *merger) copySubtree(e edge) (Ptr, depthHull, error) {
 	var n Node
 	if err := e.f.ReadNodeInto(e.ptr, &n); err != nil {
-		return NilPtr, err
+		return NilPtr, emptyDepthHull, err
 	}
 	out := Node{
 		LabelSeq:   e.seq,
@@ -156,21 +174,24 @@ func (m *merger) copySubtree(e edge) (Ptr, error) {
 	if n.Leaf && m.layout == LayoutInline {
 		out.LabelSeq = n.LabelSeq // the suffix's owning sequence
 	}
+	below := emptyDepthHull
 	if !n.Leaf {
 		out.Children = make([]ChildRef, len(n.Children))
 		for i, c := range n.Children {
 			childEdge, err := m.childEdge(e.f, c)
 			if err != nil {
-				return NilPtr, err
+				return NilPtr, emptyDepthHull, err
 			}
-			ptr, err := m.copySubtree(childEdge)
+			ptr, chHull, err := m.copySubtree(childEdge)
 			if err != nil {
-				return NilPtr, err
+				return NilPtr, emptyDepthHull, err
 			}
-			out.Children[i] = ChildRef{Sym: c.Sym, Ptr: ptr}
+			out.Children[i] = hullRef(ChildRef{Sym: c.Sym, Ptr: ptr}, chHull)
+			below = below.union(chHull)
 		}
 	}
-	return m.emit(&out)
+	ptr, err := m.emit(&out)
+	return ptr, m.prependEdge(e, below), err
 }
 
 // childEdge builds the untrimmed edge of a child reference.
@@ -196,7 +217,7 @@ func (m *merger) mergeRoots(a, b *File) (Ptr, error) {
 	if err := b.ReadNodeInto(b.Root(), &bn); err != nil {
 		return NilPtr, err
 	}
-	children, err := m.zipChildren(a, an.Children, b, bn.Children)
+	children, _, err := m.zipChildren(a, an.Children, b, bn.Children)
 	if err != nil {
 		return NilPtr, err
 	}
@@ -204,78 +225,72 @@ func (m *merger) mergeRoots(a, b *File) (Ptr, error) {
 }
 
 // zipChildren merges two sorted child tables, recursing on equal symbols.
-func (m *merger) zipChildren(aF *File, as []ChildRef, bF *File, bs []ChildRef) ([]ChildRef, error) {
+// It returns the union hull vector over every emitted entry (the merged
+// node's below-the-label hulls).
+func (m *merger) zipChildren(aF *File, as []ChildRef, bF *File, bs []ChildRef) ([]ChildRef, depthHull, error) {
 	out := make([]ChildRef, 0, len(as)+len(bs))
+	hull := emptyDepthHull
+	copyOne := func(f *File, c ChildRef) error {
+		e, err := m.childEdge(f, c)
+		if err != nil {
+			return err
+		}
+		ptr, chHull, err := m.copySubtree(e)
+		if err != nil {
+			return err
+		}
+		out = append(out, hullRef(ChildRef{Sym: c.Sym, Ptr: ptr}, chHull))
+		hull = hull.union(chHull)
+		return nil
+	}
 	i, j := 0, 0
 	for i < len(as) && j < len(bs) {
 		switch {
 		case as[i].Sym < bs[j].Sym:
-			e, err := m.childEdge(aF, as[i])
-			if err != nil {
-				return nil, err
+			if err := copyOne(aF, as[i]); err != nil {
+				return nil, emptyDepthHull, err
 			}
-			ptr, err := m.copySubtree(e)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, ChildRef{Sym: as[i].Sym, Ptr: ptr})
 			i++
 		case as[i].Sym > bs[j].Sym:
-			e, err := m.childEdge(bF, bs[j])
-			if err != nil {
-				return nil, err
+			if err := copyOne(bF, bs[j]); err != nil {
+				return nil, emptyDepthHull, err
 			}
-			ptr, err := m.copySubtree(e)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, ChildRef{Sym: bs[j].Sym, Ptr: ptr})
 			j++
 		default:
 			ae, err := m.childEdge(aF, as[i])
 			if err != nil {
-				return nil, err
+				return nil, emptyDepthHull, err
 			}
 			be, err := m.childEdge(bF, bs[j])
 			if err != nil {
-				return nil, err
+				return nil, emptyDepthHull, err
 			}
-			ptr, err := m.mergeEdge(ae, be)
+			ptr, chHull, err := m.mergeEdge(ae, be)
 			if err != nil {
-				return nil, err
+				return nil, emptyDepthHull, err
 			}
-			out = append(out, ChildRef{Sym: as[i].Sym, Ptr: ptr})
+			out = append(out, hullRef(ChildRef{Sym: as[i].Sym, Ptr: ptr}, chHull))
+			hull = hull.union(chHull)
 			i++
 			j++
 		}
 	}
 	for ; i < len(as); i++ {
-		e, err := m.childEdge(aF, as[i])
-		if err != nil {
-			return nil, err
+		if err := copyOne(aF, as[i]); err != nil {
+			return nil, emptyDepthHull, err
 		}
-		ptr, err := m.copySubtree(e)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, ChildRef{Sym: as[i].Sym, Ptr: ptr})
 	}
 	for ; j < len(bs); j++ {
-		e, err := m.childEdge(bF, bs[j])
-		if err != nil {
-			return nil, err
+		if err := copyOne(bF, bs[j]); err != nil {
+			return nil, emptyDepthHull, err
 		}
-		ptr, err := m.copySubtree(e)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, ChildRef{Sym: bs[j].Sym, Ptr: ptr})
 	}
-	return out, nil
+	return out, hull, nil
 }
 
-// mergeEdge merges two edges that start with the same symbol.
-func (m *merger) mergeEdge(a, b edge) (Ptr, error) {
+// mergeEdge merges two edges that start with the same symbol, returning the
+// merged subtree's hull vector alongside its offset.
+func (m *merger) mergeEdge(a, b edge) (Ptr, depthHull, error) {
 	// Common label prefix length.
 	maxL := a.length
 	if b.length < maxL {
@@ -291,22 +306,23 @@ func (m *merger) mergeEdge(a, b edge) (Ptr, error) {
 		// Same full label: merge the two nodes' child tables.
 		var an, bn Node
 		if err := a.f.ReadNodeInto(a.ptr, &an); err != nil {
-			return NilPtr, err
+			return NilPtr, emptyDepthHull, err
 		}
 		if err := b.f.ReadNodeInto(b.ptr, &bn); err != nil {
-			return NilPtr, err
+			return NilPtr, emptyDepthHull, err
 		}
 		if an.Leaf || bn.Leaf {
-			return NilPtr, fmt.Errorf("disktree: leaf collision during merge (overlapping sequence sets?)")
+			return NilPtr, emptyDepthHull, fmt.Errorf("disktree: leaf collision during merge (overlapping sequence sets?)")
 		}
-		children, err := m.zipChildren(a.f, an.Children, b.f, bn.Children)
+		children, chHull, err := m.zipChildren(a.f, an.Children, b.f, bn.Children)
 		if err != nil {
-			return NilPtr, err
+			return NilPtr, emptyDepthHull, err
 		}
-		return m.emit(&Node{
+		ptr, err := m.emit(&Node{
 			LabelSeq: a.seq, LabelStart: a.start, LabelLen: a.length,
 			Label: a.syms, Children: children,
 		})
+		return ptr, m.prependEdge(a, chHull), err
 
 	case l == a.length:
 		// b's label extends past a's: push the trimmed b edge into a's node.
@@ -320,95 +336,103 @@ func (m *merger) mergeEdge(a, b edge) (Ptr, error) {
 	default:
 		// Labels diverge inside both: new internal node with the common
 		// prefix and the two trimmed subtrees as children.
-		prefixSeq, prefixStart := a.seq, a.start
-		var prefixSyms []Symbol
-		if a.syms != nil {
-			prefixSyms = a.syms[:l]
+		prefix := a
+		prefix.length = l
+		if prefix.syms != nil {
+			prefix.syms = prefix.syms[:l]
 		}
 		a.trim(l)
 		b.trim(l)
-		aPtr, err := m.copySubtree(a)
+		aPtr, aHull, err := m.copySubtree(a)
 		if err != nil {
-			return NilPtr, err
+			return NilPtr, emptyDepthHull, err
 		}
-		bPtr, err := m.copySubtree(b)
+		bPtr, bHull, err := m.copySubtree(b)
 		if err != nil {
-			return NilPtr, err
+			return NilPtr, emptyDepthHull, err
 		}
-		ca := ChildRef{Sym: a.firstSym(m.store), Ptr: aPtr}
-		cb := ChildRef{Sym: b.firstSym(m.store), Ptr: bPtr}
+		ca := hullRef(ChildRef{Sym: a.firstSym(m.store), Ptr: aPtr}, aHull)
+		cb := hullRef(ChildRef{Sym: b.firstSym(m.store), Ptr: bPtr}, bHull)
 		if cb.Sym < ca.Sym {
 			ca, cb = cb, ca
 		}
-		return m.emit(&Node{
-			LabelSeq:   prefixSeq,
-			LabelStart: prefixStart,
+		ptr, err := m.emit(&Node{
+			LabelSeq:   prefix.seq,
+			LabelStart: prefix.start,
 			LabelLen:   l,
-			Label:      prefixSyms,
+			Label:      prefix.syms,
 			Children:   []ChildRef{ca, cb},
 		})
+		return ptr, m.prependEdge(prefix, aHull.union(bHull)), err
 	}
 }
 
 // mergeInto merges the trimmed edge extra into the node at base (whose
-// label is fully consumed) and emits the combined node.
-func (m *merger) mergeInto(base, extra edge) (Ptr, error) {
+// label is fully consumed) and emits the combined node, returning its
+// subtree hull vector.
+func (m *merger) mergeInto(base, extra edge) (Ptr, depthHull, error) {
 	var bn Node
 	if err := base.f.ReadNodeInto(base.ptr, &bn); err != nil {
-		return NilPtr, err
+		return NilPtr, emptyDepthHull, err
 	}
 	if bn.Leaf {
 		// extra extends strictly below a leaf: impossible with per-sequence
 		// terminators unless the sequence sets overlap.
-		return NilPtr, fmt.Errorf("disktree: edge extends below a leaf (overlapping sequence sets?)")
+		return NilPtr, emptyDepthHull, fmt.Errorf("disktree: edge extends below a leaf (overlapping sequence sets?)")
 	}
 	sym := extra.firstSym(m.store)
 	out := make([]ChildRef, 0, len(bn.Children)+1)
+	below := emptyDepthHull
+	addEntry := func(s Symbol, ptr Ptr, h depthHull) {
+		out = append(out, hullRef(ChildRef{Sym: s, Ptr: ptr}, h))
+		below = below.union(h)
+	}
 	merged := false
 	for _, c := range bn.Children {
 		switch {
 		case c.Sym == sym:
 			ce, err := m.childEdge(base.f, c)
 			if err != nil {
-				return NilPtr, err
+				return NilPtr, emptyDepthHull, err
 			}
-			ptr, err := m.mergeEdge(ce, extra)
+			ptr, chHull, err := m.mergeEdge(ce, extra)
 			if err != nil {
-				return NilPtr, err
+				return NilPtr, emptyDepthHull, err
 			}
-			out = append(out, ChildRef{Sym: sym, Ptr: ptr})
+			addEntry(sym, ptr, chHull)
 			merged = true
 		case !merged && c.Sym > sym:
-			ptr, err := m.copySubtree(extra)
+			ptr, exHull, err := m.copySubtree(extra)
 			if err != nil {
-				return NilPtr, err
+				return NilPtr, emptyDepthHull, err
 			}
-			out = append(out, ChildRef{Sym: sym, Ptr: ptr})
+			addEntry(sym, ptr, exHull)
 			merged = true
 			fallthrough
 		default:
 			ce, err := m.childEdge(base.f, c)
 			if err != nil {
-				return NilPtr, err
+				return NilPtr, emptyDepthHull, err
 			}
-			ptr, err := m.copySubtree(ce)
+			ptr, chHull, err := m.copySubtree(ce)
 			if err != nil {
-				return NilPtr, err
+				return NilPtr, emptyDepthHull, err
 			}
-			out = append(out, ChildRef{Sym: c.Sym, Ptr: ptr})
+			addEntry(c.Sym, ptr, chHull)
 		}
 	}
 	if !merged {
-		ptr, err := m.copySubtree(extra)
+		ptr, exHull, err := m.copySubtree(extra)
 		if err != nil {
-			return NilPtr, err
+			return NilPtr, emptyDepthHull, err
 		}
-		out = append(out, ChildRef{Sym: sym, Ptr: ptr})
+		addEntry(sym, ptr, exHull)
 	}
-	return m.emit(&Node{
+	ptr, err := m.emit(&Node{
 		LabelSeq: base.seq, LabelStart: base.start, LabelLen: base.length,
 		Label: base.syms, Children: out,
 	})
+	return ptr, m.prependEdge(base, below), err
 }
 
 // BuildOptions controls the disk-based construction pipeline.

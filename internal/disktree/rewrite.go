@@ -1,18 +1,25 @@
 package disktree
 
 import (
+	"fmt"
 	"os"
 
 	"twsearch/internal/storage"
+	"twsearch/internal/suffixtree"
 )
 
 // Rewrite copies the tree at inPath into a new file at outPath with the
 // record encoding enc, preserving layout, sparseness and the length filter.
-// The copy is a pure structural walk — no text store is consulted — so it
-// migrates v1 files to the compact v2 encoding (or back) byte-for-byte
-// equivalently: the rewritten tree decodes to the identical node set.
-// poolPages bounds the two buffer pools. The open output file is returned.
-func Rewrite(inPath, outPath string, poolPages int, enc Encoding) (*File, error) {
+// The copy is a pure structural walk, so it migrates between encodings
+// byte-for-byte equivalently: the rewritten tree decodes to the identical
+// node set. Migrating TO EncodingV3 additionally aggregates the per-child
+// subtree envelopes bottom-up; for reference-layout trees that pass reads
+// edge labels, so store must hold the categorized texts the tree was built
+// over (inline-layout trees carry their labels and may pass nil, as may any
+// rewrite to v1/v2 — hulls already present in a v3 input are simply
+// dropped). poolPages bounds the two buffer pools. The open output file is
+// returned.
+func Rewrite(inPath, outPath string, poolPages int, enc Encoding, store *suffixtree.TextStore) (*File, error) {
 	if enc == 0 {
 		enc = EncodingV1
 	}
@@ -21,6 +28,9 @@ func Rewrite(inPath, outPath string, poolPages int, enc Encoding) (*File, error)
 		return nil, err
 	}
 	defer in.Close()
+	if enc == EncodingV3 && in.Layout() == LayoutReference && store == nil {
+		return nil, fmt.Errorf("disktree: rewriting a reference-layout tree to v3 needs the text store (envelope hulls read edge labels)")
+	}
 
 	pf, err := storage.CreateFile(outPath)
 	if err != nil {
@@ -42,9 +52,11 @@ func Rewrite(inPath, outPath string, poolPages int, enc Encoding) (*File, error)
 	}
 	// The merger's copySubtree is exactly the re-encode pass: it reads every
 	// node through the input's decoder and emits it through the output's
-	// encoder. The text store is never consulted on the pure copy path (no
-	// label comparisons happen), so nil is safe.
-	m := &merger{store: nil, out: out, app: app, layout: in.Layout(), enc: enc}
+	// encoder. The text store is consulted only when v3 hull aggregation
+	// must expand reference labels; the pure copy path never compares
+	// labels, so nil is safe everywhere else.
+	m := &merger{store: store, out: out, app: app, layout: in.Layout(), enc: enc,
+		hulls: enc == EncodingV3}
 
 	var rn Node
 	if err := in.ReadNodeInto(in.Root(), &rn); err != nil {
@@ -58,7 +70,7 @@ func Rewrite(inPath, outPath string, poolPages int, enc Encoding) (*File, error)
 		// rn is a local Node, so its Label slice is not shared with anything.
 		rootEdge.syms = rn.Label
 	}
-	rootPtr, err := m.copySubtree(rootEdge)
+	rootPtr, _, err := m.copySubtree(rootEdge)
 	app.close()
 	if err != nil {
 		pf.Close()

@@ -1,0 +1,270 @@
+package dtw
+
+// Sakoe–Chiba query envelopes and the Keogh/Lemire lower-bound kernels built
+// on them — the O(1)-per-row prefilter tier that runs before any cumulative
+// table row. For a query Q and band half-width w, the envelope at candidate
+// position x is the hull of every query element a row at depth x may be
+// matched to:
+//
+//	L[x] = min Q[max(0,x-w) .. min(n-1,x+w)]
+//	U[x] = max Q[max(0,x-w) .. min(n-1,x+w)]
+//
+// Any warping path covers every candidate row exactly once, and a row at
+// depth x can only align with query columns inside the band, so each row
+// contributes at least its gap to the envelope: summing gaps lower-bounds
+// D_tw (LB_Keogh). Without a window the envelope degenerates to the query's
+// global [min, max] hull, which is also what makes the bound safe for the
+// sparse tree's shifted suffixes (a constant envelope reads the same at
+// every depth, so shifting rows never changes a gap).
+//
+// An Envelope is bound once per query and reused across the whole traversal;
+// Bind reuses all storage, so a pooled query context pays zero steady-state
+// allocations for it.
+
+// Envelope is the per-position value hull of a query under a Sakoe–Chiba
+// band (constant without one), plus the suffix hulls the subtree-pruning
+// tier looks ahead with. It is not safe for concurrent use; parallel search
+// workers bind one each.
+type Envelope struct {
+	q      []float64
+	window int
+
+	// lo/hi are the envelope per candidate position. With a window they
+	// have length len(q)+window (positions beyond are unreachable under the
+	// band); without one they are the single global hull entry. Readers
+	// clamp their index — see At.
+	lo, hi []float64
+	// sufLo/sufHi are suffix hulls: sufLo[x] = min(lo[x:]), sufHi[x] =
+	// max(hi[x:]) — the widest envelope any row at depth >= x can see.
+	sufLo, sufHi []float64
+
+	deq []int32 // sliding-window deque scratch, reused across Bind calls
+}
+
+// NewEnvelope returns an envelope of q under band half-width w (< 0 means
+// unconstrained). It panics on an empty query, matching the table kernels.
+func NewEnvelope(q []float64, w int) *Envelope {
+	e := &Envelope{}
+	e.Bind(q, w)
+	return e
+}
+
+// Bind re-targets the envelope at a new query and window, reusing all
+// storage. Pooled query contexts call it once per search.
+func (e *Envelope) Bind(q []float64, w int) {
+	if len(q) == 0 {
+		//lint:ignore panicpath precondition assertion: search entry points reject empty queries before any envelope exists
+		panic("dtw: empty query")
+	}
+	e.q = q
+	e.window = w
+	n := len(q)
+	if w < 0 {
+		// Unconstrained: one global hull entry serves every position.
+		minQ, maxQ := q[0], q[0]
+		for _, v := range q[1:] {
+			if v < minQ {
+				minQ = v
+			}
+			if v > maxQ {
+				maxQ = v
+			}
+		}
+		e.lo = append(e.lo[:0], minQ)
+		e.hi = append(e.hi[:0], maxQ)
+		e.sufLo = append(e.sufLo[:0], minQ)
+		e.sufHi = append(e.sufHi[:0], maxQ)
+		return
+	}
+	m := n + w // positions 0 .. n-1+w are reachable under the band
+	e.lo = grow(e.lo, m)
+	e.hi = grow(e.hi, m)
+	e.slide(q, w, e.lo, true)
+	e.slide(q, w, e.hi, false)
+	e.sufLo = grow(e.sufLo, m)
+	e.sufHi = grow(e.sufHi, m)
+	e.sufLo[m-1], e.sufHi[m-1] = e.lo[m-1], e.hi[m-1]
+	for x := m - 2; x >= 0; x-- {
+		e.sufLo[x] = min(e.lo[x], e.sufLo[x+1])
+		e.sufHi[x] = max(e.hi[x], e.sufHi[x+1])
+	}
+}
+
+// slide fills out[x] with the min (or max) of q over the band around x using
+// a monotonic index deque — O(n+w) total for all positions.
+func (e *Envelope) slide(q []float64, w int, out []float64, wantMin bool) {
+	n := len(q)
+	e.deq = e.deq[:0]
+	front := 0
+	next := 0
+	for x := range out {
+		hiIdx := x + w
+		if hiIdx > n-1 {
+			hiIdx = n - 1
+		}
+		for ; next <= hiIdx; next++ {
+			v := q[next]
+			for len(e.deq) > front {
+				b := q[e.deq[len(e.deq)-1]]
+				if wantMin && b < v || !wantMin && b > v {
+					break
+				}
+				e.deq = e.deq[:len(e.deq)-1]
+			}
+			e.deq = append(e.deq, int32(next))
+		}
+		loIdx := x - w
+		for int(e.deq[front]) < loIdx {
+			front++
+		}
+		out[x] = q[e.deq[front]]
+	}
+}
+
+// grow returns s resized to n entries, reusing capacity.
+func grow(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n)
+}
+
+// Window returns the band half-width the envelope was bound with (< 0 means
+// unconstrained).
+func (e *Envelope) Window() int { return e.window }
+
+// Query returns the query the envelope was bound to.
+func (e *Envelope) Query() []float64 { return e.q }
+
+// At returns the envelope interval at candidate position x, clamping x past
+// the last reachable position (rows out there are unreachable under the
+// band, so any interval is a sound stand-in). The slices returned by Bounds
+// are the unclamped storage for hot loops that do the clamp themselves.
+func (e *Envelope) At(x int) (lo, hi float64) {
+	if m := len(e.lo) - 1; x > m {
+		x = m
+	}
+	return e.lo[x], e.hi[x]
+}
+
+// SuffixAt returns the hull of the envelope over every position >= x, with
+// the same clamping as At.
+func (e *Envelope) SuffixAt(x int) (lo, hi float64) {
+	if m := len(e.sufLo) - 1; x > m {
+		x = m
+	}
+	return e.sufLo[x], e.sufHi[x]
+}
+
+// Bounds returns the per-position envelope slices (length 1 when the
+// envelope is constant). The slices alias the envelope's storage and are
+// invalidated by the next Bind.
+func (e *Envelope) Bounds() (lo, hi []float64) { return e.lo, e.hi }
+
+// SuffixBounds returns the suffix-hull slices, aliasing like Bounds.
+func (e *Envelope) SuffixBounds() (lo, hi []float64) { return e.sufLo, e.sufHi }
+
+// GapInterval returns the smallest possible city-block distance between any
+// value in [aLo, aHi] and any value in [bLo, bHi] — zero when the intervals
+// overlap. With a for a candidate symbol's value interval and b for an
+// envelope interval, it lower-bounds every base distance a table row over
+// that symbol could produce, which is what lets the cascade prune without
+// computing the row.
+//
+//twlint:bound-source results=0
+func GapInterval(aLo, aHi, bLo, bHi float64) float64 {
+	g := bLo - aHi
+	if d := aLo - bHi; d > g {
+		g = d
+	}
+	if g < 0 {
+		return 0
+	}
+	return g
+}
+
+// LBKeogh returns the Keogh envelope lower bound of D_tw(c, Q) for the
+// query the envelope was bound to: the sum over candidate positions of the
+// gap between c[x] and the envelope at x. The loop is branch-light — one
+// clamped index and two max folds per element, no per-element allocation or
+// call. LB_Keogh(c, Env(Q,w)) <= DistanceWindow(c, Q, w) for every c (and
+// <= Distance(c, Q) when unconstrained), so pruning via "> eps" keeps the
+// no-false-dismissal contract.
+//
+//twlint:bound-source results=0
+func LBKeogh(c []float64, e *Envelope) float64 {
+	if len(c) == 0 {
+		//lint:ignore panicpath precondition assertion: the engine validates candidates before the kernel; a silent zero bound would be claimed sound when it is vacuous
+		panic("dtw: LBKeogh of empty sequence")
+	}
+	lo, hi := e.lo, e.hi
+	m := len(lo) - 1
+	var sum float64
+	for x, v := range c {
+		if x > m {
+			x = m
+		}
+		below := lo[x] - v
+		above := v - hi[x]
+		g := 0.0
+		if below > g {
+			g = below
+		}
+		if above > g {
+			g = above
+		}
+		sum += g
+	}
+	return sum
+}
+
+// LBScratch is the reusable buffer of LBImproved's second pass: the
+// projection of the candidate onto the envelope and that projection's own
+// envelope. A pooled scratch makes repeated LBImproved calls allocation-free
+// after warmup.
+type LBScratch struct {
+	h   []float64
+	env Envelope
+}
+
+// LBImproved returns Lemire's two-pass envelope bound: LB_Keogh(c, Env(Q))
+// plus LB_Keogh(Q, Env(H)), where H is c clamped into Q's envelope. The
+// second term re-spends exactly the distance the first term already charged,
+// so LB_Keogh <= LB_Improved <= D_tw. Both series must have the same length
+// (Lemire's setting); the engine's traversal never calls this — a
+// progressive scan cannot use it because the second term is not monotone in
+// the candidate's end — so it serves the one-shot kernels and benchmarks.
+// scratch may be nil for one-shot use.
+func LBImproved(c []float64, e *Envelope, scratch *LBScratch) float64 {
+	if len(c) != len(e.q) {
+		//lint:ignore panicpath precondition assertion: the two-pass bound is defined for equal lengths; a silent partial projection would overstate the bound and dismiss true answers
+		panic("dtw: LBImproved length mismatch")
+	}
+	if scratch == nil {
+		scratch = &LBScratch{}
+	}
+	lo, hi := e.lo, e.hi
+	m := len(lo) - 1
+	scratch.h = grow(scratch.h, len(c))
+	var sum float64
+	for x, v := range c {
+		ix := x
+		if ix > m {
+			ix = m
+		}
+		h := v
+		below := lo[ix] - v
+		above := v - hi[ix]
+		switch {
+		case below > 0:
+			sum += below
+			h = lo[ix]
+		case above > 0:
+			sum += above
+			h = hi[ix]
+		}
+		scratch.h[x] = h
+	}
+	scratch.env.Bind(scratch.h, e.window)
+	return sum + LBKeogh(e.q, &scratch.env)
+}

@@ -250,6 +250,16 @@ func (t *Table) AddRowInterval(lo, hi float64) (dist, minDist float64) {
 	return curr[n-1], minDist
 }
 
+// LastRow returns a read-only view of the deepest row's cumulative costs
+// (Inf in out-of-band columns) — the DP frontier a lookahead bound can
+// splice per-column tail charges onto. It panics via slice bounds at depth
+// 0; callers handle the no-rows-yet case themselves. The view is
+// invalidated by the next AddRow/Truncate/Bind.
+func (t *Table) LastRow() []float64 {
+	n := len(t.q)
+	return t.rows[(t.depth-1)*n : t.depth*n]
+}
+
 // growRow extends the row storage by one row of n cells and returns the new
 // row as a full slice expression (appends beyond it can never reach older
 // rows). Growing within capacity is safe even on a rebound table: every cell

@@ -60,6 +60,11 @@ type mparTask struct {
 	firstSym  suffixtree.Symbol
 	base0     float64
 
+	// envSum/envBase0 resume the envelope row tier at the fork depth; see
+	// core.parTask.
+	envSum   float64
+	envBase0 float64
+
 	frontierMark int
 }
 
@@ -145,6 +150,8 @@ func (ix *Index) searchParallel(q [][]float64, eps float64, visit func(Match) bo
 				w.table.CopyFrom(t.prefix)
 				w.firstSym = t.firstSym
 				w.base0 = t.base0
+				w.envBase0 = t.envBase0
+				w.setEnvSum(w.table.Depth(), t.envSum)
 				from := len(w.matches)
 				err := w.processEdge(t.ptr, 1, t.runBroken, t.firstRun)
 				results[k] = mparResult{
@@ -210,6 +217,8 @@ func (ix *Index) searchParallel(q [][]float64, eps float64, visit func(Match) bo
 		s.stats.NodesVisited += w.stats.NodesVisited
 		s.stats.Candidates += w.stats.Candidates
 		s.stats.Answers += w.stats.Answers
+		s.stats.EnvelopePruned += w.stats.EnvelopePruned
+		s.stats.LBCells += w.stats.LBCells
 		s.pend.MergeFrom(&w.pend)
 		ix.queries.release(w)
 	}
@@ -239,6 +248,10 @@ func (ix *Index) searchParallel(q [][]float64, eps float64, visit func(Match) bo
 // fork of the prefix rows; see core.searcher.spawnSubtreeTasks.
 func (s *msearcher) spawnSubtreeTasks(n *disktree.Node, runBroken bool, firstRun int) {
 	prefix := s.table.Fork(s.table.Depth())
+	var envSum float64
+	if s.envOn {
+		envSum = s.envSums[s.table.Depth()]
+	}
 	for i := range n.Children {
 		s.tasks = append(s.tasks, mparTask{
 			ptr:          n.Children[i].Ptr,
@@ -247,7 +260,18 @@ func (s *msearcher) spawnSubtreeTasks(n *disktree.Node, runBroken bool, firstRun
 			firstRun:     firstRun,
 			firstSym:     s.firstSym,
 			base0:        s.base0,
+			envSum:       envSum,
+			envBase0:     s.envBase0,
 			frontierMark: len(s.matches),
 		})
 	}
+}
+
+// setEnvSum seeds the envelope prefix sum at a task's fork depth; shallower
+// entries are never read by the resumed descent.
+func (s *msearcher) setEnvSum(depth int, sum float64) {
+	for len(s.envSums) <= depth {
+		s.envSums = append(s.envSums, 0)
+	}
+	s.envSums[depth] = sum
 }

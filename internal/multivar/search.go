@@ -40,7 +40,13 @@ type Stats struct {
 	Candidates   uint64
 	FalseAlarms  uint64
 	Answers      uint64
-	Elapsed      time.Duration
+	// EnvelopePruned counts edge rows cut by the envelope cascade before
+	// their table row was computed; LBCells counts its gap evaluations (one
+	// per examined row — each sums the per-dimension gaps). Both are exact
+	// under parallelism, like the other traversal counters.
+	EnvelopePruned uint64
+	LBCells        uint64
+	Elapsed        time.Duration
 }
 
 // Options configures a multivariate index build.
@@ -70,9 +76,15 @@ type Index struct {
 	Store *suffixtree.TextStore
 	Tree  *disktree.File
 	// Window is the warping-window half-width, or -1.
-	Window       int
-	maxRun       int
-	minAnswerLen int
+	Window int
+	// DisableEnvelopes turns off the per-dimension envelope row prefilter;
+	// like the univariate flag it changes only the work done, never the
+	// answers. (The multivariate engine has no subtree-hull tier: grid cell
+	// symbols order cells lexicographically, not by value, so a persisted
+	// [MinSym, MaxSym] span would not bound the cells' value boxes.)
+	DisableEnvelopes bool
+	maxRun           int
+	minAnswerLen     int
 
 	seqOffsets    []int
 	totalElements int
@@ -299,6 +311,30 @@ func (qp *mqueryPool) acquire(ix *Index, q [][]float64, eps float64, visit func(
 		s.post.Bind(q, ix.Window)
 	}
 	s.pend.Reset(ix.totalElements)
+
+	// Per-dimension envelopes under the filter window; the coordinate
+	// series and envelope storage are pooled with the msearcher.
+	s.envOn = !ix.DisableEnvelopes
+	if s.envOn {
+		dim := ix.Data.Dim()
+		for len(s.envs) < dim {
+			s.envs = append(s.envs, dtw.Envelope{})
+			s.qDim = append(s.qDim, nil)
+		}
+		for k := 0; k < dim; k++ {
+			qd := s.qDim[k][:0]
+			for _, p := range q {
+				qd = append(qd, p[k])
+			}
+			s.qDim[k] = qd
+			s.envs[k].Bind(qd, filterWindow)
+		}
+	}
+	if len(s.envSums) == 0 {
+		s.envSums = append(s.envSums, 0)
+	}
+	s.envSums[0] = 0
+	s.envBase0 = 0
 	return s
 }
 
@@ -416,6 +452,20 @@ type msearcher struct {
 	firstSym suffixtree.Symbol
 	base0    float64
 
+	// The envelope cascade's row tier, per dimension: envs[k] is the
+	// Sakoe–Chiba envelope of the query's k-th coordinate series under the
+	// filter window (constant on sparse trees), qDim[k] its backing series.
+	// envSums[d] is the running sum over the path's first d rows of the
+	// per-dimension gap totals; envBase0 is the first row's total — the
+	// per-shift discount unit for sparse candidates. See core.searcher for
+	// the soundness argument; it transfers dimension-wise because both the
+	// base distance and the envelope gap sum over dimensions independently.
+	envs     []dtw.Envelope
+	qDim     [][]float64
+	envSums  []float64
+	envBase0 float64
+	envOn    bool
+
 	// pend groups candidates by (seq, start) keeping the furthest end,
 	// keyed by global element offset; post-processing scans each touched
 	// start once (see core.searcher.postProcess for the argument). Its
@@ -493,7 +543,8 @@ func (s *msearcher) processEdge(ptr disktree.Ptr, level int, runBroken bool, fir
 			break
 		}
 		box := s.ix.Grid.Box(sym)
-		if s.table.Depth() == 0 {
+		x := s.table.Depth()
+		if x == 0 {
 			s.firstSym = sym
 			s.base0 = BaseBox(s.q[0], box)
 			firstRun = 1
@@ -504,6 +555,43 @@ func (s *msearcher) processEdge(ptr disktree.Ptr, level int, runBroken bool, fir
 				runBroken = true
 			}
 		}
+
+		// Envelope cascade, row tier: the per-dimension gap total extends
+		// the LB_Keogh prefix sum, which lower-bounds every filter distance
+		// at this depth or deeper (discounted per shifted-away leading-run
+		// row on sparse trees); see core.searcher.processEdge.
+		if s.envOn {
+			g := 0.0
+			for k := range s.envs {
+				elo, ehi := s.envs[k].At(x)
+				g += dtw.GapInterval(box.Lo[k], box.Hi[k], elo, ehi)
+			}
+			s.stats.LBCells++
+			if x == 0 {
+				s.envBase0 = g
+			}
+			newSum := s.envSums[x] + g
+			envBound := newSum
+			if s.sparse {
+				j := firstRun - 1
+				if !runBroken {
+					j = s.ix.maxRun - 1
+				}
+				if j > 0 {
+					envBound = newSum - float64(j)*s.envBase0
+				}
+			}
+			if envBound > s.eps {
+				s.stats.EnvelopePruned++
+				descend = false
+				break
+			}
+			if len(s.envSums) <= x+1 {
+				s.envSums = append(s.envSums, 0)
+			}
+			s.envSums[x+1] = newSum
+		}
+
 		dist, minDist := s.table.AddRowBox(box)
 		d := s.table.Depth()
 

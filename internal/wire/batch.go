@@ -157,7 +157,8 @@ type BatchItemDone struct {
 func (m *BatchItemDone) Encode(b []byte) []byte { return m.EncodeAt(b, Version) }
 
 // EncodeAt appends the body as protocol version `version` lays it out: the
-// batch RPC exists only at version >= 4.
+// batch RPC exists only at version >= 4; the envelope-cascade counters
+// ship only at version >= 5.
 func (m *BatchItemDone) EncodeAt(b []byte, version uint16) []byte {
 	if version >= 4 {
 		b = binary.LittleEndian.AppendUint32(b, uint32(m.ID))
@@ -167,6 +168,10 @@ func (m *BatchItemDone) EncodeAt(b []byte, version uint16) []byte {
 			s.FalseAlarms, s.Answers, s.PagesRead, s.PoolHits, s.PoolMisses,
 		} {
 			b = binary.LittleEndian.AppendUint64(b, v)
+		}
+		if version >= 5 {
+			b = binary.LittleEndian.AppendUint64(b, s.EnvelopePruned)
+			b = binary.LittleEndian.AppendUint64(b, s.LBCells)
 		}
 		b = binary.LittleEndian.AppendUint64(b, uint64(s.Elapsed))
 	}
@@ -195,6 +200,10 @@ func DecodeBatchItemDoneAt(body []byte, version uint16) (BatchItemDone, error) {
 		m.Stats.PagesRead = r.U64()
 		m.Stats.PoolHits = r.U64()
 		m.Stats.PoolMisses = r.U64()
+		if version >= 5 {
+			m.Stats.EnvelopePruned = r.U64()
+			m.Stats.LBCells = r.U64()
+		}
 		m.Stats.Elapsed = time.Duration(r.I64())
 	}
 	return m, r.Err()

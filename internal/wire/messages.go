@@ -202,8 +202,12 @@ func DecodeMatch(body []byte) (Match, error) {
 // Done terminates a match stream, carrying the search's work counters.
 type Done struct{ Stats core.SearchStats }
 
-// Encode appends the done body to b.
-func (m *Done) Encode(b []byte) []byte {
+// Encode appends the done body to b at the current protocol version.
+func (m *Done) Encode(b []byte) []byte { return m.EncodeAt(b, Version) }
+
+// EncodeAt appends the done body as protocol version `version` lays it
+// out: the envelope-cascade counters ship only at version >= 5.
+func (m *Done) EncodeAt(b []byte, version uint16) []byte {
 	s := m.Stats
 	for _, v := range []uint64{
 		s.NodesVisited, s.FilterCells, s.PostCells, s.Candidates,
@@ -211,11 +215,19 @@ func (m *Done) Encode(b []byte) []byte {
 	} {
 		b = binary.LittleEndian.AppendUint64(b, v)
 	}
+	if version >= 5 {
+		b = binary.LittleEndian.AppendUint64(b, s.EnvelopePruned)
+		b = binary.LittleEndian.AppendUint64(b, s.LBCells)
+	}
 	return binary.LittleEndian.AppendUint64(b, uint64(s.Elapsed))
 }
 
-// DecodeDone parses a TDone body.
-func DecodeDone(body []byte) (Done, error) {
+// DecodeDone parses a TDone body at the current protocol version.
+func DecodeDone(body []byte) (Done, error) { return DecodeDoneAt(body, Version) }
+
+// DecodeDoneAt parses a TDone body as protocol version `version` lays it
+// out, mirroring EncodeAt gate for gate.
+func DecodeDoneAt(body []byte, version uint16) (Done, error) {
 	r := NewReader(body)
 	var m Done
 	m.Stats.NodesVisited = r.U64()
@@ -227,6 +239,10 @@ func DecodeDone(body []byte) (Done, error) {
 	m.Stats.PagesRead = r.U64()
 	m.Stats.PoolHits = r.U64()
 	m.Stats.PoolMisses = r.U64()
+	if version >= 5 {
+		m.Stats.EnvelopePruned = r.U64()
+		m.Stats.LBCells = r.U64()
+	}
 	m.Stats.Elapsed = time.Duration(r.I64())
 	return m, r.Err()
 }

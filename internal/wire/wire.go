@@ -40,8 +40,9 @@ import (
 // buffer-pool shard counters; version 3 added the per-request Parallelism
 // hint to SearchReq and KNNReq; version 4 added the batch-query RPC
 // (TBatch and its per-item response frames), the shard-topology RPC
-// (TShards), and the answered-shards list on TError.
-const Version = 4
+// (TShards), and the answered-shards list on TError; version 5 extended
+// Done with the envelope-cascade counters (EnvelopePruned, LBCells).
+const Version = 5
 
 // MinVersion is the oldest protocol version the versioned codecs
 // (EncodeAt / Decode*At) can still produce and parse. The live framing

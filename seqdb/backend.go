@@ -1,6 +1,8 @@
 package seqdb
 
 import (
+	"fmt"
+
 	"twsearch/internal/disktree"
 	"twsearch/internal/storage"
 )
@@ -22,24 +24,58 @@ const (
 func ParseBackend(s string) (Backend, error) { return storage.ParseBackend(s) }
 
 // Encoding selects the on-disk node record serialization of an index tree:
-// v1 fixed-width (the default, readable by every version) or v2 compact
-// varints (smaller files). Existing v1 indexes can be migrated with the
-// twtree rewrite subcommand.
+// v1 fixed-width (the default, readable by every version), v2 compact
+// varints (smaller files), or v3 compact varints plus per-child envelope
+// hulls (enables subtree-level lower-bound pruning). Existing indexes can
+// be migrated either way with the twtree rewrite subcommand.
 type Encoding = disktree.Encoding
 
 // The available record encodings. The zero value means EncodingV1.
 const (
 	EncodingV1 = disktree.EncodingV1
 	EncodingV2 = disktree.EncodingV2
+	EncodingV3 = disktree.EncodingV3
 )
 
 // ParseEncoding validates an encoding name from a flag or config value; the
 // empty string means EncodingV1.
 func ParseEncoding(s string) (Encoding, error) { return disktree.ParseEncoding(s) }
 
+// EnvelopeMode selects whether searches run the envelope lower-bound
+// cascade before the DTW filter tables. The cascade never changes answers
+// — only how much work a search does — so the zero value enables it.
+type EnvelopeMode int
+
+// The envelope-cascade modes. EnvelopesAuto and EnvelopesOn both run the
+// cascade (Auto is the zero value, so the default is on); EnvelopesOff
+// disables it, mainly for ablation runs and work-counter baselines.
+const (
+	EnvelopesAuto EnvelopeMode = iota
+	EnvelopesOff
+	EnvelopesOn
+)
+
+// ParseEnvelopeMode validates an envelope-mode name from a flag or config
+// value; the empty string means EnvelopesAuto.
+func ParseEnvelopeMode(s string) (EnvelopeMode, error) {
+	switch s {
+	case "", "auto":
+		return EnvelopesAuto, nil
+	case "off":
+		return EnvelopesOff, nil
+	case "on":
+		return EnvelopesOn, nil
+	}
+	return EnvelopesAuto, fmt.Errorf("seqdb: unknown envelope mode %q (want auto, on, or off)", s)
+}
+
 // OpenOptions tunes how a database (or each shard of a sharded database) is
 // opened.
 type OpenOptions struct {
 	// Backend selects the page source for every index tree ("" = pool).
 	Backend Backend
+
+	// Envelopes toggles the envelope lower-bound cascade on every index
+	// opened or built through this handle (zero value = on).
+	Envelopes EnvelopeMode
 }

@@ -50,7 +50,8 @@ type IndexSpec struct {
 	BatchSize int
 	PoolPages int
 	// Encoding selects the node record serialization of the tree file
-	// (zero value = EncodingV1; EncodingV2 is the compact varint format).
+	// (zero value = EncodingV1; EncodingV2 is the compact varint format;
+	// EncodingV3 adds per-child envelope hulls for subtree pruning).
 	Encoding Encoding
 }
 
@@ -124,6 +125,7 @@ func (db *DB) BuildIndex(name string, spec IndexSpec) error {
 	if err != nil {
 		return err
 	}
+	ix.DisableEnvelopes = db.envelopes == EnvelopesOff
 	if err := db.persistIndexMeta(name, spec, ix); err != nil {
 		ix.RemoveFile()
 		return err
@@ -167,6 +169,7 @@ func (db *DB) openIndexFiles(name string) error {
 	if err != nil {
 		return err
 	}
+	ix.DisableEnvelopes = db.envelopes == EnvelopesOff
 	db.indexes[name] = &openIndex{
 		spec: IndexSpec{
 			Method:       Method(scheme.Kind()),

@@ -71,6 +71,9 @@ type DB struct {
 	// backend is the page source every index tree is opened through;
 	// "" means the buffer pool.
 	backend Backend
+	// envelopes is the envelope-cascade mode applied to every index this
+	// handle opens or builds; the zero value (auto) runs the cascade.
+	envelopes EnvelopeMode
 
 	// mu guards data and the indexes map: readers and searches share it,
 	// mutations hold it exclusively. Methods never call other locking
@@ -120,7 +123,7 @@ func OpenWith(dir string, opts OpenOptions) (*DB, error) {
 	if err != nil {
 		return nil, fmt.Errorf("seqdb: loading dataset: %w", err)
 	}
-	db := &DB{dir: dir, backend: opts.Backend, data: data, indexes: map[string]*openIndex{}}
+	db := &DB{dir: dir, backend: opts.Backend, envelopes: opts.Envelopes, data: data, indexes: map[string]*openIndex{}}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
